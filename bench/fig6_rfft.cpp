@@ -1,0 +1,44 @@
+// Figure 6 — RFFT ("scalar"-style FFT) on the SX-4/1, Mflops vs FFT length
+// for the three length families (2^n, 3*2^n, 5*2^n), constant total work
+// (~10^6 elements), KTRIES = 20.
+//
+// Paper-shape constraints: performance roughly an order of magnitude below
+// VFFT (Figure 7) at comparable lengths, growing modestly with N.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "fft/style_bench.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+int main() {
+  using namespace ncar;
+  auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  cfg.cpus_per_node = 1;
+  sxs::Node node(cfg);
+  sxs::Cpu& cpu = node.cpu(0);
+
+  print_banner(std::cout, "Figure 6: RFFT (scalar style), SX-4/1, Mflops");
+
+  Table t({"N", "M", "Family", "Mflops", "verified"});
+  bool all_ok = true;
+  double best = 0;
+  for (auto [n, m] : fft::rfft_schedule()) {
+    const auto p = fft::run_rfft(cpu, n, m, 20);
+    const char* family = (n % 5 == 0) ? "5*2^n" : (n % 3 == 0) ? "3*2^n" : "2^n";
+    t.add_row({std::to_string(p.n), std::to_string(p.m), family,
+               format_fixed(p.mflops, 1), p.verified ? "yes" : "NO"});
+    all_ok = all_ok && p.verified;
+    best = std::max(best, p.mflops);
+  }
+  t.print(std::cout);
+  std::printf("\nnumerics verified against naive DFT: %s\n",
+              all_ok ? "yes" : "NO");
+  std::printf("peak RFFT rate: %.1f Mflops (paper: O(100) Mflops, an order "
+              "below VFFT)\n",
+              best);
+  return all_ok ? 0 : 1;
+}

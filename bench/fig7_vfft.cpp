@@ -1,0 +1,61 @@
+// Figure 7 — VFFT ("vector"-style FFT) on the SX-4/1, Mflops for the
+// paper's length set with instance counts M = 1 .. 500, KTRIES = 5.
+//
+// Paper-shape constraints: "approximately an order of magnitude faster"
+// than RFFT; rate grows with M (the vector length) toward a plateau.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "fft/style_bench.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+int main() {
+  using namespace ncar;
+  auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  cfg.cpus_per_node = 1;
+  sxs::Node node(cfg);
+  sxs::Cpu& cpu = node.cpu(0);
+
+  print_banner(std::cout, "Figure 7: VFFT (vector style), SX-4/1, Mflops");
+
+  // Main sweep: Mflops vs N at the largest instance count.
+  Table t({"N", "Mflops (M=500)", "verified"});
+  bool all_ok = true;
+  double vfft_256 = 0;
+  for (long n : fft::vfft_lengths()) {
+    const auto p = fft::run_vfft(cpu, n, 500, 5);
+    t.add_row({std::to_string(n), format_fixed(p.mflops, 1),
+               p.verified ? "yes" : "NO"});
+    all_ok = all_ok && p.verified;
+    if (n == 256) vfft_256 = p.mflops;
+  }
+  t.print(std::cout);
+
+  // Vector-length dependence at N = 256.
+  Table t2({"M", "Mflops (N=256)"});
+  double prev = 0;
+  bool grows = true;
+  for (long m : fft::vfft_instances()) {
+    const auto p = fft::run_vfft(cpu, 256, m, 5);
+    t2.add_row({std::to_string(m), format_fixed(p.mflops, 1)});
+    grows = grows && p.mflops >= prev * 0.98;
+    prev = p.mflops;
+  }
+  std::cout << '\n';
+  t2.print(std::cout);
+
+  // Order-of-magnitude comparison against RFFT at the same length.
+  const auto r = fft::run_rfft(cpu, 256, 4000, 5);
+  const double ratio = vfft_256 / r.mflops;
+  std::printf("\nnumerics verified: %s\n", all_ok ? "yes" : "NO");
+  std::printf("rate grows with vector length M: %s\n", grows ? "yes" : "NO");
+  std::printf("VFFT/RFFT at N=256: %.1fx (paper: ~10x)\n", ratio);
+  const bool order_of_magnitude = ratio > 5.0 && ratio < 20.0;
+  std::printf("order-of-magnitude separation: %s\n",
+              order_of_magnitude ? "yes" : "NO");
+  return (all_ok && order_of_magnitude) ? 0 : 1;
+}

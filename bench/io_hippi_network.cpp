@@ -1,0 +1,85 @@
+// Section 4.5 — the I/O, HIPPI, and NETWORK benchmarks.
+//
+// The paper describes these three benchmarks but withholds the results
+// ("voluminous and the configuration of the tests is tuned to NCAR's
+// computing environment"), so this bench reports the device models'
+// figures and checks their internal consistency instead of paper numbers.
+
+#include <cstdio>
+#include <iostream>
+
+#include "ccm2/resolution.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "iosim/disk.hpp"
+#include "iosim/hippi.hpp"
+#include "iosim/history.hpp"
+#include "iosim/network.hpp"
+#include "sxs/machine_config.hpp"
+
+int main() {
+  using namespace ncar;
+  const auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  bool ok = true;
+
+  // --- I/O: history-tape writes at multiple climate model resolutions ----
+  print_banner(std::cout, "I/O benchmark: history tape writes by resolution");
+  iosim::DiskSystem disk;
+  Table io({"Resolution", "Volume MB", "1 writer (s)", "32 writers (s)",
+            "MB/s (32w)"});
+  for (const auto& res : ccm2::table4()) {
+    iosim::HistoryShape shape{res.nlon, res.nlat, res.nlev, 16};
+    const double bytes = iosim::history_write_bytes(shape);
+    const double t1 = iosim::write_history_seconds(disk, shape, 1);
+    const double t32 = iosim::write_history_seconds(disk, shape, 32);
+    io.add_row({res.name, format_fixed(bytes / 1e6, 1), format_fixed(t1, 2),
+                format_fixed(t32, 2), format_fixed(bytes / t32 / 1e6, 1)});
+    ok = ok && t32 <= t1;  // concurrent record writers must not be slower
+  }
+  io.print(std::cout);
+  std::printf("streaming ceiling: %.0f MB/s\n",
+              disk.streaming_bytes_per_s() / 1e6);
+
+  // --- HIPPI: packet-size sweep, single and concurrent transfers ---------
+  print_banner(std::cout, "HIPPI benchmark: raw packet transfers");
+  iosim::HippiChannel hippi(cfg);
+  Table h({"Packet KB", "1 stream MB/s", "2 streams MB/s", "4 streams MB/s",
+           "8 streams MB/s"});
+  double prev = 0;
+  for (double kb : {4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    const double bytes = kb * 1024;
+    h.add_row({format_fixed(kb, 0),
+               format_fixed(hippi.effective_bytes_per_s(bytes) / 1e6, 1),
+               format_fixed(hippi.concurrent_bytes_per_s(2, bytes) / 1e6, 1),
+               format_fixed(hippi.concurrent_bytes_per_s(4, bytes) / 1e6, 1),
+               format_fixed(hippi.concurrent_bytes_per_s(8, bytes) / 1e6, 1)});
+    const double eff = hippi.effective_bytes_per_s(bytes);
+    ok = ok && eff >= prev;  // bigger packets amortise setup
+    prev = eff;
+  }
+  h.print(std::cout);
+  const double big = hippi.effective_bytes_per_s(4096 * 1024);
+  std::printf("large-packet rate approaches the HIPPI-800 payload: %.1f MB/s\n",
+              big / 1e6);
+  ok = ok && big > 0.9 * cfg.hippi_bytes_per_s;
+  // Beyond the 4 IOP channels, concurrency cannot add bandwidth.
+  ok = ok && hippi.concurrent_bytes_per_s(8, 1 << 20) <=
+                 hippi.concurrent_bytes_per_s(4, 1 << 20) * 1.001;
+
+  // --- NETWORK: FDDI/IP data-transfer and command tests -------------------
+  print_banner(std::cout, "NETWORK benchmark: FDDI/IP");
+  iosim::Network net;
+  Table n({"Test", "Result"});
+  n.add_row({"throughput ceiling",
+             format_fixed(net.throughput_bytes_per_s() / 1e6, 2) + " MB/s"});
+  n.add_row({"100 MB ftp-style transfer",
+             format_duration(net.data_transfer_seconds(100e6))});
+  n.add_row({"1 MB transfer", format_duration(net.data_transfer_seconds(1e6))});
+  n.add_row({"non-data command", format_duration(net.command_seconds())});
+  n.print(std::cout);
+  // FDDI line rate bounds the ceiling.
+  ok = ok && net.throughput_bytes_per_s() <= 100e6 / 8.0 + 1;
+
+  std::printf("\ninternal consistency checks: %s\n", ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Host-side microbenchmarks of the numerical substrates (google-benchmark).
+//
+// These measure the *host* execution speed of the real numerics — the FFT,
+// the Legendre transform, the SOR solver, and the SLT — as a regression
+// guard for the library's own implementation quality (everything else in
+// bench/ reports *simulated* SX-4 time).
+
+#include <benchmark/benchmark.h>
+
+#include "ccm2/slt.hpp"
+#include "common/rng.hpp"
+#include "fft/real_fft.hpp"
+#include "ocean/mask.hpp"
+#include "spectral/sht.hpp"
+
+namespace {
+
+using namespace ncar;
+
+void BM_RealFft(benchmark::State& state) {
+  const long n = state.range(0);
+  fft::Plan plan(n);
+  Rng rng(1);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<fft::cd> spec(static_cast<std::size_t>(fft::spectrum_size(n)));
+  for (auto _ : state) {
+    fft::real_forward(plan, x, spec);
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RealFft)->Arg(128)->Arg(512)->Arg(1280);
+
+void BM_ShtRoundTrip(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  spectral::ShTransform s(t, t == 21 ? 32 : 64, t == 21 ? 64 : 128);
+  std::vector<spectral::cd> spec(static_cast<std::size_t>(s.spec_size()),
+                                 spectral::cd(1e-6, 0));
+  Array2D<double> grid(static_cast<std::size_t>(s.nlon()),
+                       static_cast<std::size_t>(s.nlat()));
+  for (auto _ : state) {
+    s.synthesis(spec, grid);
+    s.analysis(grid, spec);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_ShtRoundTrip)->Arg(21)->Arg(42);
+
+void BM_SltAdvect(benchmark::State& state) {
+  const int nlat = static_cast<int>(state.range(0));
+  const int nlon = 2 * nlat;
+  const auto nodes = spectral::gauss_legendre(nlat);
+  ccm2::SemiLagrangian slt(nodes, nlon, 6.371e6);
+  Array2D<double> q(static_cast<std::size_t>(nlon), static_cast<std::size_t>(nlat), 1.0);
+  Array2D<double> u(q.ni(), q.nj(), 20.0), v(q.ni(), q.nj(), 3.0);
+  Array2D<double> out(q.ni(), q.nj());
+  for (auto _ : state) {
+    slt.advect(q, u, v, 1200.0, out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * nlon * nlat);
+}
+BENCHMARK(BM_SltAdvect)->Arg(32)->Arg(64);
+
+void BM_LandMaskBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    ocean::LandMask m(360, 180);
+    benchmark::DoNotOptimize(m.ocean_total());
+  }
+}
+BENCHMARK(BM_LandMaskBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Section 4.7.3 — POP on one SX-4 processor.
+//
+// Paper: "A pre-release of the NEC F90 compiler was used for this benchmark
+// test. At the time, the CSHIFT intrinsic did not vectorize. Even so, we
+// observed 537 Mflops on the 2-degree POP benchmark on one processor of
+// the SX-4."
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "ocean/pop.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+int main() {
+  using namespace ncar;
+  auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  cfg.cpus_per_node = 1;
+  sxs::Node node(cfg);
+  ocean::Pop pop(ocean::PopConfig::two_degree(), node);
+
+  const double mflops = pop.measure_mflops(5);
+
+  print_banner(std::cout, "POP 2-degree free-surface ocean, SX-4/1");
+  Table t({"Quantity", "Paper", "Model"});
+  t.add_row({"sustained Mflops", "537", format_fixed(mflops, 1)});
+  t.add_row({"time in unvectorised CSHIFT", "-",
+             format_fixed(100 * pop.cshift_time_fraction(), 0) + "%"});
+  t.add_row({"mean surface height drift", "-",
+             format_fixed(pop.mean_eta() * 1e12, 3) + "e-12"});
+  t.print(std::cout);
+
+  const double ratio = mflops / 537.0;
+  std::printf("\nmodel/paper = %.3f\n", ratio);
+  const bool ok = ratio > 0.8 && ratio < 1.25;
+  std::printf("within 25%%: %s; volume conserved: %s\n", ok ? "yes" : "NO",
+              std::abs(pop.mean_eta()) < 1e-9 ? "yes" : "NO");
+  return (ok && std::abs(pop.mean_eta()) < 1e-9) ? 0 : 1;
+}

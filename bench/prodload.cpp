@@ -1,0 +1,112 @@
+// Section 4.6 — PRODLOAD: the simulated production workload.
+//
+// Paper: "The NEC SX-4/32 completed the PRODLOAD benchmark in 93 minutes
+// and 28 seconds (with the 9.2 ns clock)." — 5608 seconds.
+//
+// A job = HIPPI benchmark + three CCM2 copies (one 3-day T106, two 20-day
+// T42) running simultaneously. Test 1: one sequence of four jobs. Test 2:
+// two sequences concurrently. Test 3: four sequences concurrently. Test 4:
+// two 2-day T170 runs concurrently. Component service times come from the
+// CCM2 model (measured per-step simulated cost at each job's CPU width) and
+// the HIPPI channel model; the discrete-event scheduler allocates the 32
+// CPUs FIFO and applies the node's bank-contention slowdown.
+
+#include <cstdio>
+#include <iostream>
+
+#include "ccm2/model.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "iosim/hippi.hpp"
+#include "prodload/scheduler.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+namespace {
+
+/// Quiet-machine service time of an n-day CCM2 run at `cpus` width.
+double ccm2_days(ncar::sxs::Node& node, const ncar::ccm2::Resolution& res,
+                 int cpus, double days) {
+  ncar::ccm2::Ccm2Config c;
+  c.res = res;
+  c.active_levels = 1;
+  ncar::ccm2::Ccm2 model(c, node);
+  node.reset();
+  const double per_step = model.measure_step_seconds(cpus, 2);
+  return per_step * res.steps_per_day() * days;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncar;
+  const auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  sxs::Node node(cfg);
+
+  // Component service times. CPU widths: T42 on 2 CPUs, T106 on 8, T170 on
+  // 16 — the static Resource-Block style allocation of the benchmark run.
+  const double t42_20d = ccm2_days(node, ccm2::t42l18(), 2, 20.0);
+  const double t106_3d = ccm2_days(node, ccm2::t106l18(), 8, 3.0);
+  const double t170_2d = ccm2_days(node, ccm2::t170l18(), 16, 2.0);
+
+  iosim::HippiChannel hippi(cfg);
+  const double hippi_test = hippi.transfer_seconds(10e9, 1 << 20);
+
+  prodload::Job job;
+  job.name = "job";
+  job.components = {
+      {"HIPPI", 1, hippi_test},
+      {"CCM2 T106 3-day", 8, t106_3d},
+      {"CCM2 T42 20-day A", 2, t42_20d},
+      {"CCM2 T42 20-day B", 2, t42_20d},
+  };
+
+  auto make_seq = [&](const std::string& name) {
+    prodload::Sequence s;
+    s.name = name;
+    for (int j = 0; j < 4; ++j) {
+      prodload::Job numbered = job;
+      numbered.name = "job" + std::to_string(j + 1);
+      s.jobs.push_back(numbered);
+    }
+    return s;
+  };
+
+  prodload::Scheduler sched(cfg.cpus_per_node, cfg.bank_contention_per_cpu);
+
+  const double test1 = sched.run({make_seq("seq1")}).makespan;
+  const double test2 = sched.run({make_seq("seq1"), make_seq("seq2")}).makespan;
+  const double test3 = sched.run({make_seq("seq1"), make_seq("seq2"),
+                                  make_seq("seq3"), make_seq("seq4")})
+                           .makespan;
+
+  prodload::Sequence t170a{"t170a", {{"T170 2-day", {{"CCM2 T170", 16, t170_2d}}}}};
+  prodload::Sequence t170b{"t170b", {{"T170 2-day", {{"CCM2 T170", 16, t170_2d}}}}};
+  const double test4 = sched.run({t170a, t170b}).makespan;
+
+  const double total = test1 + test2 + test3 + test4;
+
+  print_banner(std::cout, "PRODLOAD: simulated production job load, SX-4/32");
+  Table c({"Component", "CPUs", "Service time"});
+  c.add_row({"HIPPI test", "1", format_duration(hippi_test)});
+  c.add_row({"CCM2 T42L18, 20 days", "2", format_duration(t42_20d)});
+  c.add_row({"CCM2 T106L18, 3 days", "8", format_duration(t106_3d)});
+  c.add_row({"CCM2 T170L18, 2 days", "16", format_duration(t170_2d)});
+  c.print(std::cout);
+
+  std::cout << '\n';
+  Table t({"Test", "Composition", "Wall clock"});
+  t.add_row({"1", "1 sequence of 4 jobs", format_duration(test1)});
+  t.add_row({"2", "2 sequences concurrent", format_duration(test2)});
+  t.add_row({"3", "4 sequences concurrent", format_duration(test3)});
+  t.add_row({"4", "2 x CCM2 T170 2-day concurrent", format_duration(test4)});
+  t.add_row({"total", "", format_duration(total)});
+  t.print(std::cout);
+
+  const double paper = 93 * 60 + 28;
+  std::printf("\ntotal: %s (paper: 93m 28s), ratio %.3f\n",
+              format_duration(total).c_str(), total / paper);
+  const bool ok = total / paper > 0.75 && total / paper < 1.25;
+  std::printf("within 25%% of the paper: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Table 2 — specification of the NEC SX-4/32 used for the paper's results.
+//
+// Purely descriptive: prints the benchmarked machine's configuration in the
+// paper's format alongside the model parameters derived from it, so every
+// other bench can be cross-checked against this table.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sxs/machine_config.hpp"
+
+int main() {
+  using namespace ncar;
+  const auto cfg = sxs::MachineConfig::sx4_benchmarked();
+
+  print_banner(std::cout, "Table 2: NEC SX-4/32 system specification");
+
+  Table t({"Attribute", "Paper", "Model"});
+  t.add_row({"Clock Rate", "9.2 ns", format_fixed(cfg.clock_ns, 1) + " ns"});
+  t.add_row({"Peak FLOP Rate / CPU", "2 GFLOPS (8 ns part)",
+             format_fixed(to_gflops(cfg.peak_flops_per_cpu()), 2) +
+                 " GFLOPS (at 9.2 ns)"});
+  t.add_row({"Peak Memory Bandwidth", "16 GB/sec/proc",
+             format_fixed(cfg.port_bytes_per_clock * cfg.clock_hz() / 1e9, 1) +
+                 " GB/sec/proc"});
+  t.add_row({"Processors", "32", std::to_string(cfg.total_cpus())});
+  t.add_row({"Memory banks", "up to 1024", std::to_string(cfg.memory_banks)});
+  t.add_row({"Vector register length", "256 elements (8 chips x 32)",
+             std::to_string(cfg.vector_length)});
+  t.add_row({"Extended Memory (XMU)", "4 GB",
+             format_fixed(cfg.xmu_capacity_bytes / (1024.0 * 1024 * 1024), 0) +
+                 " GB"});
+  t.add_row({"IOP channels", "4 x 1.6 GB/s",
+             std::to_string(cfg.iops) + " x " +
+                 format_fixed(cfg.iop_bytes_per_s / 1e9, 1) + " GB/s"});
+  t.add_row({"Cooling", "air cooled", "air cooled (CMOS model)"});
+  t.print(std::cout);
+
+  const auto product = sxs::MachineConfig::sx4_product();
+  std::cout << "\nProduction part: " << product.name << ", peak "
+            << format_fixed(to_gflops(product.peak_flops_per_cpu()), 1)
+            << " GFLOPS/CPU, node peak "
+            << format_fixed(
+                   to_gflops(product.peak_flops_per_cpu()) * product.cpus_per_node,
+                   0)
+            << " GFLOPS\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "ccm2/resolution.hpp"
+
+#include "common/error.hpp"
+
+namespace ncar::ccm2 {
+
+namespace {
+Resolution make(const char* name, int t, int nlat, int nlon, double dt_min) {
+  Resolution r;
+  r.name = name;
+  r.truncation = t;
+  r.nlat = nlat;
+  r.nlon = nlon;
+  r.nlev = 18;
+  r.dt_seconds = dt_min * 60.0;
+  return r;
+}
+}  // namespace
+
+Resolution t42l18() { return make("T42L18", 42, 64, 128, 20.0); }
+Resolution t63l18() { return make("T63L18", 63, 96, 192, 12.0); }
+Resolution t85l18() { return make("T85L18", 85, 128, 256, 10.0); }
+Resolution t106l18() { return make("T106L18", 106, 160, 320, 7.5); }
+Resolution t170l18() { return make("T170L18", 170, 256, 512, 5.0); }
+
+std::vector<Resolution> table4() {
+  return {t42l18(), t63l18(), t85l18(), t106l18(), t170l18()};
+}
+
+Resolution resolution_by_name(const std::string& name) {
+  for (auto& r : table4()) {
+    if (r.name == name) return r;
+  }
+  throw ncar::precondition_error("unknown CCM2 resolution: " + name);
+}
+
+}  // namespace ncar::ccm2

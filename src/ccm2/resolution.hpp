@@ -1,0 +1,41 @@
+#pragma once
+// CCM2 resolutions — the paper's Table 4.
+//
+// | Resolution | grid (lat x lon) | spacing | time step |
+// | T42L18     | 64 x 128         | 2.8 deg | 20.0 min  |
+// | T63L18     | 96 x 192         | 2.1 deg | 12.0 min  |
+// | T85L18     | 128 x 256        | 1.4 deg | 10.0 min  |
+// | T106L18    | 160 x 320        | 1.1 deg |  7.5 min  |
+// | T170L18    | 256 x 512        | 0.7 deg |  5.0 min  |
+
+#include <string>
+#include <vector>
+
+namespace ncar::ccm2 {
+
+struct Resolution {
+  std::string name;
+  int truncation = 0;
+  int nlat = 0;
+  int nlon = 0;
+  int nlev = 18;
+  double dt_seconds = 0;
+
+  long steps_per_day() const {
+    return static_cast<long>(86400.0 / dt_seconds + 0.5);
+  }
+};
+
+Resolution t42l18();
+Resolution t63l18();
+Resolution t85l18();
+Resolution t106l18();
+Resolution t170l18();
+
+/// All Table 4 resolutions, coarse to fine.
+std::vector<Resolution> table4();
+
+/// Look up by name ("T42L18", ...); throws on unknown names.
+Resolution resolution_by_name(const std::string& name);
+
+}  // namespace ncar::ccm2

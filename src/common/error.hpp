@@ -1,0 +1,42 @@
+#pragma once
+// Error handling for the sx4ncar library.
+//
+// Following the C++ Core Guidelines (E.2, I.6) we throw exceptions for
+// precondition violations in library code rather than aborting, so that
+// harness code and tests can observe and report them.
+
+#include <stdexcept>
+#include <string>
+
+namespace ncar {
+
+/// Exception thrown when a library precondition is violated.
+class precondition_error : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when a model configuration is internally inconsistent.
+class config_error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw precondition_error(std::string(file) + ":" + std::to_string(line) +
+                           ": requirement failed: " + expr +
+                           (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace ncar
+
+/// Precondition check; throws ncar::precondition_error when `expr` is false.
+#define NCAR_REQUIRE(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::ncar::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// Benchmarks and tests must be reproducible run-to-run, so all randomness in
+// the repository flows through this splitmix64/xoshiro256** generator with
+// explicit seeds (never std::random_device).
+
+#include <cstdint>
+
+namespace ncar {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, and high quality; state is
+/// seeded via splitmix64 so that any 64-bit seed gives a well-mixed state.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's unbiased bounded generation (approximation without widening
+    // rejection is fine here: n is always far below 2^64 in this codebase).
+    return next_u64() % n;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ncar

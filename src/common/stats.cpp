@@ -1,0 +1,69 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ncar {
+
+void BestOf::add_time(double seconds) {
+  NCAR_REQUIRE(seconds >= 0.0, "negative duration");
+  if (trials_ == 0) {
+    best_ = worst_ = seconds;
+  } else {
+    best_ = std::min(best_, seconds);
+    worst_ = std::max(worst_, seconds);
+  }
+  ++trials_;
+}
+
+double BestOf::best_time() const {
+  NCAR_REQUIRE(trials_ > 0, "no trials recorded");
+  return best_;
+}
+
+double BestOf::worst_time() const {
+  NCAR_REQUIRE(trials_ > 0, "no trials recorded");
+  return worst_;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  double sum = 0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  return s;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  NCAR_REQUIRE(a.size() == b.size(), "span length mismatch");
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double max_rel_diff(std::span<const double> a, std::span<const double> b,
+                    double floor) {
+  NCAR_REQUIRE(a.size() == b.size(), "span length mismatch");
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(std::abs(b[i]), floor);
+    m = std::max(m, std::abs(a[i] - b[i]) / denom);
+  }
+  return m;
+}
+
+}  // namespace ncar

@@ -1,0 +1,45 @@
+#pragma once
+// Small statistics helpers used by the benchmark harnesses.
+//
+// The NCAR suite's KTRIES convention (paper section 4): each experiment is
+// repeated KTRIES times and the *best* performance is reported. BestOf
+// implements exactly that policy; Summary provides the usual moments for
+// tests and diagnostics.
+
+#include <span>
+#include <vector>
+
+namespace ncar {
+
+/// Accumulates repeated measurements and reports the best (minimum time /
+/// maximum rate), per the suite's KTRIES rule.
+class BestOf {
+public:
+  void add_time(double seconds);
+
+  int trials() const { return trials_; }
+  double best_time() const;       ///< minimum observed time (seconds)
+  double worst_time() const;      ///< maximum observed time (seconds)
+  bool empty() const { return trials_ == 0; }
+
+private:
+  int trials_ = 0;
+  double best_ = 0, worst_ = 0;
+};
+
+/// Descriptive statistics over a sample.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Max |a-b| over paired spans; spans must be the same length.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// Max |a-b| / max(|b|, floor) over paired spans (relative error).
+double max_rel_diff(std::span<const double> a, std::span<const double> b,
+                    double floor = 1e-300);
+
+}  // namespace ncar

@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ncar {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NCAR_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NCAR_REQUIRE(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+             c != '%' && c != ':') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  std::vector<bool> numeric(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      const std::size_t pad = width[c] - row[c].size();
+      if (align_numeric && numeric[c]) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+}
+
+std::string Table::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " "
+     << std::string(title.size() < 66 ? 66 - title.size() : 2, '=') << "\n\n";
+}
+
+}  // namespace ncar

@@ -1,0 +1,38 @@
+#pragma once
+// Fixed-width text table printer.
+//
+// Every bench binary reproduces a table or figure from the paper; this
+// printer renders them in a uniform, diffable format (left-aligned text
+// columns, right-aligned numeric columns, a rule under the header).
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ncar {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: cells may be built with format_fixed / std::to_string.
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  /// Render with 2-space column gutters.
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a titled rule ("== title ==================") before a table.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ncar

@@ -1,0 +1,31 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ncar {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  const long total = static_cast<long>(seconds);
+  const long h = total / 3600;
+  const long m = (total % 3600) / 60;
+  const double s = seconds - static_cast<double>(h * 3600 + m * 60);
+  if (h > 0) {
+    std::snprintf(buf, sizeof buf, "%ldh %02ldm %04.1fs", h, m, s);
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof buf, "%ldm %04.1fs", m, s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace ncar

@@ -1,0 +1,30 @@
+#pragma once
+// Unit conversions and human-readable formatting of rates and durations.
+//
+// The paper reports results in MB/s, Mflops, Gflops, Mcalls/s, and
+// minutes:seconds; these helpers keep the bench output in the same units.
+
+#include <string>
+
+namespace ncar {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// Bytes/second -> MB/s (decimal megabytes, as the paper uses).
+inline double to_mb_per_s(double bytes_per_s) { return bytes_per_s / kMega; }
+
+/// Flops/second -> Mflops.
+inline double to_mflops(double flops_per_s) { return flops_per_s / kMega; }
+
+/// Flops/second -> Gflops.
+inline double to_gflops(double flops_per_s) { return flops_per_s / kGiga; }
+
+/// Format seconds as "Hh MMm SS.Ss" / "MMm SS.Ss" / "SS.Ss".
+std::string format_duration(double seconds);
+
+/// Format a double with `digits` significant decimals, fixed notation.
+std::string format_fixed(double value, int digits);
+
+}  // namespace ncar

@@ -1,0 +1,46 @@
+#pragma once
+// Mixed-radix (2/3/5) complex FFT, FFTPACK-style.
+//
+// The RFFT/VFFT benchmarks (paper section 4.3) use Swarztrauber's FFTPACK,
+// whose transforms support lengths with factors 2, 3, and 5 — exactly the
+// three length families the paper sweeps (2^n, 3*2^n, 5*2^n). This is a
+// from-scratch decimation-in-time implementation with hard-coded radix
+// 2/3/5 combine kernels, recursive over the factorisation.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ncar::fft {
+
+using cd = std::complex<double>;
+
+/// A transform plan for a fixed length n (factors 2, 3, 5 only).
+class Plan {
+public:
+  explicit Plan(long n);
+
+  long size() const { return n_; }
+  /// The factorisation used, smallest factors first (e.g. 12 -> {2,2,3}).
+  const std::vector<int>& factors() const { return factors_; }
+
+  /// Out-of-place forward DFT: out[k] = sum_j in[j] exp(-2 pi i jk / n).
+  void forward(std::span<const cd> in, std::span<cd> out) const;
+
+  /// Out-of-place unnormalised inverse DFT (forward then inverse gives n*x).
+  void inverse(std::span<const cd> in, std::span<cd> out) const;
+
+  /// True when n factors completely into 2, 3, and 5.
+  static bool supported(long n);
+
+private:
+  void rec(const cd* in, long in_stride, cd* out, long n, bool inv) const;
+
+  long n_;
+  std::vector<int> factors_;
+};
+
+/// Reference O(n^2) DFT for verification.
+void naive_dft(std::span<const cd> in, std::span<cd> out, bool inverse);
+
+}  // namespace ncar::fft

@@ -1,0 +1,176 @@
+#include "fft/style_bench.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "fft/real_fft.hpp"
+
+namespace ncar::fft {
+
+namespace {
+
+/// Real flops for one radix-f complex combine butterfly (twiddle multiply
+/// plus the small-DFT adds), the count used consistently for charging and
+/// for the reported Mflops.
+double butterfly_flops(int f) {
+  switch (f) {
+    case 2: return 10.0;
+    case 3: return 32.0;
+    case 5: return 76.0;
+    default: throw ncar::precondition_error("unsupported radix");
+  }
+}
+
+/// Execute `check` real forward transforms and verify them against the
+/// naive DFT; returns false on any mismatch.
+bool verify_numerics(long n, int check) {
+  Plan plan(n);
+  Rng rng(static_cast<std::uint64_t>(n) * 977 + 13);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<cd> spec(static_cast<std::size_t>(spectrum_size(n)));
+  std::vector<cd> cin(static_cast<std::size_t>(n)),
+      cref(static_cast<std::size_t>(n));
+  for (int inst = 0; inst < check; ++inst) {
+    for (long j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(j)] = rng.uniform(-1.0, 1.0);
+      cin[static_cast<std::size_t>(j)] = cd(x[static_cast<std::size_t>(j)], 0);
+    }
+    real_forward(plan, x, spec);
+    naive_dft(cin, cref, false);
+    for (long k = 0; k < spectrum_size(n); ++k) {
+      const double err = std::abs(spec[static_cast<std::size_t>(k)] -
+                                  cref[static_cast<std::size_t>(k)]);
+      if (err > 1e-8 * std::max(1.0, static_cast<double>(n))) return false;
+    }
+    // Round trip.
+    std::vector<double> back(static_cast<std::size_t>(n));
+    real_inverse(plan, spec, back);
+    if (max_abs_diff(back, x) > 1e-10 * static_cast<double>(n)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double rfft_flops(long n) {
+  Plan plan(n);
+  double flops = 0;
+  for (int f : plan.factors()) {
+    flops += static_cast<double>(n / f) * butterfly_flops(f);
+  }
+  return 0.5 * flops;  // real transform: half the complex work
+}
+
+FftPoint run_rfft(sxs::Cpu& cpu, long n, long m, int ktries) {
+  NCAR_REQUIRE(n >= 2 && m >= 1, "RFFT shape");
+  NCAR_REQUIRE(Plan::supported(n), "length must factor into 2, 3, 5");
+  NCAR_REQUIRE(ktries >= 1, "KTRIES");
+
+  const bool ok = verify_numerics(n, std::min<long>(m, 2));
+
+  // Charging: FFTPACK processes one sequence at a time. At the stage with
+  // factor f, l1 = product of factors already done and ido = n/(l1*f); the
+  // compiler vectorises the longer of the two loops, at non-unit stride
+  // (the butterfly legs are l1*ido apart and twiddles are gathered). Real
+  // transforms do half the complex work.
+  Plan plan(n);
+  BestOf best;
+  for (int t = 0; t < ktries; ++t) {
+    const double before = cpu.cycles();
+    long l1 = 1;
+    for (int f : plan.factors()) {
+      const long ido = n / (l1 * f);
+      const long vlen = std::max<long>(std::max(l1, ido), 1);
+      const long reps = std::max<long>((n / f) / vlen, 1);
+      // FFTPACK works on separate real and imaginary arrays, so every
+      // butterfly group is two vector instruction sequences (one per
+      // component), each moving half the complex traffic — twice the
+      // startup exposure, which is what kills short-vector FFTs.
+      sxs::VectorOp op;
+      op.n = vlen;
+      op.flops_per_elem = 0.25 * butterfly_flops(f);
+      op.load_words = 0.5 * static_cast<double>(f);  // butterfly legs
+      op.load_stride = std::max<long>(l1 * f, 2);    // legs are l1 apart
+      op.store_words = 0.5 * static_cast<double>(f);
+      op.store_stride = std::max<long>(ido, 2);
+      op.gather_words = 0.5;                         // twiddle table access
+      op.pipe_groups = 2;
+      cpu.vec(op, 2 * reps * m);
+      l1 *= f;
+    }
+    best.add_time((cpu.cycles() - before) * cpu.config().seconds_per_clock());
+  }
+
+  FftPoint p;
+  p.n = n;
+  p.m = m;
+  p.seconds = best.best_time();
+  p.mflops = rfft_flops(n) * static_cast<double>(m) / p.seconds / 1e6;
+  p.verified = ok;
+  return p;
+}
+
+FftPoint run_vfft(sxs::Cpu& cpu, long n, long m, int ktries) {
+  NCAR_REQUIRE(n >= 2 && m >= 1, "VFFT shape");
+  NCAR_REQUIRE(Plan::supported(n), "length must factor into 2, 3, 5");
+  NCAR_REQUIRE(ktries >= 1, "KTRIES");
+
+  const bool ok = verify_numerics(n, 2);
+
+  // Charging: with a(M, N) the instance axis is contiguous; every butterfly
+  // is one vector operation of length M at unit stride, and there are n/f
+  // butterflies per stage. Twiddles are scalar-broadcast (free streams).
+  Plan plan(n);
+  BestOf best;
+  for (int t = 0; t < ktries; ++t) {
+    const double before = cpu.cycles();
+    for (int f : plan.factors()) {
+      sxs::VectorOp op;
+      op.n = m;
+      op.flops_per_elem = 0.5 * butterfly_flops(f);
+      op.load_words = static_cast<double>(f);
+      op.store_words = static_cast<double>(f);
+      op.pipe_groups = 2;
+      cpu.vec(op, n / f);
+    }
+    best.add_time((cpu.cycles() - before) * cpu.config().seconds_per_clock());
+  }
+
+  FftPoint p;
+  p.n = n;
+  p.m = m;
+  p.seconds = best.best_time();
+  p.mflops = rfft_flops(n) * static_cast<double>(m) / p.seconds / 1e6;
+  p.verified = ok;
+  return p;
+}
+
+std::vector<std::pair<long, long>> rfft_schedule(long total) {
+  std::vector<std::pair<long, long>> out;
+  auto add = [&](long n) {
+    out.emplace_back(n, std::min<long>(500'000, std::max<long>(1, total / n)));
+  };
+  for (int e = 1; e <= 10; ++e) add(1L << e);           // 2 .. 1024
+  for (int e = 0; e <= 8; ++e) add(3L * (1L << e));     // 3 .. 768
+  for (int e = 0; e <= 8; ++e) add(5L * (1L << e));     // 5 .. 1280
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<long> vfft_lengths() {
+  std::vector<long> out;
+  for (int e : {2, 4, 6, 7, 8, 9}) out.push_back(1L << e);
+  for (int e : {0, 2, 4, 6, 8}) out.push_back(3L * (1L << e));
+  for (int e : {0, 2, 4, 6, 8}) out.push_back(5L * (1L << e));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<long> vfft_instances() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500};
+}
+
+}  // namespace ncar::fft

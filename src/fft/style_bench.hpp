@@ -1,0 +1,51 @@
+#pragma once
+// RFFT / VFFT — the coding-style comparison benchmarks (paper section 4.3).
+//
+// Both compute multi-instance real FFTs from FFTPACK; the ONLY difference
+// is loop order. RFFT (array a(N, M), FFT axis fastest) transforms one
+// sequence at a time — the style suited to cache-based processors, which on
+// a vector machine yields short, strided vector operations. VFFT (array
+// a(M, N), instance axis fastest) performs each butterfly across all M
+// instances at unit stride — long vectors, the style the SX-4 wants. The
+// paper's conclusion: VFFT runs about an order of magnitude faster.
+//
+// The numerics run for real on a bounded number of instances and are
+// verified against the naive DFT; the machine model is charged with the
+// stage-by-stage loop structure of each style.
+
+#include <vector>
+
+#include "sxs/cpu.hpp"
+
+namespace ncar::fft {
+
+struct FftPoint {
+  long n = 0;        ///< FFT axis length
+  long m = 0;        ///< instance count
+  double seconds = 0;
+  double mflops = 0;
+  bool verified = false;
+};
+
+/// Flop count for one length-n real transform under the mixed-radix
+/// factorisation (the convention used for the Mflops reported here).
+double rfft_flops(long n);
+
+/// RFFT: scalar-style, one sequence at a time (a(N, M) layout).
+FftPoint run_rfft(sxs::Cpu& cpu, long n, long m, int ktries = 20);
+
+/// VFFT: vector-style, all instances per butterfly (a(M, N) layout).
+FftPoint run_vfft(sxs::Cpu& cpu, long n, long m, int ktries = 5);
+
+/// The paper's RFFT length families: 2^n (n=1..10), 3*2^n and 5*2^n
+/// (n=0..8), with M chosen to keep N*M ~ 10^6 (capped at 500,000).
+std::vector<std::pair<long, long>> rfft_schedule(long total = 1'000'000);
+
+/// The paper's VFFT lengths: 2^n (n=2,4,6,7,8,9), 3*2^n and 5*2^n
+/// (n=0,2,4,6,8), each paired with the given instance count.
+std::vector<long> vfft_lengths();
+
+/// The paper's VFFT instance counts: 1, 2, 5, ..., 500.
+std::vector<long> vfft_instances();
+
+}  // namespace ncar::fft

@@ -1,0 +1,178 @@
+#include "fpt/elefunt.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ncar::fpt {
+
+namespace {
+
+/// Size of one ulp at `x`.
+double ulp_at(double x) {
+  const double ax = std::abs(x);
+  if (ax == 0.0) return std::numeric_limits<double>::denorm_min();
+  int exp;
+  std::frexp(ax, &exp);
+  return std::ldexp(1.0, exp - 53);
+}
+
+double ulp_error(double computed, double reference) {
+  if (computed == reference) return 0.0;
+  return std::abs(computed - reference) / ulp_at(reference);
+}
+
+/// "Purify" x so that x and x+delta are both exact and their difference is
+/// exactly delta (Cody's trick: round x to a form with trailing zeros).
+double purify(double x, int keep_bits = 40) {
+  int exp;
+  const double m = std::frexp(x, &exp);
+  const double scaled = std::ldexp(m, keep_bits);
+  return std::ldexp(std::nearbyint(scaled), exp - keep_bits);
+}
+
+}  // namespace
+
+double ulp_threshold(sxs::Intrinsic f) {
+  using sxs::Intrinsic;
+  switch (f) {
+    case Intrinsic::Sqrt: return 1.0;   // IEEE requires correct rounding
+    case Intrinsic::Exp: return 4.0;    // identity tests amplify ~2 ulp
+    case Intrinsic::Log: return 4.0;
+    case Intrinsic::Sin: return 4.0;
+    case Intrinsic::Cos: return 4.0;
+    case Intrinsic::Pow: return 6.0;    // two-function composition
+  }
+  throw ncar::precondition_error("unknown intrinsic");
+}
+
+AccuracyResult measure_accuracy(sxs::Intrinsic f, long samples,
+                                std::uint64_t seed) {
+  NCAR_REQUIRE(samples > 0, "need at least one sample");
+  using sxs::Intrinsic;
+  Rng rng(seed);
+  AccuracyResult r;
+  r.func = f;
+  r.samples = samples;
+  double sum_sq = 0;
+
+  for (long i = 0; i < samples; ++i) {
+    double err = 0;
+    switch (f) {
+      case Intrinsic::Exp: {
+        // Cody: exp(x - 1/16) vs exp(x) / exp(1/16); 1/16 is exact, and the
+        // subtraction on a purified x is exact.
+        const double x = purify(rng.uniform(-30.0, 30.0));
+        const double lhs = std::exp(x - 0.0625);
+        const double rhs = std::exp(x) / std::exp(0.0625);
+        err = ulp_error(lhs, rhs);
+        break;
+      }
+      case Intrinsic::Log: {
+        // Cody: log(x*x) vs 2*log(x); x*x made exact by purifying to 26
+        // bits so the square is representable.
+        const double x = purify(rng.uniform(0.5, 1e6), 26);
+        const double lhs = std::log(x * x);
+        const double rhs = 2.0 * std::log(x);
+        err = ulp_error(lhs, rhs);
+        break;
+      }
+      case Intrinsic::Sin: {
+        // Triple-angle identity: sin(3x) = 3 sin(x) - 4 sin^3(x), on a range
+        // where sin(3x) stays well away from zero (Cody restricts the
+        // argument range so the identity does not amplify cancellation).
+        const double x = purify(rng.uniform(0.01, 0.55));
+        const double s = std::sin(x);
+        const double lhs = std::sin(3.0 * x);
+        const double rhs = 3.0 * s - 4.0 * s * s * s;
+        err = ulp_error(lhs, rhs);
+        break;
+      }
+      case Intrinsic::Cos: {
+        // cos(2x) = 2 cos^2(x) - 1, with 2x kept below 1 radian so cos(2x)
+        // stays away from zero (no cancellation amplification).
+        const double x = purify(rng.uniform(0.01, 0.5));
+        const double lhs = std::cos(2.0 * x);
+        const double rhs = 2.0 * std::cos(x) * std::cos(x) - 1.0;
+        err = ulp_error(lhs, rhs);
+        break;
+      }
+      case Intrinsic::Pow: {
+        // x^1.5 vs x * sqrt(x); x is an exact square so sqrt(x) is exact
+        // and the product rounds once.
+        const double s = purify(rng.uniform(1.0, 1000.0), 26);
+        const double x = s * s;  // exact
+        err = ulp_error(std::pow(x, 1.5), x * std::sqrt(x));
+        break;
+      }
+      case Intrinsic::Sqrt: {
+        // sqrt(x^2) == |x| exactly for representable squares.
+        const double x = purify(rng.uniform(1.0, 1e7), 26);
+        err = ulp_error(std::sqrt(x * x), std::abs(x));
+        break;
+      }
+    }
+    r.max_ulp = std::max(r.max_ulp, err);
+    sum_sq += err * err;
+  }
+  r.rms_ulp = std::sqrt(sum_sq / static_cast<double>(samples));
+  r.passed = r.max_ulp <= ulp_threshold(f);
+  return r;
+}
+
+std::vector<AccuracyResult> run_elefunt_accuracy(long samples) {
+  using sxs::Intrinsic;
+  std::vector<AccuracyResult> out;
+  for (auto f : {Intrinsic::Exp, Intrinsic::Log, Intrinsic::Pow,
+                 Intrinsic::Sin, Intrinsic::Sqrt}) {
+    out.push_back(measure_accuracy(f, samples));
+  }
+  return out;
+}
+
+PerformanceResult measure_performance(machines::Comparator& machine,
+                                      sxs::Intrinsic f, long calls) {
+  NCAR_REQUIRE(calls > 0, "need at least one call");
+  using sxs::Intrinsic;
+
+  // Really evaluate the function over a modest buffer (the checksum keeps
+  // the compiler honest), then charge the machine for the full call count.
+  const long sample = std::min<long>(calls, 1 << 14);
+  Rng rng(7);
+  double checksum = 0;
+  for (long i = 0; i < sample; ++i) {
+    const double x = rng.uniform(0.1, 10.0);
+    switch (f) {
+      case Intrinsic::Exp: checksum += std::exp(-x); break;
+      case Intrinsic::Log: checksum += std::log(x); break;
+      case Intrinsic::Pow: checksum += std::pow(x, 1.3); break;
+      case Intrinsic::Sin: checksum += std::sin(x); break;
+      case Intrinsic::Cos: checksum += std::cos(x); break;
+      case Intrinsic::Sqrt: checksum += std::sqrt(x); break;
+    }
+  }
+  NCAR_REQUIRE(std::isfinite(checksum), "intrinsic evaluation diverged");
+
+  machine.reset();
+  machine.intrinsic(f, calls);
+  PerformanceResult r;
+  r.func = f;
+  r.calls = calls;
+  r.mcalls_per_s = static_cast<double>(calls) / machine.seconds() / 1e6;
+  return r;
+}
+
+std::vector<PerformanceResult> run_elefunt_performance(
+    machines::Comparator& machine, long calls) {
+  using sxs::Intrinsic;
+  std::vector<PerformanceResult> out;
+  for (auto f : {Intrinsic::Exp, Intrinsic::Log, Intrinsic::Pow,
+                 Intrinsic::Sin, Intrinsic::Sqrt}) {
+    out.push_back(measure_performance(machine, f, calls));
+  }
+  return out;
+}
+
+}  // namespace ncar::fpt

@@ -1,0 +1,55 @@
+#pragma once
+// ELEFUNT-style elementary function tests (accuracy + performance).
+//
+// Paper section 4.1: the second correctness benchmark is based on W. J.
+// Cody's ELEFUNT, measuring the accuracy of intrinsic functions, to which
+// NCAR added performance measurement (millions of function calls per
+// second) for EXP, LOG, PWR, SIN, and SQRT — the intrinsics that dominate
+// RADABS. Accuracy here is measured Cody-style through function identities
+// evaluated at "purified" arguments (chosen so the identity's right-hand
+// side is exact in floating point), reported in ulps.
+
+#include <string>
+#include <vector>
+
+#include "machines/comparator.hpp"
+#include "sxs/ops.hpp"
+
+namespace ncar::fpt {
+
+struct AccuracyResult {
+  sxs::Intrinsic func;
+  double max_ulp = 0;    ///< worst observed identity violation
+  double rms_ulp = 0;    ///< root-mean-square error
+  long samples = 0;
+  bool passed = false;   ///< max_ulp below the conformance threshold
+};
+
+/// Identity-based accuracy measurement for one intrinsic over `samples`
+/// deterministic pseudo-random purified arguments.
+AccuracyResult measure_accuracy(sxs::Intrinsic f, long samples = 20000,
+                                std::uint64_t seed = 1996);
+
+/// Accuracy battery over the five functions the paper names.
+std::vector<AccuracyResult> run_elefunt_accuracy(long samples = 20000);
+
+/// Threshold (ulps) below which an identity test passes. Cody's tests
+/// tolerate a few ulps of identity error on correctly rounded libraries.
+double ulp_threshold(sxs::Intrinsic f);
+
+struct PerformanceResult {
+  sxs::Intrinsic func;
+  double mcalls_per_s = 0;   ///< simulated millions of calls per second
+  long calls = 0;
+};
+
+/// Table 3: vectorised intrinsic throughput on a machine model. The calls
+/// are actually evaluated on the host (their results are reduced into a
+/// checksum so the work is real), while time comes from the machine model.
+PerformanceResult measure_performance(machines::Comparator& machine,
+                                      sxs::Intrinsic f, long calls = 1 << 20);
+
+std::vector<PerformanceResult> run_elefunt_performance(
+    machines::Comparator& machine, long calls = 1 << 20);
+
+}  // namespace ncar::fpt

@@ -1,0 +1,163 @@
+#include "fpt/paranoia.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ncar::fpt {
+
+namespace {
+
+// Defeat constant folding: force a value through memory.
+volatile double sink;
+double store(double x) {
+  sink = x;
+  return sink;
+}
+
+}  // namespace
+
+int discover_radix() {
+  // PARANOIA: grow a until (a+1)-a != 1 (a has absorbed the ulp), then find
+  // the smallest b with (a+b)-a != 0; that increment is the radix.
+  double a = 1.0;
+  while (store(store(a + 1.0) - a) == 1.0) a *= 2.0;
+  double b = 1.0;
+  while (store(store(a + b) - a) == 0.0) b += 1.0;
+  return static_cast<int>(store(store(a + b) - a));
+}
+
+int discover_digits() {
+  const double radix = discover_radix();
+  int t = 0;
+  double p = 1.0;
+  // Smallest t with (radix^t + 1) - radix^t != 1.
+  while (store(store(p + 1.0) - p) == 1.0) {
+    p *= radix;
+    ++t;
+  }
+  return t;
+}
+
+bool check_guard_digit() {
+  // With a guard digit, (1+e) - 1 recovers e exactly for e = 2^-k well
+  // within the significand, and (1.5 - 1) - 0.5 is exactly zero.
+  const double e = std::ldexp(1.0, -30);
+  if (store(store(1.0 + e) - 1.0) != e) return false;
+  if (store(store(1.5 - 1.0) - 0.5) != 0.0) return false;
+  // Classic failure on machines without guard digits: x - y with y/2 <= x
+  // <= 2y must be exact (Sterbenz); test a representative pair.
+  const double x = 1.000000059604644775390625;  // 1 + 2^-24
+  const double y = 1.0;
+  const double diff = store(x - y);
+  return diff == std::ldexp(1.0, -24);
+}
+
+bool check_round_to_nearest() {
+  // 1 + 2^-53 is exactly halfway between 1 and 1+2^-52: round-to-nearest-
+  // even must return 1. 1 + 3*2^-54 lies above halfway: must round up.
+  const double half_ulp = std::ldexp(1.0, -53);
+  if (store(1.0 + half_ulp) != 1.0) return false;
+  const double above = std::ldexp(3.0, -54);
+  if (store(1.0 + above) != 1.0 + std::ldexp(1.0, -52)) return false;
+  // Symmetric case below 1.0: 1 - 2^-54 is halfway between 1-2^-53 and 1;
+  // even rounding gives 1.
+  if (store(1.0 - std::ldexp(1.0, -54)) != 1.0) return false;
+  return true;
+}
+
+bool check_small_integer_arithmetic() {
+  // Products, sums, and quotients of small integers are exact.
+  for (int i = 1; i <= 100; ++i) {
+    for (int j = 1; j <= 20; ++j) {
+      const double p = store(static_cast<double>(i) * j);
+      if (p != static_cast<double>(i * j)) return false;
+    }
+  }
+  // x/y*y == x when y divides x exactly in binary.
+  for (int k = 0; k < 50; ++k) {
+    const double x = static_cast<double>(3 * (1 << 10) + k * 8);
+    if (store(store(x / 8.0) * 8.0) != x) return false;
+  }
+  return true;
+}
+
+bool check_sqrt_exactness() {
+  for (int i = 1; i <= 1000; ++i) {
+    const double x = static_cast<double>(i);
+    if (store(std::sqrt(x * x)) != x) return false;
+  }
+  // sqrt of powers of 4 is exact.
+  for (int k = 0; k < 200; k += 2) {
+    const double x = std::ldexp(1.0, k);
+    if (store(std::sqrt(x)) != std::ldexp(1.0, k / 2)) return false;
+  }
+  return true;
+}
+
+bool check_gradual_underflow() {
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  if (tiny == 0.0) return false;
+  if (store(tiny / 2.0) != 0.0) return false;   // below denorm_min flushes
+  if (store(tiny * 2.0) <= tiny) return false;  // subnormals scale
+  const double min_normal = std::numeric_limits<double>::min();
+  const double sub = store(min_normal / 4.0);
+  if (sub == 0.0) return false;                  // gradual, not abrupt
+  return store(sub * 4.0) == min_normal;         // exact (trailing zeros)
+}
+
+bool check_infinity_semantics() {
+  const double huge = std::numeric_limits<double>::max();
+  const double inf = std::numeric_limits<double>::infinity();
+  if (store(huge * 2.0) != inf) return false;
+  if (!(inf > huge)) return false;
+  const double nan = store(inf - inf);
+  if (nan == nan) return false;  // NaN compares unequal to itself
+  return true;
+}
+
+bool ParanoiaReport::all_passed() const { return failures() == 0; }
+
+int ParanoiaReport::failures() const {
+  int n = 0;
+  for (const auto& c : checks) n += !c.passed;
+  return n;
+}
+
+ParanoiaReport run_paranoia() {
+  ParanoiaReport r;
+  r.radix = discover_radix();
+  r.digits = discover_digits();
+  r.has_guard_digit = check_guard_digit();
+  r.rounds_to_nearest = check_round_to_nearest();
+  r.gradual_underflow = check_gradual_underflow();
+
+  auto add = [&r](const std::string& name, bool ok, const std::string& det) {
+    r.checks.push_back({name, ok, det});
+  };
+  {
+    std::ostringstream d;
+    d << "radix=" << r.radix << " (IEEE 754 binary: 2)";
+    add("radix discovery", r.radix == 2, d.str());
+  }
+  {
+    std::ostringstream d;
+    d << "digits=" << r.digits << " (binary64: 53)";
+    add("precision discovery", r.digits == 53, d.str());
+  }
+  add("guard digit in subtraction", r.has_guard_digit,
+      "(1+e)-1 == e and Sterbenz subtraction exact");
+  add("round to nearest even", r.rounds_to_nearest,
+      "ties at half-ulp round to even");
+  add("small integer arithmetic exact", check_small_integer_arithmetic(),
+      "i*j, x/8*8 exact for small operands");
+  add("sqrt exact on perfect squares", check_sqrt_exactness(),
+      "sqrt(x*x)==x, sqrt(4^k)==2^k");
+  add("gradual underflow", r.gradual_underflow,
+      "subnormals exist below DBL_MIN");
+  add("infinity and NaN semantics", check_infinity_semantics(),
+      "overflow->inf, inf-inf is NaN, NaN!=NaN");
+  return r;
+}
+
+}  // namespace ncar::fpt

@@ -1,0 +1,67 @@
+#pragma once
+// PARANOIA-style floating-point arithmetic correctness tests.
+//
+// The NCAR suite's first benchmark category (paper section 4.1) checks the
+// correctness of a vendor's basic floating-point arithmetic with Kahan's
+// PARANOIA before trusting any performance number. This module implements
+// the core battery of PARANOIA's diagnostics for the host's `double`
+// arithmetic: radix and precision discovery, guard digits, rounding
+// behaviour, exactness of small-integer arithmetic, square-root fidelity,
+// and underflow/overflow behaviour. Each check is an independent pass/fail
+// with a description, so a failure pinpoints the broken operation — the
+// paper's reason for running these tests in isolation.
+
+#include <string>
+#include <vector>
+
+namespace ncar::fpt {
+
+struct Check {
+  std::string name;
+  bool passed = false;
+  std::string detail;  ///< what was measured / expected
+};
+
+struct ParanoiaReport {
+  int radix = 0;        ///< discovered floating-point base (2 for IEEE 754)
+  int digits = 0;       ///< significand digits in that base (53 for binary64)
+  bool has_guard_digit = false;
+  bool rounds_to_nearest = false;
+  bool gradual_underflow = false;
+  std::vector<Check> checks;
+
+  bool all_passed() const;
+  /// Number of failed checks (0 on a conforming IEEE 754 implementation).
+  int failures() const;
+};
+
+/// Run the full battery on the host double arithmetic.
+ParanoiaReport run_paranoia();
+
+// Individual diagnostics, exposed for targeted tests ------------------------
+
+/// Discover the radix of `double` arithmetic (PARANOIA's B).
+int discover_radix();
+
+/// Discover significand digits in the discovered radix (PARANOIA's T).
+int discover_digits();
+
+/// One ulp above/below 1.0 behave exactly (guard digit in subtraction).
+bool check_guard_digit();
+
+/// Addition rounds to nearest (ties measurable at the halfway point).
+bool check_round_to_nearest();
+
+/// Multiplication by small integers is exact.
+bool check_small_integer_arithmetic();
+
+/// sqrt(x*x) == x for exactly representable x.
+bool check_sqrt_exactness();
+
+/// Subnormals exist and compare correctly (gradual underflow).
+bool check_gradual_underflow();
+
+/// Overflow saturates to +inf, and inf/nan propagate correctly.
+bool check_infinity_semantics();
+
+}  // namespace ncar::fpt

@@ -1,0 +1,33 @@
+#pragma once
+// The HINT benchmark (Gustafson & Snell), used by the paper's section 3.3
+// as a counter-example: its QUIPS metric ranks scalar workstations above
+// vector supercomputers, the opposite of what NCAR's workload experiences.
+//
+// HINT bounds the area under y = (1-x)/(1+x) on [0,1] by interval
+// subdivision: every split of the interval with the largest bound gap
+// tightens the rational bounds on the integral. Quality is 1/(upper-lower);
+// QUIPS is quality improvements per second. The subdivision really runs
+// (the bounds are checked against the analytic area 2 ln 2 - 1); time is
+// charged to the machine model as the scalar, pointer-heavy code it is.
+
+#include "machines/comparator.hpp"
+
+namespace ncar::hint {
+
+struct HintResult {
+  long splits = 0;
+  double lower = 0;        ///< final lower bound on the area
+  double upper = 0;        ///< final upper bound on the area
+  double quality = 0;      ///< 1 / (upper - lower)
+  double seconds = 0;      ///< simulated time on the machine model
+  double mquips = 0;       ///< millions of quality improvements / second
+  bool verified = false;   ///< bounds bracket the analytic area
+};
+
+/// Analytic area under (1-x)/(1+x) on [0,1]: 2 ln 2 - 1.
+double analytic_area();
+
+/// Run HINT for `splits` subdivisions on a machine model.
+HintResult run_hint(machines::Comparator& machine, long splits = 100'000);
+
+}  // namespace ncar::hint

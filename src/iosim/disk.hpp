@@ -1,0 +1,57 @@
+#pragma once
+// Conventional-disk subsystem model for the I/O benchmark (paper 4.5.1).
+//
+// The benchmark writes a simulated header file and an unformatted
+// direct-access "history tape" whose records can be written by different
+// processors (one record per latitude). The model is a striped array of
+// spindles behind controllers: each request pays seek + rotational latency
+// once per contiguous extent and then streams at the media rate; striping
+// spreads large transfers across spindles.
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace ncar::iosim {
+
+struct DiskConfig {
+  int spindles = 16;                ///< striped drive count
+  double seek_s = 8e-3;             ///< average seek
+  double rotational_s = 4e-3;       ///< average rotational latency (7200rpm/2)
+  double media_bytes_per_s = 9e6;   ///< per-spindle sustained media rate
+  double controller_bytes_per_s = 80e6;  ///< shared controller ceiling
+  long stripe_bytes = 256 * 1024;   ///< striping unit
+};
+
+class DiskSystem {
+public:
+  explicit DiskSystem(DiskConfig cfg = {});
+
+  const DiskConfig& config() const { return cfg_; }
+
+  /// Seconds for one sequential transfer of `bytes` (read or write — the
+  /// model is symmetric), including one positioning delay.
+  double sequential_seconds(double bytes) const;
+
+  /// Seconds for `records` direct-access record writes of `record_bytes`
+  /// each, issued from `writers` concurrent processors. Positioning costs
+  /// overlap across spindles; media time shares the controller.
+  double direct_access_seconds(long records, double record_bytes,
+                               int writers = 1) const;
+
+  /// Effective streaming bandwidth (bytes/s) for very large transfers.
+  double streaming_bytes_per_s() const;
+
+  // --- accounting ---------------------------------------------------------
+  void record_transfer(double bytes, double seconds);
+  double total_bytes() const { return total_bytes_; }
+  double busy_seconds() const { return busy_seconds_; }
+  void reset_accounting();
+
+private:
+  DiskConfig cfg_;
+  double total_bytes_ = 0;
+  double busy_seconds_ = 0;
+};
+
+}  // namespace ncar::iosim

@@ -1,0 +1,38 @@
+#pragma once
+// HIPPI channel model (paper sections 2.4 and 4.5.2).
+//
+// The HIPPI benchmark sends and receives raw HIPPI packets of varying sizes
+// and measures the data rate for single and multiple concurrent transfers.
+// A HIPPI-800 channel carries 100 MB/s of payload; each packet pays a
+// connection/setup latency; concurrent transfers ride separate channels up
+// to the IOP count and then share.
+
+#include <vector>
+
+#include "sxs/machine_config.hpp"
+
+namespace ncar::iosim {
+
+class HippiChannel {
+public:
+  explicit HippiChannel(const sxs::MachineConfig& cfg);
+
+  /// Seconds to move one packet of `bytes` payload.
+  double packet_seconds(double bytes) const;
+
+  /// Seconds to move `total_bytes` as packets of `packet_bytes`.
+  double transfer_seconds(double total_bytes, double packet_bytes) const;
+
+  /// Effective rate (bytes/s) for a stream of `packet_bytes` packets.
+  double effective_bytes_per_s(double packet_bytes) const;
+
+  /// Aggregate rate (bytes/s) of `transfers` concurrent streams of
+  /// `packet_bytes` packets across the machine's HIPPI channels (one per
+  /// IOP); beyond that the streams time-share.
+  double concurrent_bytes_per_s(int transfers, double packet_bytes) const;
+
+private:
+  sxs::MachineConfig cfg_;
+};
+
+}  // namespace ncar::iosim

@@ -1,0 +1,35 @@
+#pragma once
+// Climate-model history I/O (the I/O benchmark of paper 4.5.1, and the
+// write load behind CCM2's one-year runs in Table 5 — ~15 GB at T63L18).
+//
+// A "history tape" is an unformatted direct-access file with one record per
+// latitude, so different processors can write different records. A header
+// file precedes it. write volumes follow directly from the model grid.
+
+#include "iosim/disk.hpp"
+
+namespace ncar::iosim {
+
+struct HistoryShape {
+  int nlon = 0;
+  int nlat = 0;
+  int nlev = 0;
+  int fields = 0;  ///< 2-D-equivalent field slices written per record
+};
+
+/// Bytes of one latitude record: nlon * nlev * fields doubles.
+double history_record_bytes(const HistoryShape& s);
+
+/// Bytes of one full history write (header + all latitude records).
+double history_write_bytes(const HistoryShape& s);
+
+/// Seconds to write one history volume with `writers` concurrent
+/// processors writing records (paper: "different processors could write
+/// different records"). Accounting is recorded on the disk system.
+double write_history_seconds(DiskSystem& disk, const HistoryShape& s,
+                             int writers = 1);
+
+/// Seconds to read initial-condition data of the same shape.
+double read_initial_seconds(DiskSystem& disk, const HistoryShape& s);
+
+}  // namespace ncar::iosim

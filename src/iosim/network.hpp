@@ -1,0 +1,42 @@
+#pragma once
+// FDDI/IP external network model for the NETWORK benchmark (paper 4.5.3).
+//
+// The benchmark script runs data-transfer commands (ftp-like bulk moves
+// between the benchmarked machine and a peer) and non-data commands
+// (rsh-like round trips). FDDI carries 100 Mbit/s; IP/TCP processing adds
+// per-packet host overhead and a window-limited throughput ceiling.
+
+#include "common/error.hpp"
+
+namespace ncar::iosim {
+
+struct NetworkConfig {
+  double line_bits_per_s = 100e6;   ///< FDDI ring rate
+  double mtu_bytes = 4352;          ///< FDDI MTU
+  double per_packet_host_s = 120e-6;  ///< 1990s IP stack cost per packet
+  double rtt_s = 1.2e-3;            ///< LAN round-trip time
+  double tcp_window_bytes = 48 * 1024;
+  double command_overhead_s = 30e-3;  ///< process spawn / login negotiation
+};
+
+class Network {
+public:
+  explicit Network(NetworkConfig cfg = {});
+
+  const NetworkConfig& config() const { return cfg_; }
+
+  /// Throughput ceiling (bytes/s): min of line rate, host packet
+  /// processing, and the TCP window/RTT bound.
+  double throughput_bytes_per_s() const;
+
+  /// Seconds for an ftp-like transfer of `bytes`.
+  double data_transfer_seconds(double bytes) const;
+
+  /// Seconds for a non-data command (rsh/rlogin round trip).
+  double command_seconds() const;
+
+private:
+  NetworkConfig cfg_;
+};
+
+}  // namespace ncar::iosim

@@ -1,0 +1,101 @@
+#include "iosim/sfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ncar::iosim {
+
+Sfs::Sfs(const sxs::MachineConfig& machine, DiskSystem& disk, SfsConfig cfg)
+    : cfg_(cfg), machine_(machine), disk_(&disk) {
+  NCAR_REQUIRE(cfg_.cache_bytes > 0, "cache size must be positive");
+  NCAR_REQUIRE(cfg_.staging_unit_bytes > 0, "staging unit must be positive");
+  NCAR_REQUIRE(cfg_.cache_bytes <= machine_.xmu_capacity_bytes,
+               "SFS cache cannot exceed the XMU capacity");
+  NCAR_REQUIRE(cfg_.staging_unit_bytes <= cfg_.cache_bytes,
+               "staging unit cannot exceed the cache");
+}
+
+double Sfs::xmu_seconds(double bytes) const {
+  const double rate = machine_.xmu_bytes_per_clock * machine_.clock_hz();
+  return bytes / rate;
+}
+
+void Sfs::drain_until(double t) {
+  if (t <= now_) return;
+  const double window = t - now_;
+  const double drained =
+      std::min(dirty_, disk_->streaming_bytes_per_s() * window);
+  if (drained > 0) {
+    disk_->record_transfer(drained, drained / disk_->streaming_bytes_per_s());
+    dirty_ -= drained;
+    resident_ = std::min(cfg_.cache_bytes, resident_ + drained);
+  }
+  now_ = t;
+}
+
+void Sfs::advance(double seconds) {
+  NCAR_REQUIRE(seconds >= 0, "negative advance");
+  drain_until(now_ + seconds);
+}
+
+double Sfs::write(double bytes) {
+  NCAR_REQUIRE(bytes >= 0, "negative write size");
+  if (bytes == 0) return 0.0;
+  written_ += bytes;
+  double wait = 0;
+
+  if (cfg_.method == WriteBackMethod::WriteThrough) {
+    const double t = xmu_seconds(bytes) + disk_->sequential_seconds(bytes);
+    disk_->record_transfer(bytes, disk_->sequential_seconds(bytes));
+    drain_until(now_ + t);
+    return t;
+  }
+
+  // Write-back in staging units: each unit lands at XMU speed once there
+  // is cache room; when the cache is full the caller stalls on the drain.
+  double remaining = bytes;
+  while (remaining > 0) {
+    const double unit = std::min(remaining, cfg_.staging_unit_bytes);
+    const double free_space = cfg_.cache_bytes - dirty_;
+    if (unit > free_space) {
+      // Wait for the drain to make room for this staging unit.
+      const double need = unit - free_space;
+      const double stall = need / disk_->streaming_bytes_per_s();
+      drain_until(now_ + stall);
+      wait += stall;
+    }
+    const double t = xmu_seconds(unit);
+    drain_until(now_ + t);
+    wait += t;
+    dirty_ += unit;
+    remaining -= unit;
+  }
+  return wait;
+}
+
+double Sfs::read(double bytes) {
+  NCAR_REQUIRE(bytes >= 0, "negative read size");
+  if (bytes == 0) return 0.0;
+  const double cached = std::min(bytes, resident_ + dirty_);
+  const double from_disk = bytes - cached;
+  double t = xmu_seconds(cached);
+  if (from_disk > 0) {
+    t += disk_->sequential_seconds(from_disk);
+    disk_->record_transfer(from_disk, disk_->sequential_seconds(from_disk));
+  }
+  drain_until(now_ + t);
+  return t;
+}
+
+double Sfs::drain_seconds() const {
+  return dirty_ / disk_->streaming_bytes_per_s();
+}
+
+double Sfs::flush() {
+  const double wait = drain_seconds();
+  drain_until(now_ + wait);
+  return wait;
+}
+
+}  // namespace ncar::iosim

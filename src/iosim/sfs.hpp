@@ -1,0 +1,78 @@
+#pragma once
+// SFS — the SUPER-UX native file system with XMU-backed caching (paper
+// sections 2.3 and 2.6.5).
+//
+// "The SUPER-UX native file system is called SFS. It has a flexible file
+// system level caching scheme utilizing XMU space; numerous parameters can
+// be set including write back method, staging unit, and allocation cluster
+// size." The XMU (section 2.3) is semiconductor disk: 16 GB/s of bandwidth
+// on a 32-CPU node, up to 32 GB capacity.
+//
+// The model: writes land in the XMU cache at XMU speed and drain to the
+// disk subsystem in the background (write-back) or synchronously
+// (write-through). Reads hit the cache when the data is resident. Time
+// advances through an explicit clock so that background draining overlaps
+// compute, exactly how the history-tape writes of a climate run would use
+// it.
+
+#include "iosim/disk.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace ncar::iosim {
+
+enum class WriteBackMethod {
+  WriteBack,     ///< complete at XMU speed; drain asynchronously
+  WriteThrough,  ///< complete only when the disk has the data
+};
+
+struct SfsConfig {
+  double cache_bytes = 4.0 * 1024 * 1024 * 1024;  ///< XMU space given to SFS
+  WriteBackMethod method = WriteBackMethod::WriteBack;
+  double staging_unit_bytes = 4.0 * 1024 * 1024;  ///< drain granularity
+};
+
+class Sfs {
+public:
+  Sfs(const sxs::MachineConfig& machine, DiskSystem& disk,
+      SfsConfig cfg = {});
+
+  const SfsConfig& config() const { return cfg_; }
+
+  /// Current simulated time of the file system clock.
+  double now() const { return now_; }
+  /// Advance the clock (compute happening elsewhere); the drain proceeds.
+  void advance(double seconds);
+
+  /// Write `bytes`; returns the simulated seconds the *caller* waits.
+  /// Write-back: XMU transfer time, unless the cache is full and the call
+  /// must first wait for the drain. Write-through: XMU + full disk time.
+  double write(double bytes);
+
+  /// Read `bytes`; cache-resident fraction at XMU speed, rest from disk.
+  double read(double bytes);
+
+  /// Bytes currently dirty in the XMU cache awaiting drain.
+  double dirty_bytes() const { return dirty_; }
+  /// Seconds until the cache is fully drained at disk speed.
+  double drain_seconds() const;
+  /// Wait for the drain to finish (e.g. before a checkpoint); returns the
+  /// wait and advances the clock.
+  double flush();
+
+  /// Total bytes accepted.
+  double bytes_written() const { return written_; }
+
+private:
+  double xmu_seconds(double bytes) const;
+  void drain_until(double t);
+
+  SfsConfig cfg_;
+  const sxs::MachineConfig machine_;
+  DiskSystem* disk_;
+  double now_ = 0;
+  double dirty_ = 0;
+  double resident_ = 0;  ///< clean cached bytes (for reads)
+  double written_ = 0;
+};
+
+}  // namespace ncar::iosim

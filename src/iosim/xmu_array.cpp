@@ -1,0 +1,71 @@
+#include "iosim/xmu_array.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ncar::iosim {
+
+XmuArray::XmuArray(const sxs::MachineConfig& machine, long total_words,
+                   long window_words, long block_words)
+    : machine_(machine),
+      total_(total_words),
+      window_(window_words),
+      block_(block_words) {
+  NCAR_REQUIRE(total_ >= 1, "array must have elements");
+  NCAR_REQUIRE(block_ >= 1, "block size");
+  NCAR_REQUIRE(window_ >= block_, "window must hold at least one block");
+  NCAR_REQUIRE(window_ % block_ == 0, "window must be whole blocks");
+  NCAR_REQUIRE(8.0 * total_ <= machine_.xmu_capacity_bytes,
+               "array exceeds the XMU capacity");
+  data_.assign(static_cast<std::size_t>(total_), 0.0);
+  const long slots = window_ / block_;
+  resident_.assign(static_cast<std::size_t>(slots), -1);
+  lru_.assign(static_cast<std::size_t>(slots), 0);
+}
+
+void XmuArray::touch(long index) {
+  NCAR_REQUIRE(index >= 0 && index < total_, "index out of range");
+  const long block = index / block_;
+  ++tick_;
+  // Hit?
+  for (std::size_t s = 0; s < resident_.size(); ++s) {
+    if (resident_[s] == block) {
+      lru_[s] = tick_;
+      return;
+    }
+  }
+  // Fault: stage the block in (and the LRU victim out) at XMU bandwidth.
+  ++faults_;
+  std::size_t victim = 0;
+  for (std::size_t s = 1; s < resident_.size(); ++s) {
+    if (resident_[s] == -1) {
+      victim = s;
+      break;
+    }
+    if (lru_[s] < lru_[victim]) victim = s;
+  }
+  const double xmu_rate = machine_.xmu_bytes_per_clock * machine_.clock_hz();
+  const double bytes =
+      8.0 * block_ * (resident_[victim] == -1 ? 1.0 : 2.0);  // in (+ out)
+  staging_seconds_ += bytes / xmu_rate;
+  resident_[victim] = block;
+  lru_[victim] = tick_;
+}
+
+double XmuArray::read(long index) {
+  touch(index);
+  return data_[static_cast<std::size_t>(index)];
+}
+
+void XmuArray::write(long index, double value) {
+  touch(index);
+  data_[static_cast<std::size_t>(index)] = value;
+}
+
+void XmuArray::charge(sxs::Cpu& cpu) {
+  cpu.charge_seconds(staging_seconds_);
+  staging_seconds_ = 0;
+}
+
+}  // namespace ncar::iosim

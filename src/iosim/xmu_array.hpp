@@ -1,0 +1,54 @@
+#pragma once
+// XMU direct-mapped arrays (paper section 2.3).
+//
+// "Hardware features allow the XMU to be effectively used for direct
+// mapped FORTRAN data arrays. This feature allows processing of large data
+// sets that might not fit into main memory... supported by compile time
+// options and does not require special programming."
+//
+// The model: an out-of-core array of `total_words` doubles living on the
+// XMU, accessed through a main-memory window of `window_words`. Touching
+// an element outside the resident window stages the containing block in
+// (and the displaced block out) at XMU bandwidth; time accumulates on the
+// object and can be charged to a Cpu. Real data is stored so numerics work.
+
+#include <vector>
+
+#include "sxs/cpu.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace ncar::iosim {
+
+class XmuArray {
+public:
+  /// An array of `total_words` doubles with a resident window of
+  /// `window_words` (must divide into whole blocks of `block_words`).
+  XmuArray(const sxs::MachineConfig& machine, long total_words,
+           long window_words, long block_words = 65536);
+
+  long size() const { return total_; }
+  long window_words() const { return window_; }
+
+  double read(long index);
+  void write(long index, double value);
+
+  /// Simulated seconds spent staging blocks so far.
+  double staging_seconds() const { return staging_seconds_; }
+  long faults() const { return faults_; }
+  /// Charge the accumulated staging time to a CPU and reset the meter.
+  void charge(sxs::Cpu& cpu);
+
+private:
+  void touch(long index);
+
+  sxs::MachineConfig machine_;
+  long total_, window_, block_;
+  std::vector<double> data_;        ///< backing store ("the XMU")
+  std::vector<long> resident_;      ///< block ids currently in the window
+  std::vector<long> lru_;           ///< last-use stamps, parallel to resident_
+  long tick_ = 0;
+  long faults_ = 0;
+  double staging_seconds_ = 0;
+};
+
+}  // namespace ncar::iosim

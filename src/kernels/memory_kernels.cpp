@@ -1,0 +1,229 @@
+#include "kernels/memory_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/array.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ncar::kernels {
+
+namespace {
+
+/// Charge the timing of one kernel invocation and return its simulated
+/// duration (delta of the CPU's cycle counter).
+template <typename ChargeFn>
+double timed(sxs::Cpu& cpu, ChargeFn&& charge) {
+  const double before = cpu.cycles();
+  charge();
+  return (cpu.cycles() - before) * cpu.config().seconds_per_clock();
+}
+
+/// Numerics are executed on a capped instance count: the kernel's work is
+/// identical per instance, so validating a slice proves the whole while
+/// keeping host cost bounded for M up to 10^6.
+long capped_instances(long m) { return std::min<long>(m, 64); }
+
+}  // namespace
+
+BandwidthPoint run_copy(sxs::Cpu& cpu, long n, long m, int ktries) {
+  NCAR_REQUIRE(n >= 1 && m >= 1, "COPY needs positive axes");
+  NCAR_REQUIRE(ktries >= 1, "KTRIES must be positive");
+
+  // Real numerics over a bounded slice of instances.
+  const long mm = capped_instances(m);
+  Array2D<double> a(static_cast<std::size_t>(n), static_cast<std::size_t>(mm));
+  Array2D<double> b(static_cast<std::size_t>(n), static_cast<std::size_t>(mm));
+  Rng rng(42);
+  for (auto& v : a.flat()) v = rng.next_double();
+  for (long j = 0; j < mm; ++j) {
+    for (long i = 0; i < n; ++i) {
+      b(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          a(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    }
+  }
+  const bool ok = max_abs_diff(a.flat(), b.flat()) == 0.0;
+
+  // Timing: one vector op of length N per instance, M instances.
+  sxs::VectorOp op;
+  op.n = n;
+  op.load_words = 1;
+  op.store_words = 1;
+  op.instructions = 2;
+
+  BestOf best;
+  for (int t = 0; t < ktries; ++t) {
+    best.add_time(timed(cpu, [&] { cpu.vec(op, m); }));
+  }
+
+  BandwidthPoint p;
+  p.n = n;
+  p.m = m;
+  p.seconds = best.best_time();
+  p.mb_per_s = 8.0 * static_cast<double>(n) * static_cast<double>(m) /
+               p.seconds / 1e6;
+  p.verified = ok;
+  return p;
+}
+
+BandwidthPoint run_ia(sxs::Cpu& cpu, long n, long m, int ktries) {
+  NCAR_REQUIRE(n >= 1 && m >= 1, "IA needs positive axes");
+  NCAR_REQUIRE(ktries >= 1, "KTRIES must be positive");
+
+  const long mm = capped_instances(m);
+  Array2D<double> a(static_cast<std::size_t>(n), static_cast<std::size_t>(mm));
+  Array2D<double> b(static_cast<std::size_t>(n), static_cast<std::size_t>(mm));
+  std::vector<long> indx(static_cast<std::size_t>(n));
+  std::iota(indx.begin(), indx.end(), 0L);
+  // Deterministic shuffle: the benchmark gathers through a permutation.
+  Rng rng(1996);
+  for (long i = n - 1; i > 0; --i) {
+    const long j = static_cast<long>(rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(indx[static_cast<std::size_t>(i)], indx[static_cast<std::size_t>(j)]);
+  }
+  for (auto& v : a.flat()) v = rng.next_double();
+  bool ok = true;
+  for (long j = 0; j < mm; ++j) {
+    for (long i = 0; i < n; ++i) {
+      b(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          a(static_cast<std::size_t>(indx[static_cast<std::size_t>(i)]),
+            static_cast<std::size_t>(j));
+    }
+  }
+  for (long i = 0; i < n && ok; ++i) {
+    ok = b(static_cast<std::size_t>(i), 0) ==
+         a(static_cast<std::size_t>(indx[static_cast<std::size_t>(i)]), 0);
+  }
+
+  // Timing: gather of N elements plus the index-vector load (the index
+  // traffic is charged but, per the paper, not counted in the bandwidth).
+  sxs::VectorOp op;
+  op.n = n;
+  op.load_words = 1;    // indx(i)
+  op.gather_words = 1;  // a(indx(i), j)
+  op.store_words = 1;   // b(i, j)
+  op.instructions = 3;
+
+  BestOf best;
+  for (int t = 0; t < ktries; ++t) {
+    best.add_time(timed(cpu, [&] { cpu.vec(op, m); }));
+  }
+
+  BandwidthPoint p;
+  p.n = n;
+  p.m = m;
+  p.seconds = best.best_time();
+  p.mb_per_s = 8.0 * static_cast<double>(n) * static_cast<double>(m) /
+               p.seconds / 1e6;
+  p.verified = ok;
+  return p;
+}
+
+BandwidthPoint run_xpose(sxs::Cpu& cpu, long n, long m, int ktries) {
+  NCAR_REQUIRE(n >= 2, "XPOSE needs a matrix dimension of at least 2");
+  NCAR_REQUIRE(m >= 1, "XPOSE needs positive instance count");
+  NCAR_REQUIRE(ktries >= 1, "KTRIES must be positive");
+
+  const long mm = std::min<long>(m, 8);
+  Array3D<double> a(static_cast<std::size_t>(n), static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(mm));
+  Array3D<double> b(static_cast<std::size_t>(n), static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(mm));
+  Rng rng(7);
+  for (auto& v : a.flat()) v = rng.next_double();
+  for (long k = 0; k < mm; ++k) {
+    for (long j = 0; j < n; ++j) {
+      for (long i = 0; i < n; ++i) {
+        b(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+          static_cast<std::size_t>(k)) =
+            a(static_cast<std::size_t>(j), static_cast<std::size_t>(i),
+              static_cast<std::size_t>(k));
+      }
+    }
+  }
+  bool ok = true;
+  for (long i = 0; i < n && ok; ++i) {
+    for (long j = 0; j < n && ok; ++j) {
+      ok = b(static_cast<std::size_t>(i), static_cast<std::size_t>(j), 0) ==
+           a(static_cast<std::size_t>(j), static_cast<std::size_t>(i), 0);
+    }
+  }
+
+  // Timing: the inner i-loop reads a(j,i,k) at stride N and writes b(i,j,k)
+  // at unit stride; there are N such vector ops per matrix, M matrices.
+  sxs::VectorOp op;
+  op.n = n;
+  op.load_words = 1;
+  op.load_stride = n;
+  op.store_words = 1;
+  op.instructions = 2;
+
+  BestOf best;
+  for (int t = 0; t < ktries; ++t) {
+    best.add_time(timed(cpu, [&] { cpu.vec(op, m * n); }));
+  }
+
+  BandwidthPoint p;
+  p.n = n;
+  p.m = m;
+  p.seconds = best.best_time();
+  p.mb_per_s = 8.0 * static_cast<double>(n) * static_cast<double>(n) *
+               static_cast<double>(m) / p.seconds / 1e6;
+  p.verified = ok;
+  return p;
+}
+
+std::vector<std::pair<long, long>> constant_work_schedule(
+    long total, long n_min, long n_max, int points_per_decade) {
+  NCAR_REQUIRE(total >= 1 && n_min >= 1 && n_max >= n_min, "schedule bounds");
+  NCAR_REQUIRE(points_per_decade >= 1, "need at least one point per decade");
+  std::vector<std::pair<long, long>> out;
+  const double step = std::pow(10.0, 1.0 / points_per_decade);
+  long prev = 0;
+  for (double x = static_cast<double>(n_min); x <= static_cast<double>(n_max) * 1.0001;
+       x *= step) {
+    const long n = std::min(n_max, static_cast<long>(std::llround(x)));
+    if (n == prev) continue;
+    prev = n;
+    out.emplace_back(n, std::max<long>(1, total / n));
+  }
+  return out;
+}
+
+std::vector<std::pair<long, long>> xpose_schedule(long total,
+                                                  int points_per_decade) {
+  std::vector<std::pair<long, long>> out;
+  const double step = std::pow(10.0, 1.0 / points_per_decade);
+  long prev = 0;
+  for (double x = 2.0; x <= 1000.0 * 1.0001; x *= step) {
+    const long n = std::min<long>(1000, std::llround(x));
+    if (n == prev) continue;
+    prev = n;
+    out.emplace_back(n, std::max<long>(1, total / (n * n)));
+  }
+  if (prev != 1000) {
+    out.emplace_back(1000, std::max<long>(1, total / (1000L * 1000L)));
+  }
+  return out;
+}
+
+std::vector<BandwidthPoint> sweep(MemKernel k, sxs::Cpu& cpu, long total,
+                                  int ktries) {
+  std::vector<BandwidthPoint> out;
+  if (k == MemKernel::Transpose) {
+    for (auto [n, m] : xpose_schedule(total)) {
+      out.push_back(run_xpose(cpu, n, m, ktries));
+    }
+    return out;
+  }
+  for (auto [n, m] : constant_work_schedule(total)) {
+    out.push_back(k == MemKernel::Copy ? run_copy(cpu, n, m, ktries)
+                                       : run_ia(cpu, n, m, ktries));
+  }
+  return out;
+}
+
+}  // namespace ncar::kernels

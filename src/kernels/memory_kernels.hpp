@@ -1,0 +1,53 @@
+#pragma once
+// The NCAR memory-bandwidth kernels: COPY, IA, and XPOSE (paper section 4.2).
+//
+// All three share the suite's "novel feature": M and N are chosen so the
+// total data moved stays roughly constant (~10^6 elements), sweeping from
+// many tiny arrays to a few huge ones — a bandwidth *curve*, not a point.
+// KTRIES repetitions are taken and the best time reported (section 4).
+//
+// The kernels really execute (b is checked against a), and the simulated
+// CPU is charged with exactly the loop structure of the Fortran original:
+// one vector operation of length N per instance.
+
+#include <vector>
+
+#include "sxs/cpu.hpp"
+
+namespace ncar::kernels {
+
+struct BandwidthPoint {
+  long n = 0;          ///< inner (vector) axis length
+  long m = 0;          ///< instance axis length
+  double seconds = 0;  ///< best-of-KTRIES simulated time
+  double mb_per_s = 0; ///< one-way bandwidth (only a->b payload counted)
+  bool verified = false;  ///< numerics checked against reference
+};
+
+/// COPY: b(i,j) = a(i,j) — unit-stride memory-to-memory copy.
+BandwidthPoint run_copy(sxs::Cpu& cpu, long n, long m, int ktries = 20);
+
+/// IA: b(i,j) = a(indx(i),j) — gather through a random permutation.
+BandwidthPoint run_ia(sxs::Cpu& cpu, long n, long m, int ktries = 20);
+
+/// XPOSE: b(i,j,k) = a(j,i,k) — transpose of M matrices of size N x N.
+/// `n` here is the matrix dimension; elements moved per instance are N^2.
+BandwidthPoint run_xpose(sxs::Cpu& cpu, long n, long m, int ktries = 20);
+
+/// The suite's constant-work (N, M) schedule: N log-spaced over
+/// [n_min, n_max], M = max(1, total / N).
+std::vector<std::pair<long, long>> constant_work_schedule(
+    long total = 1'000'000, long n_min = 1, long n_max = 1'000'000,
+    int points_per_decade = 3);
+
+/// XPOSE schedule: N in [2, 1000], M = max(1, total / N^2).
+std::vector<std::pair<long, long>> xpose_schedule(long total = 1'000'000,
+                                                  int points_per_decade = 3);
+
+enum class MemKernel { Copy, IndirectAddress, Transpose };
+
+/// Run a full Figure-5 sweep of one kernel on the given CPU.
+std::vector<BandwidthPoint> sweep(MemKernel k, sxs::Cpu& cpu,
+                                  long total = 1'000'000, int ktries = 20);
+
+}  // namespace ncar::kernels

@@ -1,0 +1,158 @@
+#include "machines/comparator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ncar::machines {
+
+Comparator::Comparator(Spec spec) : spec_(std::move(spec)), cpu_(spec_.cfg) {
+  spec_.cfg.validate();
+}
+
+void Comparator::vec(const sxs::VectorOp& op) {
+  if (spec_.has_vector) {
+    cpu_.vec(op);
+    return;
+  }
+  // No vector hardware: the loop runs on the scalar unit. Streams become
+  // cached references; gathers/scatters are ordinary indexed loads there.
+  sxs::ScalarOp s;
+  s.iters = op.n;
+  s.flops_per_iter = op.flops_per_elem + op.div_per_elem;
+  s.mem_words_per_iter =
+      op.load_words + op.store_words + op.gather_words + op.scatter_words;
+  s.other_ops_per_iter = 2.0;  // loop control / addressing
+  s.working_set_bytes = static_cast<double>(op.n) * s.mem_words_per_iter * 8.0;
+  s.reuse_fraction = 0.0;  // vectorisable loops are streaming by nature
+  cpu_.scalar(s);
+}
+
+void Comparator::scalar(const sxs::ScalarOp& op) { cpu_.scalar(op); }
+
+void Comparator::intrinsic(sxs::Intrinsic f, long n) {
+  if (spec_.has_vector) {
+    cpu_.intrinsic(f, n, 1.0, 1.0, spec_.vector_libm_multiplier);
+    return;
+  }
+  cpu_.scalar_intrinsic(f, n);
+  if (spec_.libm_call_overhead_cycles > 0 && n > 0) {
+    cpu_.charge_cycles(spec_.libm_call_overhead_cycles *
+                       static_cast<double>(n));
+  }
+}
+
+namespace {
+
+/// Shared starting point: strip the SX-4 defaults down to a single CPU.
+sxs::MachineConfig base_single_cpu() {
+  sxs::MachineConfig c;
+  c.cpus_per_node = 1;
+  c.nodes = 1;
+  return c;
+}
+
+}  // namespace
+
+Spec Comparator::sun_sparc20() {
+  Spec s;
+  s.name = "SUN Sparc20";
+  s.has_vector = false;
+  s.libm_call_overhead_cycles = 52.0;
+  sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 16.7;  // 60 MHz SuperSPARC
+  c.scalar_issue_width = 2;  // 3-way issue, ~2 sustained on tuned loops
+  c.dcache_bytes = 16 * 1024;
+  c.cache_line_bytes = 32;
+  c.cache_ways = 4;
+  c.cache_miss_clocks = 12.0;  // L2 / memory blend
+  // Vector parameters are unused (has_vector == false) but must validate.
+  return s;
+}
+
+Spec Comparator::ibm_rs6000_590() {
+  Spec s;
+  s.name = "IBM RS6000/590";
+  s.has_vector = false;
+  s.libm_call_overhead_cycles = 42.0;
+  sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 15.0;  // 66.5 MHz POWER2
+  c.scalar_issue_width = 2;  // dual FMA units; ~2 sustained instr/clock
+  c.dcache_bytes = 256 * 1024;
+  c.cache_line_bytes = 256;
+  c.cache_ways = 4;
+  c.cache_miss_clocks = 12.0;
+  return s;
+}
+
+Spec Comparator::cray_j90() {
+  Spec s;
+  s.name = "CRI J90";
+  s.has_vector = true;
+  s.vector_libm_multiplier = 2.2;  // early CMOS vector libm, poorly tuned
+  sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 10.0;  // 100 MHz CMOS
+  c.vector_length = 64;
+  c.pipes_per_group = 1;  // one add pipe + one multiply pipe
+  c.vector_startup_clocks = 28.0;
+  c.vector_issue_clocks = 1.0;
+  c.divide_cycles_per_result = 6.0;
+  c.memory_banks = 256;
+  c.port_bytes_per_clock = 8.0;  // one word per clock (J90's weak memory)
+  c.node_bytes_per_clock = 8.0;
+  c.gather_port_divisor = 2.0;
+  c.scatter_port_divisor = 2.0;
+  // Scalar side: no data cache on Crays; model as a tiny buffer with a short
+  // pipelined memory latency per reference.
+  c.scalar_issue_width = 1;
+  c.dcache_bytes = 512;
+  c.cache_line_bytes = 8;
+  c.cache_ways = 1;
+  c.cache_miss_clocks = 6.0;
+  return s;
+}
+
+Spec Comparator::cray_ymp() {
+  Spec s;
+  s.name = "CRI Y-MP";
+  s.has_vector = true;
+  s.vector_libm_multiplier = 1.25;  // library flops beyond the pipe model
+  sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 6.0;  // 166 MHz ECL
+  c.vector_length = 64;
+  c.pipes_per_group = 1;
+  c.vector_startup_clocks = 18.0;
+  c.vector_issue_clocks = 1.0;
+  c.divide_cycles_per_result = 4.0;
+  c.memory_banks = 256;
+  c.port_bytes_per_clock = 24.0;  // two loads + one store per clock
+  c.node_bytes_per_clock = 24.0;
+  c.gather_port_divisor = 2.0;
+  c.scatter_port_divisor = 2.0;
+  c.scalar_issue_width = 1;
+  c.dcache_bytes = 512;
+  c.cache_line_bytes = 8;
+  c.cache_ways = 1;
+  c.cache_miss_clocks = 5.0;
+  return s;
+}
+
+Spec Comparator::nec_sx4_single() {
+  Spec s;
+  s.name = "NEC SX-4/1";
+  s.has_vector = true;
+  s.cfg = sxs::MachineConfig::sx4_benchmarked();
+  s.cfg.cpus_per_node = 1;
+  s.cfg.name = s.name;
+  return s;
+}
+
+}  // namespace ncar::machines

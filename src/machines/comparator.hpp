@@ -1,0 +1,83 @@
+#pragma once
+// Comparator machine models for the paper's Table 1.
+//
+// The paper contrasts the HINT metric with the NCAR RADABS kernel on four
+// systems: SUN Sparc20, IBM RS6000/590, Cray J90, and Cray Y-MP. The point
+// of the table is the scalar/vector asymmetry — HINT ranks the cache-based
+// workstations above the vector Crays while RADABS ranks them the other way
+// around. We model each system with the same parameterised timing machinery
+// as the SX-4 (the sxs::MachineConfig is general enough to describe a Cray's
+// single-wide vector pipes or a workstation with no vector unit at all).
+//
+// Calibration sources for the presets: published clock rates and pipe
+// structures (Y-MP: 6 ns, one add + one multiply pipe per CPU, VL=64;
+// J90: 10 ns CMOS derivative of the Y-MP; SuperSPARC ~60 MHz, 16 KB data
+// cache; POWER2 ~66.5 MHz, dual FMA units, 256 KB data cache).
+
+#include <memory>
+#include <string>
+
+#include "sxs/cpu.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/ops.hpp"
+
+namespace ncar::machines {
+
+/// Description of a comparator system on top of the generic timing model.
+struct Spec {
+  std::string name;
+  sxs::MachineConfig cfg;
+  bool has_vector = true;
+  /// Extra scalar cycles per libm intrinsic call (call overhead, argument
+  /// checks) on machines that evaluate intrinsics in scalar library code.
+  double libm_call_overhead_cycles = 0.0;
+  /// Time multiplier for *vector* intrinsic evaluation relative to the
+  /// machine's arithmetic pipes (1.0 = fully tuned vector libm).
+  double vector_libm_multiplier = 1.0;
+};
+
+/// A machine that benchmark kernels can charge work against. Vector-style
+/// loops fall back to the scalar unit on machines without vector hardware.
+class Comparator {
+public:
+  explicit Comparator(Spec spec);
+
+  // The internal Cpu references spec_.cfg; copying would dangle.
+  Comparator(const Comparator&) = delete;
+  Comparator& operator=(const Comparator&) = delete;
+
+  const std::string& name() const { return spec_.name; }
+  bool has_vector() const { return spec_.has_vector; }
+  const sxs::MachineConfig& config() const { return spec_.cfg; }
+
+  /// Charge a vectorisable loop (runs on vector pipes when present).
+  void vec(const sxs::VectorOp& op);
+  /// Charge an inherently scalar loop.
+  void scalar(const sxs::ScalarOp& op);
+  /// Charge `n` intrinsic calls via the machine's best path.
+  void intrinsic(sxs::Intrinsic f, long n);
+
+  double seconds() const { return cpu_.seconds(); }
+  double hw_flops() const { return cpu_.hw_flops(); }
+  double equiv_flops() const { return cpu_.equiv_flops(); }
+  /// Fraction of charged time spent in intrinsic evaluation.
+  double intrinsic_time_fraction() const {
+    return cpu_.cycles() > 0 ? cpu_.intrinsic_cycles() / cpu_.cycles() : 0.0;
+  }
+  /// Read access to the underlying CPU accounting.
+  const sxs::Cpu& cpu() const { return cpu_; }
+  void reset() { cpu_.reset(); }
+
+  // --- presets (Table 1 systems + the SX-4 itself) -----------------------
+  static Spec sun_sparc20();
+  static Spec ibm_rs6000_590();
+  static Spec cray_j90();
+  static Spec cray_ymp();
+  static Spec nec_sx4_single();
+
+private:
+  Spec spec_;
+  sxs::Cpu cpu_;
+};
+
+}  // namespace ncar::machines

@@ -1,0 +1,78 @@
+#include "ocean/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ncar::ocean {
+
+LandMask::LandMask(int nlon, int nlat)
+    : nlon_(nlon),
+      nlat_(nlat),
+      mask_(static_cast<std::size_t>(nlon), static_cast<std::size_t>(nlat), 1),
+      row_counts_(static_cast<std::size_t>(nlat), 0) {
+  NCAR_REQUIRE(nlon >= 8 && nlat >= 8, "mask grid too small");
+
+  for (int j = 0; j < nlat; ++j) {
+    const double lat =
+        -90.0 + (j + 0.5) * 180.0 / static_cast<double>(nlat);
+
+    // Ocean fraction by latitude: an unbroken circumpolar band between
+    // 64S and 40S, polar caps mostly land, and two continental plates
+    // elsewhere leaving ~40% ocean.
+    double frac;
+    if (lat >= -64.0 && lat <= -40.0) {
+      frac = 1.0;
+    } else if (lat < -75.0 || lat > 78.0) {
+      frac = 0.10;  // polar caps
+    } else {
+      frac = 0.41 + 0.06 * std::cos(lat * 0.10);
+    }
+    frac = std::clamp(frac, 0.0, 1.0);
+
+    const int land = static_cast<int>(std::lround((1.0 - frac) * nlon));
+    // Two plates: 60% of the land in one block, 40% in a second, separated
+    // by an ocean channel so the plates never overlap; coastlines slope
+    // with latitude.
+    const int land1 = (land * 3) / 5;
+    const int land2 = land - land1;
+    const int ocean_gap = (nlon - land) / 2;
+    const int start1 =
+        static_cast<int>(nlon * 0.08 + 0.10 * nlon * std::sin(lat * M_PI / 180.0));
+    const int start2 = start1 + land1 + ocean_gap;
+    auto set_land = [&](int start, int len) {
+      for (int k = 0; k < len; ++k) {
+        const int i = ((start + k) % nlon + nlon) % nlon;
+        mask_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = 0;
+      }
+    };
+    set_land(start1, land1);
+    set_land(start2, land2);
+
+    int count = 0;
+    for (int i = 0; i < nlon; ++i) {
+      count += mask_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    }
+    row_counts_[static_cast<std::size_t>(j)] = count;
+    total_ += count;
+  }
+}
+
+double LandMask::block_imbalance(int p) const {
+  NCAR_REQUIRE(p >= 1 && p <= nlat_, "processor count");
+  double max_block = 0;
+  for (int r = 0; r < p; ++r) {
+    const int lo = static_cast<int>(static_cast<long>(nlat_) * r / p);
+    const int hi = static_cast<int>(static_cast<long>(nlat_) * (r + 1) / p);
+    double w = 0;
+    for (int j = lo; j < hi; ++j) {
+      w += row_counts_[static_cast<std::size_t>(j)];
+    }
+    max_block = std::max(max_block, w);
+  }
+  const double mean = static_cast<double>(total_) / p;
+  return max_block / mean;
+}
+
+}  // namespace ncar::ocean

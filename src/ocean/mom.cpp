@@ -1,0 +1,400 @@
+#include "ocean/mom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sxs/ops.hpp"
+
+namespace ncar::ocean {
+
+MomConfig MomConfig::high_resolution() { return MomConfig{}; }
+
+MomConfig MomConfig::low_resolution() {
+  MomConfig c;
+  c.nlon = 120;
+  c.nlat = 60;
+  c.nlev = 25;
+  return c;
+}
+
+Mom::Mom(const MomConfig& cfg, sxs::Node& node)
+    : cfg_(cfg),
+      node_(&node),
+      mask_(cfg.nlon, cfg.nlat),
+      temp_(static_cast<std::size_t>(cfg.nlon), static_cast<std::size_t>(cfg.nlat),
+            static_cast<std::size_t>(cfg.nlev)),
+      salt_(temp_.ni(), temp_.nj(), temp_.nk()),
+      psi_(temp_.ni(), temp_.nj()),
+      forcing_(temp_.ni(), temp_.nj()),
+      u_(temp_.ni(), temp_.nj()),
+      v_(temp_.ni(), temp_.nj()),
+      scratch_(temp_.ni(), temp_.nj(), temp_.nk()) {
+  NCAR_REQUIRE(cfg.nlev >= 2, "need at least two levels");
+  NCAR_REQUIRE(cfg.sor_iters >= 1 && cfg.diag_every >= 1, "config");
+  reset();
+}
+
+void Mom::reset() {
+  const int nlon = cfg_.nlon, nlat = cfg_.nlat, nlev = cfg_.nlev;
+  for (int k = 0; k < nlev; ++k) {
+    const double depth_frac = static_cast<double>(k) / nlev;
+    for (int j = 0; j < nlat; ++j) {
+      const double lat = -90.0 + (j + 0.5) * 180.0 / nlat;
+      const double surface_t = 2.0 + 26.0 * std::cos(lat * M_PI / 180.0);
+      for (int i = 0; i < nlon; ++i) {
+        const std::size_t ii = static_cast<std::size_t>(i);
+        const std::size_t jj = static_cast<std::size_t>(j);
+        const std::size_t kk = static_cast<std::size_t>(k);
+        temp_(ii, jj, kk) =
+            mask_.ocean(i, j) ? surface_t * std::exp(-3.0 * depth_frac) : 0.0;
+        salt_(ii, jj, kk) = mask_.ocean(i, j) ? 35.0 - 1.0 * depth_frac : 0.0;
+      }
+    }
+  }
+  psi_.fill(0.0);
+  // Wind-stress curl forcing: westerlies/trades pattern.
+  for (int j = 0; j < cfg_.nlat; ++j) {
+    const double lat = -90.0 + (j + 0.5) * 180.0 / cfg_.nlat;
+    for (int i = 0; i < cfg_.nlon; ++i) {
+      forcing_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          mask_.ocean(i, j) ? 1e-11 * std::sin(2.0 * lat * M_PI / 180.0) : 0.0;
+    }
+  }
+  steps_ = 0;
+  sor_residual_ = 0;
+}
+
+void Mom::solve_barotropic() {
+  // Gauss-Seidel SOR for del^2 psi = forcing, psi = 0 on land, periodic in
+  // longitude, five-point stencil on the (unit-spaced) grid.
+  const int nlon = cfg_.nlon, nlat = cfg_.nlat;
+  const double w = cfg_.sor_omega;
+  for (int it = 0; it < cfg_.sor_iters; ++it) {
+    for (int j = 1; j < nlat - 1; ++j) {
+      for (int i = 0; i < nlon; ++i) {
+        if (!mask_.ocean(i, j)) continue;
+        const int im = (i + nlon - 1) % nlon, ip = (i + 1) % nlon;
+        const std::size_t jj = static_cast<std::size_t>(j);
+        const double nbr =
+            psi_(static_cast<std::size_t>(im), jj) +
+            psi_(static_cast<std::size_t>(ip), jj) +
+            psi_(static_cast<std::size_t>(i), jj - 1) +
+            psi_(static_cast<std::size_t>(i), jj + 1);
+        const double gs =
+            0.25 * (nbr - forcing_(static_cast<std::size_t>(i), jj));
+        psi_(static_cast<std::size_t>(i), jj) =
+            (1.0 - w) * psi_(static_cast<std::size_t>(i), jj) + w * gs;
+      }
+    }
+  }
+  // Residual check.
+  double res = 0;
+  for (int j = 1; j < nlat - 1; ++j) {
+    for (int i = 0; i < nlon; ++i) {
+      if (!mask_.ocean(i, j)) continue;
+      const int im = (i + nlon - 1) % nlon, ip = (i + 1) % nlon;
+      const std::size_t jj = static_cast<std::size_t>(j);
+      const double lap = psi_(static_cast<std::size_t>(im), jj) +
+                         psi_(static_cast<std::size_t>(ip), jj) +
+                         psi_(static_cast<std::size_t>(i), jj - 1) +
+                         psi_(static_cast<std::size_t>(i), jj + 1) -
+                         4.0 * psi_(static_cast<std::size_t>(i), jj);
+      res = std::max(res, std::abs(lap - forcing_(static_cast<std::size_t>(i), jj)));
+    }
+  }
+  sor_residual_ = res;
+
+  // Barotropic velocities from the streamfunction (masked central diffs).
+  for (int j = 1; j < nlat - 1; ++j) {
+    for (int i = 0; i < nlon; ++i) {
+      const std::size_t jj = static_cast<std::size_t>(j);
+      if (!mask_.ocean(i, j)) {
+        u_(static_cast<std::size_t>(i), jj) = 0;
+        v_(static_cast<std::size_t>(i), jj) = 0;
+        continue;
+      }
+      const int im = (i + nlon - 1) % nlon, ip = (i + 1) % nlon;
+      u_(static_cast<std::size_t>(i), jj) =
+          -0.5 * (psi_(static_cast<std::size_t>(i), jj + 1) -
+                  psi_(static_cast<std::size_t>(i), jj - 1)) * 1e4;
+      v_(static_cast<std::size_t>(i), jj) =
+          0.5 * (psi_(static_cast<std::size_t>(ip), jj) -
+                 psi_(static_cast<std::size_t>(im), jj)) * 1e4;
+    }
+  }
+}
+
+void Mom::baroclinic_step() {
+  const int nlon = cfg_.nlon, nlat = cfg_.nlat, nlev = cfg_.nlev;
+  const double kappa = 0.05;  // grid-units diffusivity * dt
+  const double adv = 0.2;     // CFL-safe advection coefficient
+
+  for (auto* field : {&temp_, &salt_}) {
+    auto& f = *field;
+    for (int k = 0; k < nlev; ++k) {
+      const double depth_damp = std::exp(-2.0 * k / nlev);
+      for (int j = 1; j < nlat - 1; ++j) {
+        for (int i = 0; i < nlon; ++i) {
+          if (!mask_.ocean(i, j)) {
+            scratch_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(k)) = 0;
+            continue;
+          }
+          const int im = (i + nlon - 1) % nlon, ip = (i + 1) % nlon;
+          const std::size_t ii = static_cast<std::size_t>(i);
+          const std::size_t jj = static_cast<std::size_t>(j);
+          const std::size_t kk = static_cast<std::size_t>(k);
+          auto at = [&](int a, int b) {
+            return mask_.ocean(a, b)
+                       ? f(static_cast<std::size_t>(a), static_cast<std::size_t>(b), kk)
+                       : f(ii, jj, kk);  // no-flux across coastlines
+          };
+          const double fx = at(ip, j) - at(im, j);
+          const double fy = at(i, j + 1) - at(i, j - 1);
+          const double lap = at(ip, j) + at(im, j) + at(i, j + 1) +
+                             at(i, j - 1) - 4.0 * f(ii, jj, kk);
+          const double uu = u_(ii, jj) * depth_damp;
+          const double vv = v_(ii, jj) * depth_damp;
+          scratch_(ii, jj, kk) =
+              f(ii, jj, kk) - adv * (uu * fx + vv * fy) * 0.5 + kappa * lap;
+        }
+      }
+    }
+    // Commit, then convective adjustment (the unvectorised column loop).
+    for (int k = 0; k < nlev; ++k) {
+      for (int j = 1; j < nlat - 1; ++j) {
+        for (int i = 0; i < nlon; ++i) {
+          if (!mask_.ocean(i, j)) continue;
+          f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+            static_cast<std::size_t>(k)) =
+              scratch_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                       static_cast<std::size_t>(k));
+        }
+      }
+    }
+  }
+  // Convective adjustment on temperature columns: mix statically unstable
+  // neighbours (deeper water must not be warmer).
+  for (int j = 1; j < nlat - 1; ++j) {
+    for (int i = 0; i < nlon; ++i) {
+      if (!mask_.ocean(i, j)) continue;
+      for (int k = 0; k + 1 < nlev; ++k) {
+        const std::size_t ii = static_cast<std::size_t>(i);
+        const std::size_t jj = static_cast<std::size_t>(j);
+        double& upper = temp_(ii, jj, static_cast<std::size_t>(k));
+        double& lower = temp_(ii, jj, static_cast<std::size_t>(k + 1));
+        if (lower > upper) {
+          const double mixed = 0.5 * (upper + lower);
+          upper = mixed;
+          lower = mixed;
+        }
+      }
+    }
+  }
+}
+
+void Mom::compute_diagnostics() {
+  double sum_t = 0, ke = 0;
+  long n = 0;
+  for (int j = 0; j < cfg_.nlat; ++j) {
+    for (int i = 0; i < cfg_.nlon; ++i) {
+      if (!mask_.ocean(i, j)) continue;
+      const std::size_t ii = static_cast<std::size_t>(i);
+      const std::size_t jj = static_cast<std::size_t>(j);
+      ke += 0.5 * (u_(ii, jj) * u_(ii, jj) + v_(ii, jj) * v_(ii, jj));
+      for (int k = 0; k < cfg_.nlev; ++k) {
+        sum_t += temp_(ii, jj, static_cast<std::size_t>(k));
+        ++n;
+      }
+    }
+  }
+  diag_mean_t_ = n > 0 ? sum_t / static_cast<double>(n) : 0.0;
+  diag_ke_ = ke;
+}
+
+double Mom::step(int ncpu) {
+  NCAR_REQUIRE(ncpu >= 1 && ncpu <= node_->cpu_count(), "processor count");
+  const int nlat = cfg_.nlat, nlev = cfg_.nlev;
+  double elapsed = 0;
+
+  // ---- numerics -----------------------------------------------------------
+  solve_barotropic();
+  baroclinic_step();
+
+  // ---- timing: rigid-lid SOR — one parallel sweep + barrier per iteration.
+  for (int it = 0; it < cfg_.sor_iters; ++it) {
+    elapsed += node_->parallel(ncpu, [&](int rank, sxs::Cpu& cpu) {
+      const int lo = static_cast<int>(static_cast<long>(nlat) * rank / ncpu);
+      const int hi = static_cast<int>(static_cast<long>(nlat) * (rank + 1) / ncpu);
+      for (int j = lo; j < hi; ++j) {
+        const int pts = mask_.ocean_in_row(j);
+        if (pts == 0) continue;
+        sxs::VectorOp op;
+        op.n = pts;
+        op.flops_per_elem = 7.0;
+        op.load_words = 5.0;
+        op.gather_words = 1.0;  // masked compression
+        op.store_words = 1.0;
+        op.pipe_groups = 2;
+        cpu.vec(op);
+      }
+    });
+  }
+
+  // ---- timing: baroclinic region, block-decomposed over latitude --------
+  elapsed += node_->parallel(ncpu, [&](int rank, sxs::Cpu& cpu) {
+    const int lo = static_cast<int>(static_cast<long>(nlat) * rank / ncpu);
+    const int hi = static_cast<int>(static_cast<long>(nlat) * (rank + 1) / ncpu);
+    for (int j = lo; j < hi; ++j) {
+      const int pts = mask_.ocean_in_row(j);
+      if (pts == 0) continue;
+      // Vectorised finite-difference passes.
+      sxs::VectorOp op;
+      op.n = pts;
+      op.flops_per_elem = cfg_.vec_flops;
+      op.load_words = cfg_.vec_loads;
+      op.load_stride = 3;
+      op.gather_words = cfg_.vec_gather;
+      op.store_words = cfg_.vec_stores;
+      op.pipe_groups = 2;
+      cpu.vec(op, static_cast<long>(nlev) * cfg_.vec_passes);
+      // Unvectorised EOS / convective adjustment / implicit mixing.
+      sxs::ScalarOp sc;
+      sc.iters = static_cast<long>(pts) * nlev;
+      sc.flops_per_iter = cfg_.sc_flops;
+      sc.mem_words_per_iter = cfg_.sc_mem;
+      sc.other_ops_per_iter = cfg_.sc_other;
+      sc.working_set_bytes = static_cast<double>(pts) * nlev * 8.0;
+      sc.reuse_fraction = 0.2;
+      cpu.scalar(sc);
+    }
+  });
+
+  // ---- timing: serial diagnostics every diag_every steps ----------------
+  if ((steps_ + 1) % cfg_.diag_every == 0) {
+    compute_diagnostics();
+    elapsed += node_->serial([&](sxs::Cpu& cpu) {
+      sxs::ScalarOp d;
+      d.iters = mask_.ocean_total() * static_cast<long>(nlev) * cfg_.diag_passes;
+      d.flops_per_iter = cfg_.diag_flops;
+      d.mem_words_per_iter = cfg_.diag_mem;
+      d.other_ops_per_iter = cfg_.diag_other;
+      d.reuse_fraction = 0.0;
+      cpu.scalar(d);
+    });
+  }
+
+  ++steps_;
+  return elapsed;
+}
+
+double Mom::mean_temperature() const {
+  double sum = 0;
+  long n = 0;
+  for (int j = 0; j < cfg_.nlat; ++j) {
+    for (int i = 0; i < cfg_.nlon; ++i) {
+      if (!mask_.ocean(i, j)) continue;
+      for (int k = 0; k < cfg_.nlev; ++k) {
+        sum += temp_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(k));
+        ++n;
+      }
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Mom::mean_salinity() const {
+  double sum = 0;
+  long n = 0;
+  for (int j = 0; j < cfg_.nlat; ++j) {
+    for (int i = 0; i < cfg_.nlon; ++i) {
+      if (!mask_.ocean(i, j)) continue;
+      for (int k = 0; k < cfg_.nlev; ++k) {
+        sum += salt_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(k));
+        ++n;
+      }
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Mom::barotropic_ke() const {
+  double ke = 0;
+  for (int j = 0; j < cfg_.nlat; ++j) {
+    for (int i = 0; i < cfg_.nlon; ++i) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      const std::size_t jj = static_cast<std::size_t>(j);
+      ke += 0.5 * (u_(ii, jj) * u_(ii, jj) + v_(ii, jj) * v_(ii, jj));
+    }
+  }
+  return ke;
+}
+
+double Mom::last_sor_residual() const { return sor_residual_; }
+
+bool Mom::columns_statically_stable() const {
+  for (int j = 1; j < cfg_.nlat - 1; ++j) {
+    for (int i = 0; i < cfg_.nlon; ++i) {
+      if (!mask_.ocean(i, j)) continue;
+      for (int k = 0; k + 1 < cfg_.nlev; ++k) {
+        const double upper = temp_(static_cast<std::size_t>(i),
+                                   static_cast<std::size_t>(j),
+                                   static_cast<std::size_t>(k));
+        const double lower = temp_(static_cast<std::size_t>(i),
+                                   static_cast<std::size_t>(j),
+                                   static_cast<std::size_t>(k + 1));
+        if (lower > upper + 1e-12) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Mom::checksum() const {
+  double c = 0;
+  for (double v : temp_.flat()) c += v;
+  for (double v : salt_.flat()) c += 0.1 * v;
+  for (double v : psi_.flat()) c += v;
+  return c;
+}
+
+std::vector<double> Mom::checkpoint() const {
+  std::vector<double> out;
+  out.push_back(static_cast<double>(steps_));
+  out.insert(out.end(), temp_.flat().begin(), temp_.flat().end());
+  out.insert(out.end(), salt_.flat().begin(), salt_.flat().end());
+  out.insert(out.end(), psi_.flat().begin(), psi_.flat().end());
+  out.insert(out.end(), u_.flat().begin(), u_.flat().end());
+  out.insert(out.end(), v_.flat().begin(), v_.flat().end());
+  return out;
+}
+
+void Mom::restore(const std::vector<double>& state) {
+  const std::size_t expect =
+      1 + 2 * temp_.size() + psi_.size() + u_.size() + v_.size();
+  NCAR_REQUIRE(state.size() == expect,
+               "checkpoint does not match this configuration");
+  std::size_t pos = 0;
+  steps_ = static_cast<long>(state[pos++]);
+  for (auto& v : temp_.flat()) v = state[pos++];
+  for (auto& v : salt_.flat()) v = state[pos++];
+  for (auto& v : psi_.flat()) v = state[pos++];
+  for (auto& v : u_.flat()) v = state[pos++];
+  for (auto& v : v_.flat()) v = state[pos++];
+}
+
+double Mom::checkpoint_bytes() const {
+  return 8.0 * (1 + 2 * temp_.size() + psi_.size() + u_.size() + v_.size());
+}
+
+double Mom::measure_step_seconds(int ncpu, int nsteps) {
+  NCAR_REQUIRE(nsteps >= 1, "step count");
+  double total = 0;
+  for (int s = 0; s < nsteps; ++s) total += step(ncpu);
+  return total / nsteps;
+}
+
+}  // namespace ncar::ocean

@@ -1,0 +1,235 @@
+#include "ocean/pop.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sxs/ops.hpp"
+
+namespace ncar::ocean {
+
+Array2D<double> cshift(const Array2D<double>& a, int dim, int offset) {
+  NCAR_REQUIRE(dim == 0 || dim == 1, "dim must be 0 or 1");
+  const long ni = static_cast<long>(a.ni());
+  const long nj = static_cast<long>(a.nj());
+  Array2D<double> out(a.ni(), a.nj());
+  for (long j = 0; j < nj; ++j) {
+    for (long i = 0; i < ni; ++i) {
+      long si = i, sj = j;
+      if (dim == 0) {
+        si = ((i + offset) % ni + ni) % ni;  // periodic longitude
+      } else {
+        sj = std::min(std::max(j + offset, 0L), nj - 1);  // wall latitude
+      }
+      out(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          a(static_cast<std::size_t>(si), static_cast<std::size_t>(sj));
+    }
+  }
+  return out;
+}
+
+PopConfig PopConfig::two_degree() { return PopConfig{}; }
+
+Pop::Pop(const PopConfig& cfg, sxs::Node& node)
+    : cfg_(cfg),
+      node_(&node),
+      eta_(static_cast<std::size_t>(cfg.nlon), static_cast<std::size_t>(cfg.nlat)),
+      u_(eta_.ni(), eta_.nj()),
+      v_(eta_.ni(), eta_.nj()) {
+  NCAR_REQUIRE(cfg.nlon >= 8 && cfg.nlat >= 8 && cfg.nlev >= 1, "grid shape");
+  NCAR_REQUIRE(cfg.barotropic_subcycles >= 1, "subcycles");
+  tracer_.assign(static_cast<std::size_t>(cfg.nlev),
+                 Array2D<double>(eta_.ni(), eta_.nj()));
+  reset();
+}
+
+void Pop::reset() {
+  for (std::size_t j = 0; j < eta_.nj(); ++j) {
+    const double lat = -90.0 + (static_cast<double>(j) + 0.5) * 180.0 /
+                                   static_cast<double>(eta_.nj());
+    for (std::size_t i = 0; i < eta_.ni(); ++i) {
+      const double lon = 360.0 * static_cast<double>(i) /
+                         static_cast<double>(eta_.ni());
+      eta_(i, j) = 0.1 * std::sin(2.0 * lon * M_PI / 180.0) *
+                   std::cos(lat * M_PI / 180.0);
+      u_(i, j) = 0.0;
+      v_(i, j) = 0.0;
+    }
+  }
+  for (std::size_t l = 0; l < tracer_.size(); ++l) {
+    for (std::size_t j = 0; j < eta_.nj(); ++j) {
+      const double lat = -90.0 + (static_cast<double>(j) + 0.5) * 180.0 /
+                                     static_cast<double>(eta_.nj());
+      for (std::size_t i = 0; i < eta_.ni(); ++i) {
+        tracer_[l](i, j) = (2.0 + 26.0 * std::cos(lat * M_PI / 180.0)) *
+                           std::exp(-2.0 * static_cast<double>(l) /
+                                    static_cast<double>(tracer_.size()));
+      }
+    }
+  }
+  steps_ = 0;
+  cshift_seconds_ = 0;
+  total_seconds_ = 0;
+}
+
+void Pop::charge_array_op(int count, long pts) {
+  const double t = node_->serial([&](sxs::Cpu& cpu) {
+    sxs::VectorOp op;
+    op.n = pts;
+    op.flops_per_elem = cfg_.array_op_flops;
+    op.load_words = 2.0;
+    op.store_words = 1.0;
+    op.pipe_groups = 2;
+    cpu.vec(op, count);
+  });
+  total_seconds_ += t;
+}
+
+void Pop::charge_cshift(int count, long pts) {
+  const double t = node_->serial([&](sxs::Cpu& cpu) {
+    sxs::ScalarOp op;
+    op.iters = pts * count;
+    op.mem_words_per_iter = cfg_.cshift_mem_words;
+    op.other_ops_per_iter = cfg_.cshift_other_ops;
+    // The scalar unit's data prefetching (paper section 2.1) streams the
+    // copy; the cost is issue-limited, not miss-limited.
+    op.working_set_bytes = 4096;
+    op.reuse_fraction = 1.0;
+    cpu.scalar(op);
+  });
+  cshift_seconds_ += t;
+  total_seconds_ += t;
+}
+
+double Pop::step() {
+  const long pts = static_cast<long>(eta_.ni()) * static_cast<long>(eta_.nj());
+  const double before = total_seconds_;
+
+  // --- barotropic free-surface subcycling (the paper's free-surface
+  // formulation replaces MOM's rigid-lid elliptic solve) ------------------
+  const double dtb =
+      cfg_.dt_seconds / static_cast<double>(cfg_.barotropic_subcycles);
+  const double hscale = cfg_.depth * 2e-7;  // grid-scaled wave speed factor
+  for (int sub = 0; sub < cfg_.barotropic_subcycles; ++sub) {
+    // div = dx(u) + dy(v) using CSHIFT differences (4 shifts).
+    auto uxp = cshift(u_, 0, 1);
+    auto uxm = cshift(u_, 0, -1);
+    auto vyp = cshift(v_, 1, 1);
+    auto vym = cshift(v_, 1, -1);
+    charge_cshift(4, pts);
+    // eta update + gradient of eta (2 shifts) + momentum updates.
+    for (std::size_t j = 0; j < eta_.nj(); ++j) {
+      for (std::size_t i = 0; i < eta_.ni(); ++i) {
+        const double div = 0.5 * ((uxp(i, j) - uxm(i, j)) + (vyp(i, j) - vym(i, j)));
+        eta_(i, j) -= dtb * hscale * div;
+      }
+    }
+    auto exp_ = cshift(eta_, 0, 1);
+    auto exm = cshift(eta_, 0, -1);
+    auto eyp = cshift(eta_, 1, 1);
+    auto eym = cshift(eta_, 1, -1);
+    charge_cshift(4, pts);
+    const double gscale = cfg_.gravity * 5e-7;  // grid-scaled gradient
+    for (std::size_t j = 0; j < eta_.nj(); ++j) {
+      for (std::size_t i = 0; i < eta_.ni(); ++i) {
+        const double ex = 0.5 * (exp_(i, j) - exm(i, j));
+        const double ey = 0.5 * (eyp(i, j) - eym(i, j));
+        const double un = u_(i, j) +
+                          dtb * (cfg_.coriolis * v_(i, j) - gscale * ex -
+                                 cfg_.drag * u_(i, j));
+        const double vn = v_(i, j) +
+                          dtb * (-cfg_.coriolis * u_(i, j) - gscale * ey -
+                                 cfg_.drag * v_(i, j));
+        u_(i, j) = un;
+        v_(i, j) = vn;
+      }
+    }
+    // Walls: no meridional flow through the north/south boundaries.
+    for (std::size_t i = 0; i < eta_.ni(); ++i) {
+      v_(i, 0) = 0.0;
+      v_(i, eta_.nj() - 1) = 0.0;
+    }
+    charge_array_op(9, pts);
+  }
+
+  // --- per-level tracer advection-diffusion (array syntax + cshift) ------
+  for (auto& t : tracer_) {
+    auto txp = cshift(t, 0, 1);
+    auto txm = cshift(t, 0, -1);
+    auto typ = cshift(t, 1, 1);
+    auto tym = cshift(t, 1, -1);
+    charge_cshift(4, pts);
+    const double adv = 0.2;
+    for (std::size_t j = 0; j < t.nj(); ++j) {
+      for (std::size_t i = 0; i < t.ni(); ++i) {
+        const double tx = 0.5 * (txp(i, j) - txm(i, j));
+        const double ty = 0.5 * (typ(i, j) - tym(i, j));
+        const double lap = txp(i, j) + txm(i, j) + typ(i, j) + tym(i, j) -
+                           4.0 * t(i, j);
+        t(i, j) += -adv * (u_(i, j) * tx + v_(i, j) * ty) + cfg_.kappa * lap;
+      }
+    }
+    charge_array_op(6, pts);
+    // Vectorised physics per level (EOS, vertical mixing terms).
+    const double phys = node_->serial([&](sxs::Cpu& cpu) {
+      sxs::VectorOp op;
+      op.n = pts;
+      op.flops_per_elem = cfg_.physics_flops;
+      op.load_words = 4.0;
+      op.store_words = 2.0;
+      op.pipe_groups = 2;
+      cpu.vec(op);
+    });
+    total_seconds_ += phys;
+  }
+
+  ++steps_;
+  return total_seconds_ - before;
+}
+
+double Pop::mean_eta() const {
+  double s = 0;
+  for (double v : eta_.flat()) s += v;
+  return s / static_cast<double>(eta_.size());
+}
+
+double Pop::surface_ke() const {
+  double ke = 0;
+  for (std::size_t j = 0; j < u_.nj(); ++j) {
+    for (std::size_t i = 0; i < u_.ni(); ++i) {
+      ke += 0.5 * (u_(i, j) * u_(i, j) + v_(i, j) * v_(i, j));
+    }
+  }
+  return ke;
+}
+
+double Pop::mean_tracer(int level) const {
+  NCAR_REQUIRE(level >= 0 && level < cfg_.nlev, "level");
+  double s = 0;
+  for (double v : tracer_[static_cast<std::size_t>(level)].flat()) s += v;
+  return s / static_cast<double>(eta_.size());
+}
+
+double Pop::checksum() const {
+  double c = 0;
+  for (double v : eta_.flat()) c += v;
+  for (double v : u_.flat()) c += 0.5 * v;
+  for (const auto& t : tracer_) {
+    for (double v : t.flat()) c += 0.01 * v;
+  }
+  return c;
+}
+
+double Pop::measure_mflops(int nsteps) {
+  NCAR_REQUIRE(nsteps >= 1, "step count");
+  const double f0 = node_->cpu(0).equiv_flops();
+  double t = 0;
+  for (int s = 0; s < nsteps; ++s) t += step();
+  const double f1 = node_->cpu(0).equiv_flops();
+  return (f1 - f0) / t / 1e6;
+}
+
+double Pop::cshift_time_fraction() const {
+  return total_seconds_ > 0 ? cshift_seconds_ / total_seconds_ : 0.0;
+}
+
+}  // namespace ncar::ocean

@@ -1,0 +1,87 @@
+#pragma once
+// POP — the Parallel Ocean Program benchmark (paper 4.7.3).
+//
+// Los Alamos' POP is a free-surface, flat-bottom ocean model written in
+// Fortran 90 array syntax with heavy use of CSHIFT for finite differences.
+// The paper's result: with a pre-release NEC F90 compiler whose CSHIFT
+// intrinsic "did not vectorize", the 2-degree POP benchmark still sustained
+// 537 Mflops on one SX-4 processor.
+//
+// This implementation evolves a free-surface barotropic subsystem
+// (subcycled shallow-water continuity + momentum) and per-level tracer
+// advection-diffusion, written exactly in that style: whole-array
+// operations built from a cshift() helper. Whole-array arithmetic charges
+// the vector pipes; every cshift charges the *scalar* unit, reproducing the
+// compiler deficiency the paper describes.
+
+#include "common/array.hpp"
+#include "sxs/node.hpp"
+
+namespace ncar::ocean {
+
+/// F90-style circular shift of a 2-D field along dim 0 (longitude,
+/// periodic) or dim 1 (latitude, clamped walls).
+Array2D<double> cshift(const Array2D<double>& a, int dim, int offset);
+
+struct PopConfig {
+  int nlon = 180;   ///< 2-degree global grid
+  int nlat = 90;
+  int nlev = 20;
+  double dt_seconds = 1800.0;
+  int barotropic_subcycles = 10;
+  double gravity = 9.8;
+  double depth = 4000.0;
+  double coriolis = 1e-4;
+  double drag = 1e-5;
+  double kappa = 0.04;       ///< tracer diffusivity (grid units per dt)
+
+  // --- cost model ----------------------------------------------------------
+  double array_op_flops = 3.0;       ///< per point per whole-array operation
+  double cshift_mem_words = 2.0;     ///< scalar copy traffic per point
+  double cshift_other_ops = 2.55;
+  /// Extra vectorised physics (EOS, mixing) flops per point per level.
+  double physics_flops = 100.0;
+
+  static PopConfig two_degree();
+};
+
+class Pop {
+public:
+  Pop(const PopConfig& cfg, sxs::Node& node);
+
+  const PopConfig& config() const { return cfg_; }
+
+  void reset();
+
+  /// One model step (barotropic subcycles + tracers); single processor, as
+  /// the paper's POP figure is a one-CPU measurement.
+  double step();
+
+  long steps_taken() const { return steps_; }
+
+  // --- diagnostics ---------------------------------------------------------
+  /// Mean surface height (free-surface volume conservation check).
+  double mean_eta() const;
+  double surface_ke() const;
+  double mean_tracer(int level) const;
+  double checksum() const;
+
+  /// Sustained Cray-equivalent Mflops over `nsteps` fresh steps.
+  double measure_mflops(int nsteps = 5);
+  /// Fraction of simulated time spent in unvectorised CSHIFT code.
+  double cshift_time_fraction() const;
+
+private:
+  void charge_array_op(int count, long pts);
+  void charge_cshift(int count, long pts);
+
+  PopConfig cfg_;
+  sxs::Node* node_;
+  Array2D<double> eta_, u_, v_;
+  std::vector<Array2D<double>> tracer_;
+  long steps_ = 0;
+  double cshift_seconds_ = 0;
+  double total_seconds_ = 0;
+};
+
+}  // namespace ncar::ocean

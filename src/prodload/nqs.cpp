@@ -1,0 +1,82 @@
+#include "prodload/nqs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ncar::prodload {
+
+Nqs::Nqs(std::vector<QueueSpec> queues) : queues_(std::move(queues)) {
+  NCAR_REQUIRE(!queues_.empty(), "need at least one queue");
+  for (const auto& q : queues_) {
+    NCAR_REQUIRE(!q.name.empty(), "queue needs a name");
+    NCAR_REQUIRE(q.max_cpus_per_job >= 1, "per-job CPU ceiling");
+    NCAR_REQUIRE(q.run_limit >= 1, "run limit");
+  }
+  pending_.resize(queues_.size());
+}
+
+const QueueSpec& Nqs::queue(int q) const {
+  NCAR_REQUIRE(q >= 0 && q < queue_count(), "queue index");
+  return queues_[static_cast<std::size_t>(q)];
+}
+
+int Nqs::queue_index(const std::string& name) const {
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (queues_[q].name == name) return static_cast<int>(q);
+  }
+  return -1;
+}
+
+void Nqs::submit(const std::string& queue, NqsJob job) {
+  const int q = queue_index(queue);
+  NCAR_REQUIRE(q >= 0, "unknown queue: " + queue);
+  NCAR_REQUIRE(job.cpus >= 1, "job CPU request");
+  NCAR_REQUIRE(job.cpus <= queues_[static_cast<std::size_t>(q)].max_cpus_per_job,
+               "job exceeds the queue's per-job CPU ceiling");
+  NCAR_REQUIRE(job.service_seconds > 0, "job service time");
+  pending_[static_cast<std::size_t>(q)].push_back(std::move(job));
+}
+
+int Nqs::backlog(int q) const {
+  NCAR_REQUIRE(q >= 0 && q < queue_count(), "queue index");
+  return static_cast<int>(pending_[static_cast<std::size_t>(q)].size());
+}
+
+std::vector<Sequence> Nqs::lower() const {
+  std::vector<Sequence> out;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    const auto& spec = queues_[q];
+    // Priority order (stable, so submission order breaks ties).
+    auto jobs = pending_[q];
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const NqsJob& a, const NqsJob& b) {
+                       return a.priority > b.priority;
+                     });
+    // run_limit serial chains, filled round-robin: at any moment at most
+    // run_limit of this queue's jobs execute.
+    const int chains = std::min<int>(spec.run_limit,
+                                     std::max<int>(1, static_cast<int>(jobs.size())));
+    std::vector<Sequence> seqs(static_cast<std::size_t>(chains));
+    for (int c = 0; c < chains; ++c) {
+      seqs[static_cast<std::size_t>(c)].name =
+          spec.name + "#" + std::to_string(c);
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const auto& job = jobs[j];
+      seqs[j % static_cast<std::size_t>(chains)].jobs.push_back(
+          Job{job.name, {Component{job.name, job.cpus, job.service_seconds}}});
+    }
+    for (auto& s : seqs) {
+      if (!s.jobs.empty()) out.push_back(std::move(s));
+    }
+  }
+  NCAR_REQUIRE(!out.empty(), "no jobs submitted");
+  return out;
+}
+
+RunResult Nqs::run(const Scheduler& scheduler) const {
+  return scheduler.run(lower());
+}
+
+}  // namespace ncar::prodload

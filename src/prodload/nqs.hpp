@@ -1,0 +1,62 @@
+#pragma once
+// NQS batch subsystem (paper section 2.6.3).
+//
+// "SUPER-UX NQS is enhanced to add substantial user control over work...
+// NQS queues, queue complexes, and the full range of individual queue
+// parameters and accounting facilities are supported."
+//
+// The model: named queues with a per-job CPU ceiling, a run limit (how
+// many of the queue's jobs may execute concurrently), and job priorities.
+// `Nqs::run` lowers the queue complex onto the discrete-event Scheduler:
+// each queue becomes `run_limit` serial job chains filled in priority
+// order, all chains across all queues competing for the node FIFO —
+// exactly how a run-limited batch queue shapes a machine's load. The
+// returned accounting (per-job start/stop) is what the PRODLOAD benchmark
+// "considers in order to identify system specific characteristics".
+
+#include <string>
+#include <vector>
+
+#include "prodload/scheduler.hpp"
+
+namespace ncar::prodload {
+
+struct QueueSpec {
+  std::string name;
+  int max_cpus_per_job = 32;  ///< per-job CPU ceiling (qmgr "per-request")
+  int run_limit = 1;          ///< concurrently executing jobs from this queue
+};
+
+struct NqsJob {
+  std::string name;
+  int cpus = 1;
+  double service_seconds = 0;
+  int priority = 0;  ///< higher runs earlier within its queue
+};
+
+class Nqs {
+public:
+  explicit Nqs(std::vector<QueueSpec> queues);
+
+  int queue_count() const { return static_cast<int>(queues_.size()); }
+  const QueueSpec& queue(int q) const;
+  int queue_index(const std::string& name) const;  ///< -1 when absent
+
+  /// Enqueue a job; throws when it exceeds the queue's per-job ceiling.
+  void submit(const std::string& queue, NqsJob job);
+
+  /// Jobs waiting in a queue (before run()).
+  int backlog(int q) const;
+
+  /// Lower every queue onto the scheduler and run to completion.
+  RunResult run(const Scheduler& scheduler) const;
+
+  /// The sequences `run` would hand the scheduler (exposed for tests).
+  std::vector<Sequence> lower() const;
+
+private:
+  std::vector<QueueSpec> queues_;
+  std::vector<std::vector<NqsJob>> pending_;  // per queue
+};
+
+}  // namespace ncar::prodload

@@ -1,0 +1,133 @@
+#include "prodload/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ncar::prodload {
+
+namespace {
+
+struct Running {
+  int seq;           ///< owning sequence
+  int job;           ///< job index within the sequence
+  int comp;          ///< component index within the job
+  int cpus;
+  double remaining;  ///< quiet-machine seconds of service left
+};
+
+struct Waiting {
+  int seq, job, comp;
+  int cpus;
+  double busy;
+  long fifo;  ///< admission order
+};
+
+}  // namespace
+
+Scheduler::Scheduler(int total_cpus, double contention_per_cpu)
+    : total_cpus_(total_cpus), contention_per_cpu_(contention_per_cpu) {
+  NCAR_REQUIRE(total_cpus >= 1, "need at least one CPU");
+  NCAR_REQUIRE(contention_per_cpu >= 0, "contention coefficient");
+}
+
+RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
+  NCAR_REQUIRE(!sequences.empty(), "need at least one sequence");
+  for (const auto& s : sequences) {
+    NCAR_REQUIRE(!s.jobs.empty(), "sequence with no jobs");
+    for (const auto& j : s.jobs) {
+      NCAR_REQUIRE(!j.components.empty(), "job with no components");
+      for (const auto& c : j.components) {
+        NCAR_REQUIRE(c.cpus >= 1 && c.cpus <= total_cpus_,
+                     "component CPU demand must fit the node");
+        NCAR_REQUIRE(c.busy_seconds > 0, "component service time");
+      }
+    }
+  }
+
+  RunResult result;
+  const std::size_t nseq = sequences.size();
+  std::vector<std::size_t> next_job(nseq, 0);  // job each sequence is on
+  std::vector<int> live_components(nseq, 0);   // of the current job
+  std::vector<double> job_start(nseq, 0);
+
+  std::vector<Running> running;
+  std::vector<Waiting> waiting;
+  long fifo_counter = 0;
+  int used_cpus = 0;
+  double now = 0;
+
+  auto admit_job = [&](int seq, double t) {
+    const auto& job = sequences[static_cast<std::size_t>(seq)]
+                          .jobs[next_job[static_cast<std::size_t>(seq)]];
+    live_components[static_cast<std::size_t>(seq)] =
+        static_cast<int>(job.components.size());
+    job_start[static_cast<std::size_t>(seq)] = t;
+    for (std::size_t c = 0; c < job.components.size(); ++c) {
+      waiting.push_back({seq,
+                         static_cast<int>(next_job[static_cast<std::size_t>(seq)]),
+                         static_cast<int>(c), job.components[c].cpus,
+                         job.components[c].busy_seconds, fifo_counter++});
+    }
+  };
+
+  auto start_waiting = [&] {
+    // FIFO admission: start the oldest waiting components that fit.
+    std::sort(waiting.begin(), waiting.end(),
+              [](const Waiting& a, const Waiting& b) { return a.fifo < b.fifo; });
+    for (auto it = waiting.begin(); it != waiting.end();) {
+      if (it->cpus <= total_cpus_ - used_cpus) {
+        running.push_back({it->seq, it->job, it->comp, it->cpus, it->busy});
+        used_cpus += it->cpus;
+        it = waiting.erase(it);
+      } else {
+        // Strict FIFO: do not let later small components jump the queue.
+        break;
+      }
+    }
+  };
+
+  for (std::size_t s = 0; s < nseq; ++s) admit_job(static_cast<int>(s), 0.0);
+  start_waiting();
+
+  while (!running.empty()) {
+    // All running components progress at 1/contention(active CPUs).
+    const double factor =
+        1.0 + contention_per_cpu_ * std::max(0, used_cpus - 1);
+    // Time until the next completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const auto& r : running) dt = std::min(dt, r.remaining * factor);
+    now += dt;
+    // Retire everything finishing now.
+    for (auto& r : running) r.remaining -= dt / factor;
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->remaining <= 1e-12) {
+        used_cpus -= it->cpus;
+        const int seq = it->seq;
+        it = running.erase(it);
+        if (--live_components[static_cast<std::size_t>(seq)] == 0) {
+          const auto& sequence = sequences[static_cast<std::size_t>(seq)];
+          result.jobs.push_back(
+              {sequence.name + "/" +
+                   sequence.jobs[next_job[static_cast<std::size_t>(seq)]].name,
+               job_start[static_cast<std::size_t>(seq)], now});
+          if (++next_job[static_cast<std::size_t>(seq)] <
+              sequence.jobs.size()) {
+            admit_job(seq, now);
+          }
+        }
+      } else {
+        ++it;
+      }
+    }
+    start_waiting();
+    NCAR_REQUIRE(!running.empty() || waiting.empty(),
+                 "scheduler deadlock: waiting components cannot start");
+  }
+
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace ncar::prodload

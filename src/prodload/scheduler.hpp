@@ -1,0 +1,67 @@
+#pragma once
+// PRODLOAD — simulated production job load (paper section 4.6).
+//
+// A "job" is the HIPPI benchmark plus three CCM2 copies (one 3-day T106 run
+// and two 20-day T42 runs) executing simultaneously; a job completes when
+// all components finish. Test 1 runs one sequence of four jobs back to
+// back; tests 2 and 3 run two and four such sequences concurrently; test 4
+// runs two 2-day T170 CCM2 copies concurrently. The benchmark measure is
+// the wall clock from first job start to last job completion, summed over
+// the tests — 93 minutes 28 seconds on the SX-4/32.
+//
+// This module is the discrete-event scheduler: components demand CPUs from
+// a 32-CPU node (FIFO, like a SUPER-UX Resource Block), run at a rate
+// reduced by the node's bank-contention factor for the currently active
+// CPU count, and queue when the node is full.
+
+#include <string>
+#include <vector>
+
+namespace ncar::prodload {
+
+/// One schedulable component: needs `cpus` processors for `busy_seconds`
+/// of quiet-machine service time.
+struct Component {
+  std::string name;
+  int cpus = 1;
+  double busy_seconds = 0;
+};
+
+/// Components of a job run concurrently; the job ends when all end.
+struct Job {
+  std::string name;
+  std::vector<Component> components;
+};
+
+/// Jobs of a sequence run strictly one after another.
+struct Sequence {
+  std::string name;
+  std::vector<Job> jobs;
+};
+
+struct JobRecord {
+  std::string name;
+  double start = 0;
+  double end = 0;
+};
+
+struct RunResult {
+  double makespan = 0;           ///< first start to last completion
+  std::vector<JobRecord> jobs;   ///< per-job start/stop times
+};
+
+class Scheduler {
+public:
+  /// `total_cpus` on the node; `contention_per_cpu` is the per-active-CPU
+  /// bank-conflict slowdown (same constant as the SX-4 node model).
+  Scheduler(int total_cpus, double contention_per_cpu);
+
+  /// Run the given sequences concurrently to completion.
+  RunResult run(const std::vector<Sequence>& sequences) const;
+
+private:
+  int total_cpus_;
+  double contention_per_cpu_;
+};
+
+}  // namespace ncar::prodload

@@ -1,0 +1,151 @@
+#include "radabs/radabs.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ncar::radabs {
+
+namespace {
+
+// Two-band absorptance coefficients (representative magnitudes for the
+// H2O rotation band and continuum used by CCM2's longwave scheme).
+constexpr double kBandCoeff1 = 8.0;
+constexpr double kBandCoeff2 = 0.04;
+constexpr double kDiffusivity = 1.66;   // diffusivity factor
+constexpr double kRefTemp = 250.0;
+constexpr double kGravityInv = 1.0 / 9.80616;
+
+}  // namespace
+
+ColumnField make_test_atmosphere(int ncol, int nlev, std::uint64_t seed) {
+  NCAR_REQUIRE(ncol >= 1 && nlev >= 2, "atmosphere shape");
+  ColumnField f;
+  f.ncol = ncol;
+  f.nlev = nlev;
+  f.pressure.resize(static_cast<std::size_t>(nlev));
+  f.temp.resize(static_cast<std::size_t>(ncol) * nlev);
+  f.qh2o.resize(static_cast<std::size_t>(ncol) * nlev);
+
+  Rng rng(seed);
+  // Sigma-like pressure levels from ~2 hPa to 1000 hPa.
+  for (int k = 0; k < nlev; ++k) {
+    const double sigma = std::pow((k + 1.0) / nlev, 1.5);
+    f.pressure[static_cast<std::size_t>(k)] = 200.0 + 99800.0 * sigma;
+  }
+  for (int c = 0; c < ncol; ++c) {
+    const double perturb = 1.0 + 0.02 * (rng.next_double() - 0.5);
+    for (int k = 0; k < nlev; ++k) {
+      const double p = f.pressure[static_cast<std::size_t>(k)];
+      const std::size_t idx = static_cast<std::size_t>(c) * nlev + k;
+      // Crude lapse-rate temperature and exponentially decaying moisture.
+      f.temp[idx] = perturb * (210.0 + 85.0 * std::pow(p / 1.0e5, 0.28));
+      f.qh2o[idx] = perturb * 0.012 * std::exp(-4.0 * (1.0 - p / 1.0e5));
+    }
+  }
+  return f;
+}
+
+RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f) {
+  NCAR_REQUIRE(f.ncol >= 1 && f.nlev >= 2, "field shape");
+  using sxs::Intrinsic;
+  const int ncol = f.ncol;
+  const int nlev = f.nlev;
+
+  machine.reset();
+  double checksum = 0.0;
+  long pairs = 0;
+
+  // Precompute per-column path increments dW(k) = q * dp / g (vector loop).
+  std::vector<double> dw(static_cast<std::size_t>(ncol) * nlev);
+  for (int k = 0; k < nlev; ++k) {
+    const double dp = (k == 0)
+                          ? f.pressure[0]
+                          : f.pressure[static_cast<std::size_t>(k)] -
+                                f.pressure[static_cast<std::size_t>(k - 1)];
+    for (int c = 0; c < ncol; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(c) * nlev + k;
+      dw[idx] = f.qh2o[idx] * dp * kGravityInv;
+    }
+  }
+  {
+    sxs::VectorOp op;
+    op.n = ncol;
+    op.flops_per_elem = 2;
+    op.load_words = 2;
+    op.store_words = 1;
+    for (int k = 0; k < nlev; ++k) machine.vec(op);  // one op per level
+  }
+
+  // Absorptivity between every pair of levels (k1 < k2): the O(nlev^2)
+  // structure that makes RADABS the most expensive routine in CCM2.
+  for (int k1 = 0; k1 < nlev; ++k1) {
+    for (int k2 = k1 + 1; k2 < nlev; ++k2) {
+      ++pairs;
+      // -- numerics over the column (vector) axis ------------------------
+      for (int c = 0; c < ncol; ++c) {
+        // Path of absorber between the two levels.
+        double w = 0.0;
+        for (int k = k1 + 1; k <= k2; ++k) {
+          w += dw[static_cast<std::size_t>(c) * nlev + k];
+        }
+        const double tbar =
+            0.5 * (f.temp[static_cast<std::size_t>(c) * nlev + k1] +
+                   f.temp[static_cast<std::size_t>(c) * nlev + k2]);
+        const double pbar =
+            0.5 * (f.pressure[static_cast<std::size_t>(k1)] +
+                   f.pressure[static_cast<std::size_t>(k2)]);
+        const double u = kDiffusivity * w * std::sqrt(pbar / 1.0e5);
+        // Band 1: strong-line square-root growth via exp.
+        const double a1 = 1.0 - std::exp(-kBandCoeff1 * std::sqrt(u));
+        // Band 2: weak-line logarithmic growth with temperature scaling.
+        const double tfac = std::pow(tbar / kRefTemp, 0.5);
+        const double a2 = kBandCoeff2 * std::log(1.0 + u * tfac);
+        checksum += a1 + a2;
+      }
+      // -- timing: what the vector compiler generates for the loop above --
+      // Path accumulation: (k2-k1) chained adds over the column axis.
+      sxs::VectorOp acc;
+      acc.n = ncol;
+      acc.flops_per_elem = static_cast<double>(k2 - k1);
+      acc.load_words = static_cast<double>(k2 - k1);
+      acc.load_stride = nlev;  // dw is level-fastest per column here
+      acc.pipe_groups = 1;
+      machine.vec(acc);
+      // Algebraic body: means, scalings, band combination (~14 flops).
+      sxs::VectorOp body;
+      body.n = ncol;
+      body.flops_per_elem = 14;
+      body.load_words = 3;
+      body.store_words = 1;
+      body.pipe_groups = 2;
+      machine.vec(body);
+      // Intrinsics: 2 sqrt, 1 exp, 1 pow, 1 log per (column, pair).
+      machine.intrinsic(Intrinsic::Sqrt, ncol);
+      machine.intrinsic(Intrinsic::Sqrt, ncol);
+      machine.intrinsic(Intrinsic::Exp, ncol);
+      machine.intrinsic(Intrinsic::Pow, ncol);
+      machine.intrinsic(Intrinsic::Log, ncol);
+    }
+  }
+
+  RadabsResult r;
+  r.seconds = machine.seconds();
+  r.equiv_mflops = machine.equiv_flops() / r.seconds / 1e6;
+  r.hw_mflops = machine.hw_flops() / r.seconds / 1e6;
+  r.checksum = checksum;
+  r.level_pairs = pairs;
+  NCAR_REQUIRE(std::isfinite(checksum) && checksum > 0,
+               "absorptivity checksum invalid");
+  return r;
+}
+
+RadabsResult run_radabs_standard(machines::Comparator& machine) {
+  // CCM2 T42 shape: a latitude row of 128 columns with 18 levels. Rates are
+  // intensive, so one row establishes the benchmark figure.
+  const auto field = make_test_atmosphere(128, 18);
+  return run_radabs(machine, field);
+}
+
+}  // namespace ncar::radabs

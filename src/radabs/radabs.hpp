@@ -1,0 +1,51 @@
+#pragma once
+// RADABS — the NCAR suite's raw-performance kernel (paper section 4.4).
+//
+// RADABS is the single most expensive subroutine of CCM2: longwave
+// radiation absorptivities computed in vertical columns, dominated by
+// intrinsic calls (EXP, LOG, PWR, SQRT) threaded through multi-line
+// path-length and band-absorptance expressions. It is embarrassingly
+// parallel across columns and vectorises over the column (longitude) axis.
+// The paper reports it in "Cray Y-MP equivalent Mflops": flops counted with
+// the Y-MP hardware-performance-monitor convention, divided by wall time.
+//
+// This implementation computes a real two-band absorptance model on
+// synthetic atmospheric columns (pressure/temperature/water-vapour profiles)
+// so that results are numerically checkable, and charges the machine model
+// with the loop structure a vector compiler produces: one vector operation
+// over the column axis per level pair per expression group.
+
+#include <vector>
+
+#include "machines/comparator.hpp"
+
+namespace ncar::radabs {
+
+struct ColumnField {
+  int ncol = 0;   ///< columns (vector axis; nlon on the Gaussian grid)
+  int nlev = 0;   ///< vertical levels
+  std::vector<double> pressure;  ///< [lev] interface pressure (Pa)
+  std::vector<double> temp;      ///< [col * nlev] layer temperature (K)
+  std::vector<double> qh2o;      ///< [col * nlev] water vapour mass mixing
+};
+
+/// Build a deterministic synthetic atmosphere (US-standard-like profiles
+/// with a small per-column perturbation).
+ColumnField make_test_atmosphere(int ncol, int nlev, std::uint64_t seed = 3);
+
+struct RadabsResult {
+  double seconds = 0;        ///< simulated time
+  double equiv_mflops = 0;   ///< Cray-Y-MP-equivalent Mflops
+  double hw_mflops = 0;      ///< hardware-counted Mflops
+  double checksum = 0;       ///< sum of absorptivities (regression check)
+  long level_pairs = 0;
+};
+
+/// Run the kernel once over the field on the given machine model.
+RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f);
+
+/// Convenience: run at the benchmark's standard shape (a CCM2 T42 latitude
+/// row: 128 columns x 18 levels).
+RadabsResult run_radabs_standard(machines::Comparator& machine);
+
+}  // namespace ncar::radabs

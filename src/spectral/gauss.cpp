@@ -1,0 +1,48 @@
+#include "spectral/gauss.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ncar::spectral {
+
+LegendreEval legendre_pn(int n, double x) {
+  NCAR_REQUIRE(n >= 0, "degree");
+  double p0 = 1.0, p1 = x;
+  if (n == 0) return {1.0, 0.0};
+  for (int k = 2; k <= n; ++k) {
+    const double pk = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+    p0 = p1;
+    p1 = pk;
+  }
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+  const double dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+  return {p1, dp};
+}
+
+GaussNodes gauss_legendre(int n) {
+  NCAR_REQUIRE(n >= 1, "need at least one node");
+  GaussNodes g;
+  g.mu.resize(static_cast<std::size_t>(n));
+  g.weight.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Chebyshev-like initial guess for the i-th root (descending), then
+    // Newton. Roots are symmetric; we fill ascending order at the end.
+    double x = std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const auto e = legendre_pn(n, x);
+      const double dx = e.p / e.dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const auto e = legendre_pn(n, x);
+    const double w = 2.0 / ((1.0 - x * x) * e.dp * e.dp);
+    // i-th Newton target descends from +1; store ascending.
+    g.mu[static_cast<std::size_t>(n - 1 - i)] = x;
+    g.weight[static_cast<std::size_t>(n - 1 - i)] = w;
+  }
+  return g;
+}
+
+}  // namespace ncar::spectral

@@ -1,0 +1,26 @@
+#pragma once
+// Gauss–Legendre quadrature for the Gaussian polar grid (paper section
+// 4.7.1: "the spectral transform calculations are performed on a polar grid
+// which is irregularly spaced in latitude, called a Gaussian polar grid").
+
+#include <vector>
+
+namespace ncar::spectral {
+
+struct GaussNodes {
+  std::vector<double> mu;      ///< nodes (sin latitude), ascending in (-1,1)
+  std::vector<double> weight;  ///< quadrature weights, sum = 2
+};
+
+/// Compute the n-point Gauss–Legendre rule on [-1, 1] by Newton iteration
+/// on the Legendre polynomial P_n.
+GaussNodes gauss_legendre(int n);
+
+/// Evaluate the (unnormalised) Legendre polynomial P_n and its derivative.
+struct LegendreEval {
+  double p;   ///< P_n(x)
+  double dp;  ///< P_n'(x)
+};
+LegendreEval legendre_pn(int n, double x);
+
+}  // namespace ncar::spectral

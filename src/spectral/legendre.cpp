@@ -1,0 +1,145 @@
+#include "spectral/legendre.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ncar::spectral {
+
+TriangularIndex::TriangularIndex(int truncation) : t_(truncation) {
+  NCAR_REQUIRE(truncation >= 1, "truncation must be at least 1");
+  offsets_.resize(static_cast<std::size_t>(t_) + 2);
+  int off = 0;
+  for (int m = 0; m <= t_; ++m) {
+    offsets_[static_cast<std::size_t>(m)] = off;
+    off += t_ - m + 1;
+  }
+  offsets_[static_cast<std::size_t>(t_) + 1] = off;
+}
+
+int TriangularIndex::at(int m, int n) const {
+  NCAR_REQUIRE(m >= 0 && m <= t_ && n >= m && n <= t_, "coefficient (m,n)");
+  return offsets_[static_cast<std::size_t>(m)] + (n - m);
+}
+
+int TriangularIndex::column_start(int m) const {
+  NCAR_REQUIRE(m >= 0 && m <= t_, "column m");
+  return offsets_[static_cast<std::size_t>(m)];
+}
+
+namespace {
+
+double eps(int n, int m) {
+  const double nn = static_cast<double>(n), mm = static_cast<double>(m);
+  return std::sqrt((nn * nn - mm * mm) / (4.0 * nn * nn - 1.0));
+}
+
+/// Evaluate Pbar up to degree `deg` for all m <= min(deg, T)-columns of a
+/// rectangular-ish table indexed by a caller-provided accessor.
+void evaluate_to_degree(int t, int deg, double mu, std::vector<double>& buf,
+                        int stride) {
+  // buf holds columns m = 0..t, each of length deg-m+1, packed with
+  // column starts supplied via `stride`-free packing computed here.
+  (void)stride;
+  const double s = std::sqrt(1.0 - mu * mu);
+  int off = 0;
+  // First compute the diagonal Pbar_m^m, carried along column starts.
+  std::vector<double> diag(static_cast<std::size_t>(t) + 1);
+  diag[0] = 1.0;
+  for (int m = 1; m <= t; ++m) {
+    diag[static_cast<std::size_t>(m)] =
+        std::sqrt((2.0 * m + 1.0) / (2.0 * m)) * s *
+        diag[static_cast<std::size_t>(m - 1)];
+  }
+  for (int m = 0; m <= t; ++m) {
+    double pm2 = 0.0;                                 // Pbar_{m-1}^m ( = 0 )
+    double pm1 = diag[static_cast<std::size_t>(m)];   // Pbar_m^m
+    buf[static_cast<std::size_t>(off)] = pm1;
+    for (int n = m + 1; n <= deg; ++n) {
+      const double p = (mu * pm1 - eps(n - 1, m) * pm2) / eps(n, m);
+      buf[static_cast<std::size_t>(off + (n - m))] = p;
+      pm2 = pm1;
+      pm1 = p;
+    }
+    off += deg - m + 1;
+  }
+}
+
+}  // namespace
+
+void evaluate_pbar(int truncation, double mu, const TriangularIndex& idx,
+                   std::vector<double>& out) {
+  NCAR_REQUIRE(idx.truncation() == truncation, "index mismatch");
+  out.resize(static_cast<std::size_t>(idx.size()));
+  // Pack directly at truncation degree.
+  std::vector<double> buf(static_cast<std::size_t>(idx.size()));
+  evaluate_to_degree(truncation, truncation, mu, buf, 0);
+  out = buf;
+}
+
+LegendreTable::LegendreTable(int truncation, const GaussNodes& nodes)
+    : index_(truncation), nlat_(static_cast<int>(nodes.mu.size())) {
+  NCAR_REQUIRE(nlat_ >= truncation + 1,
+               "need at least T+1 Gaussian latitudes for exact quadrature");
+  const int t = truncation;
+  const std::size_t csize = static_cast<std::size_t>(index_.size());
+  p_.resize(csize * static_cast<std::size_t>(nlat_));
+  dp_.resize(csize * static_cast<std::size_t>(nlat_));
+
+  // Extended table to degree T+1 (the derivative recurrence needs n+1).
+  int ext_size = 0;
+  for (int m = 0; m <= t; ++m) ext_size += (t + 1) - m + 1;
+  std::vector<double> ext(static_cast<std::size_t>(ext_size));
+
+  for (int j = 0; j < nlat_; ++j) {
+    const double mu = nodes.mu[static_cast<std::size_t>(j)];
+    evaluate_to_degree(t, t + 1, mu, ext, 0);
+    int ext_off = 0;
+    for (int m = 0; m <= t; ++m) {
+      const int col = index_.column_start(m);
+      for (int n = m; n <= t; ++n) {
+        const double pn = ext[static_cast<std::size_t>(ext_off + (n - m))];
+        const double pnp1 = ext[static_cast<std::size_t>(ext_off + (n + 1 - m))];
+        const double pnm1 =
+            (n > m) ? ext[static_cast<std::size_t>(ext_off + (n - 1 - m))] : 0.0;
+        const std::size_t dst =
+            static_cast<std::size_t>(j) * csize +
+            static_cast<std::size_t>(col + (n - m));
+        p_[dst] = pn;
+        // (1 - mu^2) dPbar_n^m/dmu = -n eps(n+1,m) Pbar_{n+1}^m
+        //                            + (n+1) eps(n,m) Pbar_{n-1}^m
+        dp_[dst] = -static_cast<double>(n) * eps(n + 1, m) * pnp1 +
+                   static_cast<double>(n + 1) * eps(n, m) * pnm1;
+      }
+      ext_off += (t + 1) - m + 1;
+    }
+  }
+}
+
+double LegendreTable::p(int j, int m, int n) const {
+  NCAR_REQUIRE(j >= 0 && j < nlat_, "latitude index");
+  return p_[static_cast<std::size_t>(j) * static_cast<std::size_t>(index_.size()) +
+            static_cast<std::size_t>(index_.at(m, n))];
+}
+
+double LegendreTable::dp(int j, int m, int n) const {
+  NCAR_REQUIRE(j >= 0 && j < nlat_, "latitude index");
+  return dp_[static_cast<std::size_t>(j) * static_cast<std::size_t>(index_.size()) +
+             static_cast<std::size_t>(index_.at(m, n))];
+}
+
+const double* LegendreTable::p_column(int j, int m) const {
+  NCAR_REQUIRE(j >= 0 && j < nlat_, "latitude index");
+  return p_.data() +
+         static_cast<std::size_t>(j) * static_cast<std::size_t>(index_.size()) +
+         static_cast<std::size_t>(index_.column_start(m));
+}
+
+const double* LegendreTable::dp_column(int j, int m) const {
+  NCAR_REQUIRE(j >= 0 && j < nlat_, "latitude index");
+  return dp_.data() +
+         static_cast<std::size_t>(j) * static_cast<std::size_t>(index_.size()) +
+         static_cast<std::size_t>(index_.column_start(m));
+}
+
+}  // namespace ncar::spectral

@@ -1,0 +1,189 @@
+#include "spectral/sht.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fft/real_fft.hpp"
+
+namespace ncar::spectral {
+
+ShTransform::ShTransform(int truncation, int nlat, int nlon)
+    : nodes_(gauss_legendre(nlat)),
+      table_(truncation, nodes_),
+      nlat_(nlat),
+      nlon_(nlon),
+      plan_(nlon) {
+  NCAR_REQUIRE(nlon >= 2 * (truncation + 1),
+               "longitude count cannot represent the truncation");
+  NCAR_REQUIRE(fft::Plan::supported(nlon), "nlon must factor into 2,3,5");
+}
+
+void ShTransform::fourier_analysis(const Array2D<double>& grid,
+                                   std::vector<cd>& fm) const {
+  const int t = truncation();
+  fm.assign(static_cast<std::size_t>(t + 1) * static_cast<std::size_t>(nlat_),
+            cd(0, 0));
+  std::vector<cd> spec_row(static_cast<std::size_t>(fft::spectrum_size(nlon_)));
+  for (int j = 0; j < nlat_; ++j) {
+    fft::real_forward(plan_, grid.column(static_cast<std::size_t>(j)),
+                      spec_row);
+    for (int m = 0; m <= t; ++m) {
+      // F[m] = nlon * G_m; store G_m.
+      fm[static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
+         static_cast<std::size_t>(j)] =
+          spec_row[static_cast<std::size_t>(m)] / static_cast<double>(nlon_);
+    }
+  }
+}
+
+void ShTransform::fourier_synthesis(const std::vector<cd>& fm,
+                                    Array2D<double>& grid) const {
+  const int t = truncation();
+  std::vector<cd> spec_row(static_cast<std::size_t>(fft::spectrum_size(nlon_)),
+                           cd(0, 0));
+  for (int j = 0; j < nlat_; ++j) {
+    for (int m = 0; m <= t; ++m) {
+      spec_row[static_cast<std::size_t>(m)] =
+          fm[static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
+             static_cast<std::size_t>(j)] *
+          static_cast<double>(nlon_);
+    }
+    for (int m = t + 1; m < fft::spectrum_size(nlon_); ++m) {
+      spec_row[static_cast<std::size_t>(m)] = cd(0, 0);
+    }
+    auto col = grid.column(static_cast<std::size_t>(j));
+    fft::real_inverse(plan_, spec_row, col);
+  }
+}
+
+void ShTransform::analysis(const Array2D<double>& grid,
+                           std::span<cd> spec) const {
+  NCAR_REQUIRE(grid.ni() == static_cast<std::size_t>(nlon_) &&
+                   grid.nj() == static_cast<std::size_t>(nlat_),
+               "grid shape");
+  NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
+  const int t = truncation();
+  std::vector<cd> fm;
+  fourier_analysis(grid, fm);
+
+  for (auto& s : spec) s = cd(0, 0);
+  for (int j = 0; j < nlat_; ++j) {
+    const double w = 0.5 * nodes_.weight[static_cast<std::size_t>(j)];
+    for (int m = 0; m <= t; ++m) {
+      const cd g = w * fm[static_cast<std::size_t>(m) *
+                              static_cast<std::size_t>(nlat_) +
+                          static_cast<std::size_t>(j)];
+      const double* pcol = table_.p_column(j, m);
+      cd* scol = spec.data() + index().column_start(m);
+      const int len = index().column_length(m);
+      for (int k = 0; k < len; ++k) {
+        scol[k] += g * pcol[k];
+      }
+    }
+  }
+  // The m = 0 column of a real field is real; clamp rounding residue.
+  {
+    cd* scol = spec.data() + index().column_start(0);
+    for (int k = 0; k < index().column_length(0); ++k) {
+      scol[k] = cd(scol[k].real(), 0.0);
+    }
+  }
+}
+
+void ShTransform::synthesis(std::span<const cd> spec,
+                            Array2D<double>& grid) const {
+  NCAR_REQUIRE(grid.ni() == static_cast<std::size_t>(nlon_) &&
+                   grid.nj() == static_cast<std::size_t>(nlat_),
+               "grid shape");
+  NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
+  const int t = truncation();
+  std::vector<cd> fm(static_cast<std::size_t>(t + 1) *
+                         static_cast<std::size_t>(nlat_),
+                     cd(0, 0));
+  for (int j = 0; j < nlat_; ++j) {
+    for (int m = 0; m <= t; ++m) {
+      const double* pcol = table_.p_column(j, m);
+      const cd* scol = spec.data() + index().column_start(m);
+      const int len = index().column_length(m);
+      cd acc(0, 0);
+      for (int k = 0; k < len; ++k) acc += scol[k] * pcol[k];
+      fm[static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
+         static_cast<std::size_t>(j)] = acc;
+    }
+  }
+  fourier_synthesis(fm, grid);
+}
+
+void ShTransform::synthesis_gradient(std::span<const cd> spec,
+                                     Array2D<double>& dlam,
+                                     Array2D<double>& dmu) const {
+  NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
+  const int t = truncation();
+  std::vector<cd> fm_lam(static_cast<std::size_t>(t + 1) *
+                             static_cast<std::size_t>(nlat_),
+                         cd(0, 0));
+  std::vector<cd> fm_mu = fm_lam;
+  for (int j = 0; j < nlat_; ++j) {
+    for (int m = 0; m <= t; ++m) {
+      const double* pcol = table_.p_column(j, m);
+      const double* dcol = table_.dp_column(j, m);
+      const cd* scol = spec.data() + index().column_start(m);
+      const int len = index().column_length(m);
+      cd acc_p(0, 0), acc_d(0, 0);
+      for (int k = 0; k < len; ++k) {
+        acc_p += scol[k] * pcol[k];
+        acc_d += scol[k] * dcol[k];
+      }
+      const std::size_t dst =
+          static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
+          static_cast<std::size_t>(j);
+      fm_lam[dst] = cd(0, 1) * static_cast<double>(m) * acc_p;
+      fm_mu[dst] = acc_d;
+    }
+  }
+  fourier_synthesis(fm_lam, dlam);
+  fourier_synthesis(fm_mu, dmu);
+}
+
+void ShTransform::laplacian(std::span<cd> spec, double radius) const {
+  NCAR_REQUIRE(radius > 0, "radius");
+  NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
+  const int t = truncation();
+  const double a2 = radius * radius;
+  for (int m = 0; m <= t; ++m) {
+    cd* scol = spec.data() + index().column_start(m);
+    for (int n = m; n <= t; ++n) {
+      scol[n - m] *= -static_cast<double>(n) * (n + 1.0) / a2;
+    }
+  }
+}
+
+void ShTransform::inverse_laplacian(std::span<cd> spec, double radius) const {
+  NCAR_REQUIRE(radius > 0, "radius");
+  NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
+  const int t = truncation();
+  const double a2 = radius * radius;
+  for (int m = 0; m <= t; ++m) {
+    cd* scol = spec.data() + index().column_start(m);
+    for (int n = m; n <= t; ++n) {
+      if (n == 0) {
+        scol[n - m] = cd(0, 0);
+      } else {
+        scol[n - m] *= -a2 / (static_cast<double>(n) * (n + 1.0));
+      }
+    }
+  }
+}
+
+double ShTransform::transform_flops() const {
+  // Legendre part: nlat latitudes x (T+1)(T+2)/2 coefficients x one complex
+  // axpy (4 real flops), plus the longitude FFTs.
+  const double legendre =
+      static_cast<double>(nlat_) * static_cast<double>(spec_size()) * 4.0;
+  const double fft_part = static_cast<double>(nlat_) *
+                          2.5 * static_cast<double>(nlon_) *
+                          std::log2(static_cast<double>(nlon_));
+  return legendre + fft_part;
+}
+
+}  // namespace ncar::spectral

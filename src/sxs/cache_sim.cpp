@@ -1,0 +1,55 @@
+#include "sxs/cache_sim.hpp"
+
+#include "common/error.hpp"
+
+namespace ncar::sxs {
+
+namespace {
+bool power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  NCAR_REQUIRE(ways >= 1, "associativity");
+  NCAR_REQUIRE(power_of_two(line_bytes), "line size must be a power of two");
+  NCAR_REQUIRE(size_bytes % (line_bytes * static_cast<std::size_t>(ways)) == 0,
+               "capacity must divide into sets");
+  sets_ = size_bytes / (line_bytes * static_cast<std::size_t>(ways));
+  NCAR_REQUIRE(power_of_two(sets_), "set count must be a power of two");
+  lines_.resize(sets_ * static_cast<std::size_t>(ways_));
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  ++tick_;
+  const std::uint64_t line_addr = addr / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & (sets_ - 1);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
+
+  Line* lru = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      lru = &line;  // prefer an invalid way for the fill
+    } else if (lru->valid && line.last_use < lru->last_use) {
+      lru = &line;
+    }
+  }
+  ++misses_;
+  lru->valid = true;
+  lru->tag = tag;
+  lru->last_use = tick_;
+  return false;
+}
+
+void CacheSim::flush() {
+  for (auto& line : lines_) line.valid = false;
+  tick_ = hits_ = misses_ = 0;
+}
+
+}  // namespace ncar::sxs

@@ -1,0 +1,61 @@
+#pragma once
+// Set-associative cache simulator (true LRU).
+//
+// The SX-4 scalar unit has 64 KB instruction and 64 KB data caches (paper
+// section 2.1, Figure 4). The analytic scalar timing model in ScalarUnit is
+// calibrated against this reference simulator; tests drive both against the
+// same access streams.
+
+#include <cstdint>
+#include <vector>
+
+#include "sxs/machine_config.hpp"
+
+namespace ncar::sxs {
+
+class CacheSim {
+public:
+  /// `size_bytes` total capacity, `line_bytes` per line, `ways` associativity.
+  CacheSim(std::size_t size_bytes, std::size_t line_bytes, int ways);
+
+  /// Build from a machine configuration's data-cache parameters.
+  static CacheSim dcache(const MachineConfig& cfg) {
+    return CacheSim(cfg.dcache_bytes, cfg.cache_line_bytes, cfg.cache_ways);
+  }
+
+  /// Access one byte address; returns true on hit. Loads and stores are
+  /// treated alike (write-allocate, write-back).
+  bool access(std::uint64_t addr);
+
+  void flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double miss_rate() const {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(misses_) / static_cast<double>(accesses());
+  }
+
+  std::size_t sets() const { return sets_; }
+  std::size_t line_bytes() const { return line_bytes_; }
+  int ways() const { return ways_; }
+
+private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::size_t line_bytes_;
+  std::size_t sets_;
+  int ways_;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ncar::sxs

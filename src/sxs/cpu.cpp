@@ -1,0 +1,99 @@
+#include "sxs/cpu.hpp"
+
+#include "common/error.hpp"
+
+namespace ncar::sxs {
+
+void Cpu::vec(const VectorOp& op, long repeats) {
+  NCAR_REQUIRE(repeats >= 0, "negative repeat count");
+  if (repeats == 0) return;
+  const double reps = static_cast<double>(repeats);
+  const double c = vu_.cycles(op) * contention_ * reps;
+  cycles_ += c;
+  vector_cycles_ += c;
+  const double n = static_cast<double>(op.n) * reps;
+  const double flops = n * (op.flops_per_elem + op.div_per_elem);
+  hw_flops_ += flops;
+  equiv_flops_ += flops;
+}
+
+void Cpu::scalar(const ScalarOp& op) {
+  const double c = su_.cycles(op) * contention_;
+  cycles_ += c;
+  scalar_cycles_ += c;
+  const double flops =
+      static_cast<double>(op.iters) * op.flops_per_iter;
+  hw_flops_ += flops;
+  equiv_flops_ += flops;
+}
+
+void Cpu::intrinsic(Intrinsic f, long n, double extra_load_words,
+                    double extra_store_words, double cycle_multiplier,
+                    long repeats) {
+  NCAR_REQUIRE(n >= 0, "negative intrinsic count");
+  NCAR_REQUIRE(repeats >= 0, "negative repeat count");
+  NCAR_REQUIRE(cycle_multiplier >= 1.0, "cycle multiplier below 1");
+  if (n == 0 || repeats == 0) return;
+  const IntrinsicCost cost = intrinsic_cost(f);
+  VectorOp op;
+  op.n = n;
+  op.flops_per_elem = cost.hw_flops;
+  op.div_per_elem = cost.hw_div;
+  op.load_words = extra_load_words;
+  op.store_words = extra_store_words;
+  op.pipe_groups = 2;
+  const double reps = static_cast<double>(repeats);
+  const double c = vu_.cycles(op) * contention_ * cycle_multiplier * reps;
+  cycles_ += c;
+  intrinsic_cycles_ += c;
+  const double total = static_cast<double>(n) * reps;
+  hw_flops_ += total * (cost.hw_flops + cost.hw_div);
+  equiv_flops_ += total * cost.equiv_flops;
+}
+
+void Cpu::scalar_intrinsic(Intrinsic f, long n) {
+  NCAR_REQUIRE(n >= 0, "negative intrinsic count");
+  if (n == 0) return;
+  const IntrinsicCost cost = intrinsic_cost(f);
+  ScalarOp op;
+  op.iters = n;
+  op.flops_per_iter = cost.hw_flops + cost.hw_div;
+  op.mem_words_per_iter = 2.0;  // argument load + result store
+  op.other_ops_per_iter = 6.0;  // call / branch / table indexing overhead
+  op.working_set_bytes = 4096;  // coefficient tables stay resident
+  op.reuse_fraction = 0.9;
+  const double c = su_.cycles(op) * contention_;
+  cycles_ += c;
+  intrinsic_cycles_ += c;
+  hw_flops_ += static_cast<double>(n) * (cost.hw_flops + cost.hw_div);
+  equiv_flops_ += static_cast<double>(n) * cost.equiv_flops;
+}
+
+void Cpu::charge_cycles(double cycles) {
+  NCAR_REQUIRE(cycles >= 0, "negative cycle charge");
+  // Raw charges represent real work (memory-touching included), so the
+  // node contention factor applies here as well.
+  cycles_ += cycles * contention_;
+}
+
+void Cpu::charge_seconds(double seconds) {
+  NCAR_REQUIRE(seconds >= 0, "negative time charge");
+  charge_cycles(seconds / cfg_->seconds_per_clock());
+}
+
+void Cpu::set_contention(double factor) {
+  NCAR_REQUIRE(factor >= 1.0, "contention factor below 1");
+  contention_ = factor;
+}
+
+void Cpu::reset() {
+  cycles_ = 0;
+  vector_cycles_ = 0;
+  scalar_cycles_ = 0;
+  intrinsic_cycles_ = 0;
+  hw_flops_ = 0;
+  equiv_flops_ = 0;
+  contention_ = 1.0;
+}
+
+}  // namespace ncar::sxs

@@ -1,0 +1,100 @@
+#pragma once
+// A simulated SX-4 central processor.
+//
+// The Cpu accumulates simulated cycles as benchmark kernels charge vector,
+// scalar, and intrinsic operations against it, and tracks two flop
+// currencies: hardware flops (what our pipes executed) and Cray-Y-MP
+// equivalent flops (the unit the paper reports for RADABS and CCM2).
+
+#include "sxs/machine_config.hpp"
+#include "sxs/memory_model.hpp"
+#include "sxs/ops.hpp"
+#include "sxs/scalar_unit.hpp"
+#include "sxs/vector_unit.hpp"
+
+namespace ncar::sxs {
+
+class Cpu {
+public:
+  explicit Cpu(const MachineConfig& cfg)
+      : cfg_(&cfg), mem_(cfg), vu_(cfg, mem_), su_(cfg) {}
+
+  // The subunits hold references into this object and into the owning
+  // configuration; copying or moving would leave them dangling.
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // --- charging ------------------------------------------------------------
+  /// Charge a vectorised loop, `repeats` times (the common case of an
+  /// identical inner loop executed for every instance/latitude/level: the
+  /// timing is evaluated once and multiplied, keeping simulation cost flat).
+  /// Adds flops to both currencies (1:1 for plain arithmetic; divide
+  /// results count as one flop each).
+  void vec(const VectorOp& op, long repeats = 1);
+
+  /// Charge a scalar-mode loop (runs through the cache model).
+  void scalar(const ScalarOp& op);
+
+  /// Charge `n` vectorised intrinsic evaluations, each consuming
+  /// `extra_streams` additional load/store words per element.
+  /// `cycle_multiplier` scales the *time* of the evaluation without changing
+  /// the flop accounting — it models machines whose vector libm is less
+  /// tuned than their pipes (e.g. the J90's early CMOS library).
+  void intrinsic(Intrinsic f, long n, double extra_load_words = 1.0,
+                 double extra_store_words = 1.0,
+                 double cycle_multiplier = 1.0, long repeats = 1);
+
+  /// Charge `n` *scalar* intrinsic evaluations (cache-style code).
+  void scalar_intrinsic(Intrinsic f, long n);
+
+  /// Charge raw cycles (synchronisation, I/O waits, fixed overheads).
+  void charge_cycles(double cycles);
+  void charge_seconds(double seconds);
+
+  /// Adjust the equivalent-flop count without touching time (used when a
+  /// kernel's Cray flop-count convention differs from the hardware count).
+  void add_equiv_flops(double flops) { equiv_flops_ += flops; }
+
+  // --- contention -------------------------------------------------------------
+  /// Memory-bound cycle inflation applied while other CPUs are active;
+  /// set by Node::parallel from the bank-contention model.
+  void set_contention(double factor);
+  double contention() const { return contention_; }
+
+  // --- accounting -------------------------------------------------------------
+  double cycles() const { return cycles_; }
+  double seconds() const { return cycles_ * cfg_->seconds_per_clock(); }
+  double hw_flops() const { return hw_flops_; }
+  double equiv_flops() const { return equiv_flops_; }
+
+  /// Cycle breakdown by execution class (vector loops / scalar loops /
+  /// vectorised intrinsics / raw charges). Sums to cycles().
+  double vector_cycles() const { return vector_cycles_; }
+  double scalar_cycles() const { return scalar_cycles_; }
+  double intrinsic_cycles() const { return intrinsic_cycles_; }
+  double other_cycles() const {
+    return cycles_ - vector_cycles_ - scalar_cycles_ - intrinsic_cycles_;
+  }
+
+  void reset();
+
+  const MachineConfig& config() const { return *cfg_; }
+  const MemoryModel& memory() const { return mem_; }
+  const VectorUnit& vector_unit() const { return vu_; }
+  const ScalarUnit& scalar_unit() const { return su_; }
+
+private:
+  const MachineConfig* cfg_;
+  MemoryModel mem_;
+  VectorUnit vu_;
+  ScalarUnit su_;
+  double cycles_ = 0;
+  double vector_cycles_ = 0;
+  double scalar_cycles_ = 0;
+  double intrinsic_cycles_ = 0;
+  double hw_flops_ = 0;
+  double equiv_flops_ = 0;
+  double contention_ = 1.0;
+};
+
+}  // namespace ncar::sxs

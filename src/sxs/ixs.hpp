@@ -1,0 +1,37 @@
+#pragma once
+// Internode crossbar (IXS) model.
+//
+// Paper section 2.5: a fibre-channel crossbar joining up to 16 nodes, with
+// an 8 GB/s input and 8 GB/s output channel per node that operate
+// concurrently, 128 GB/s bisection bandwidth for the full system, and
+// global communications registers for internode synchronisation.
+
+#include "sxs/machine_config.hpp"
+
+namespace ncar::sxs {
+
+class Ixs {
+public:
+  explicit Ixs(const MachineConfig& cfg);
+
+  /// Seconds for a point-to-point transfer of `bytes` from one node to
+  /// another (latency plus channel-rate-limited payload).
+  double transfer_seconds(double bytes) const;
+
+  /// Seconds for every node simultaneously sending `bytes_per_node` across
+  /// the bisection (all-to-all style). Limited by the per-node channel or
+  /// the bisection bandwidth, whichever saturates first.
+  double all_to_all_seconds(int nodes, double bytes_per_node) const;
+
+  /// Seconds for a global internode barrier using the IXS communications
+  /// registers.
+  double global_barrier_seconds(int nodes) const;
+
+  /// The sustained bisection bandwidth of this configuration (bytes/s).
+  double bisection_bytes_per_s() const;
+
+private:
+  MachineConfig cfg_;
+};
+
+}  // namespace ncar::sxs

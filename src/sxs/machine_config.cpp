@@ -1,0 +1,59 @@
+#include "sxs/machine_config.hpp"
+
+#include "common/error.hpp"
+
+namespace ncar::sxs {
+
+MachineConfig MachineConfig::sx4_benchmarked() {
+  MachineConfig c;
+  c.name = "SX-4/32 (benchmarked, 9.2 ns)";
+  c.clock_ns = 9.2;
+  c.cpus_per_node = 32;
+  c.nodes = 1;
+  c.validate();
+  return c;
+}
+
+MachineConfig MachineConfig::sx4_product() {
+  MachineConfig c;
+  c.name = "SX-4/32 (product, 8.0 ns)";
+  c.clock_ns = 8.0;
+  c.cpus_per_node = 32;
+  c.nodes = 1;
+  c.validate();
+  return c;
+}
+
+MachineConfig MachineConfig::sx4_multinode(int nodes) {
+  NCAR_REQUIRE(nodes >= 1, "node count");
+  MachineConfig c = sx4_product();
+  NCAR_REQUIRE(nodes <= c.ixs_max_nodes, "IXS supports at most 16 nodes");
+  c.name = "SX-4/" + std::to_string(32 * nodes) + " (multi-node)";
+  c.nodes = nodes;
+  c.validate();
+  return c;
+}
+
+void MachineConfig::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw ncar::config_error(std::string("MachineConfig: ") + what);
+  };
+  check(clock_ns > 0, "clock period must be positive");
+  check(cpus_per_node > 0, "need at least one CPU per node");
+  check(nodes > 0 && nodes <= ixs_max_nodes, "node count out of range");
+  check(vector_length > 0 && pipes_per_group > 0, "vector unit shape");
+  check(vector_length % pipes_per_group == 0,
+        "vector register length must be a multiple of the pipe width");
+  check(memory_banks > 0 && (memory_banks & (memory_banks - 1)) == 0,
+        "bank count must be a power of two");
+  check(port_bytes_per_clock > 0 && node_bytes_per_clock > 0, "bandwidths");
+  check(gather_port_divisor >= 1 && scatter_port_divisor >= 1,
+        "port divisors must be >= 1");
+  check(cache_ways > 0 && cache_line_bytes > 0 && dcache_bytes > 0,
+        "cache shape");
+  check(dcache_bytes % (cache_line_bytes * cache_ways) == 0,
+        "cache size must be divisible by line size times associativity");
+  check(bank_contention_per_cpu >= 0, "contention coefficient");
+}
+
+}  // namespace ncar::sxs

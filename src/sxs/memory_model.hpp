@@ -1,0 +1,44 @@
+#pragma once
+// Banked-memory timing model for the SX-4 main memory unit.
+//
+// Paper section 2.2: up to 1024 banks of 64-bit-wide SSRAM with a two-clock
+// bank cycle; each CPU owns a 16 GB/s port into a non-blocking crossbar;
+// conflict-free unit-stride and stride-2 access is guaranteed, and "higher
+// strides and list vector access benefit from the very short bank cycle
+// time" — i.e. they are slower, but not catastrophically so.
+
+#include "sxs/machine_config.hpp"
+
+namespace ncar::sxs {
+
+class MemoryModel {
+public:
+  explicit MemoryModel(const MachineConfig& cfg) : cfg_(cfg) {}
+
+  /// Cycles for a strided vector stream of `n` 8-byte words at `stride`.
+  /// Unit stride and stride 2 run at full port width; larger strides pay a
+  /// bank-conflict factor that grows when the stride folds the request
+  /// stream onto few banks (power-of-two strides are the worst case).
+  double stream_cycles(long n_words, long stride) const;
+
+  /// Cycles for a gather (list-vector load) of `n` words: one generated
+  /// address per element at reduced port width, plus a stochastic
+  /// bank-conflict allowance.
+  double gather_cycles(long n_words) const;
+
+  /// Cycles for a scatter (list-vector store) of `n` words.
+  double scatter_cycles(long n_words) const;
+
+  /// Conflict multiplier for a constant-stride stream (>= 1).
+  double stride_conflict_factor(long stride) const;
+
+  /// Full contiguous port width in 8-byte words per clock.
+  double port_words_per_clock() const {
+    return cfg_.port_bytes_per_clock / 8.0;
+  }
+
+private:
+  const MachineConfig& cfg_;
+};
+
+}  // namespace ncar::sxs

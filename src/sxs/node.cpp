@@ -1,0 +1,92 @@
+#include "sxs/node.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ncar::sxs {
+
+Node::Node(const MachineConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  cpus_.reserve(static_cast<std::size_t>(cfg_.cpus_per_node));
+  for (int i = 0; i < cfg_.cpus_per_node; ++i) {
+    cpus_.push_back(std::make_unique<Cpu>(cfg_));
+  }
+}
+
+Cpu& Node::cpu(int i) {
+  NCAR_REQUIRE(i >= 0 && i < cpu_count(), "cpu index");
+  return *cpus_[static_cast<std::size_t>(i)];
+}
+
+const Cpu& Node::cpu(int i) const {
+  NCAR_REQUIRE(i >= 0 && i < cpu_count(), "cpu index");
+  return *cpus_[static_cast<std::size_t>(i)];
+}
+
+double Node::contention_factor(int active_cpus) const {
+  NCAR_REQUIRE(active_cpus >= 0, "active cpu count");
+  if (active_cpus <= 1) return 1.0;
+  return 1.0 + cfg_.bank_contention_per_cpu * (active_cpus - 1);
+}
+
+double Node::barrier_seconds(int ncpu) const {
+  if (ncpu <= 1) return 0.0;
+  const double clocks =
+      cfg_.barrier_base_clocks + cfg_.barrier_per_cpu_clocks * ncpu +
+      cfg_.commreg_op_clocks * 2.0;  // store-add entering, test-set leaving
+  return clocks * cfg_.seconds_per_clock();
+}
+
+double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
+  NCAR_REQUIRE(ncpu >= 1 && ncpu <= cpu_count(),
+               "parallel width exceeds node CPU count");
+  const int active = std::min(ncpu + external_active_, cpu_count());
+  const double contention = contention_factor(active);
+
+  double max_delta = 0.0;
+  for (int rank = 0; rank < ncpu; ++rank) {
+    Cpu& c = *cpus_[static_cast<std::size_t>(rank)];
+    const double before = c.cycles();
+    c.set_contention(contention);
+    body(rank, c);
+    c.set_contention(1.0);
+    max_delta = std::max(max_delta, c.cycles() - before);
+  }
+
+  const double region =
+      max_delta * cfg_.seconds_per_clock() + barrier_seconds(ncpu);
+  elapsed_ += region;
+  return region;
+}
+
+double Node::serial(const std::function<void(Cpu&)>& body) {
+  Cpu& c = *cpus_.front();
+  const double before = c.cycles();
+  // Memory traffic from other jobs on the node slows serial sections too.
+  const int active = std::min(1 + external_active_, cpu_count());
+  c.set_contention(contention_factor(active));
+  body(c);
+  c.set_contention(1.0);
+  const double region = (c.cycles() - before) * cfg_.seconds_per_clock();
+  elapsed_ += region;
+  return region;
+}
+
+void Node::set_external_active_cpus(int n) {
+  NCAR_REQUIRE(n >= 0 && n <= cpu_count(), "external active cpus");
+  external_active_ = n;
+}
+
+void Node::advance_seconds(double s) {
+  NCAR_REQUIRE(s >= 0, "negative advance");
+  elapsed_ += s;
+}
+
+void Node::reset() {
+  elapsed_ = 0;
+  external_active_ = 0;
+  for (auto& c : cpus_) c->reset();
+}
+
+}  // namespace ncar::sxs

@@ -1,0 +1,66 @@
+#pragma once
+// A shared-memory SX-4 node: up to 32 CPUs behind one non-blocking crossbar,
+// with a macrotasking runtime modelled on the SX-4's communications
+// registers (paper section 2.1) and Resource Blocks (section 2.6.4).
+//
+// The runtime executes simulated-CPU work bodies sequentially on the host
+// while accounting cycles per simulated CPU; the simulated elapsed time of a
+// parallel region is the maximum over participating CPUs plus the barrier
+// cost. This is deterministic and independent of host parallelism.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sxs/cpu.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace ncar::sxs {
+
+class Node {
+public:
+  explicit Node(const MachineConfig& cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+  int cpu_count() const { return static_cast<int>(cpus_.size()); }
+  Cpu& cpu(int i);
+  const Cpu& cpu(int i) const;
+
+  /// Run `body(rank, cpu)` for ranks [0, ncpu). Returns the simulated
+  /// elapsed seconds of the region: max over CPUs of the cycles the body
+  /// charged, plus one barrier. Node wall clock advances by the same amount.
+  /// Memory-bound work inside the region is inflated by the bank-contention
+  /// factor for `ncpu` active CPUs (plus any external load, see
+  /// `set_external_active_cpus`).
+  double parallel(int ncpu, const std::function<void(int, Cpu&)>& body);
+
+  /// Run `body(cpu0)` serially on CPU 0; returns and advances by its time.
+  double serial(const std::function<void(Cpu&)>& body);
+
+  /// Simulated cost of one macrotask barrier among `ncpu` CPUs.
+  double barrier_seconds(int ncpu) const;
+
+  /// Bank-conflict inflation when `active_cpus` CPUs hit memory at once.
+  double contention_factor(int active_cpus) const;
+
+  /// Declare CPUs busy with *other* jobs (the PRODLOAD / ensemble tests):
+  /// they contribute to memory contention but do no work here.
+  void set_external_active_cpus(int n);
+  int external_active_cpus() const { return external_active_; }
+
+  /// Node wall clock (simulated seconds since construction / reset).
+  double elapsed_seconds() const { return elapsed_; }
+  /// Advance the node wall clock without CPU work (I/O waits etc.).
+  void advance_seconds(double s);
+
+  /// Reset wall clock and all CPU counters.
+  void reset();
+
+private:
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  double elapsed_ = 0;
+  int external_active_ = 0;
+};
+
+}  // namespace ncar::sxs

@@ -1,0 +1,35 @@
+#include "sxs/ops.hpp"
+
+#include "common/error.hpp"
+
+namespace ncar::sxs {
+
+IntrinsicCost intrinsic_cost(Intrinsic f) {
+  // hw_flops: add/multiply pipe work per result for the vectorised library
+  // routine (argument reduction + polynomial + reconstruction).
+  // equiv_flops: Cray Y-MP hardware-performance-monitor counts for the
+  // corresponding libm routines — the currency of "equivalent Mflops".
+  switch (f) {
+    case Intrinsic::Exp:  return {18.0, 0.0, 11.0};
+    case Intrinsic::Log:  return {20.0, 0.0, 11.0};
+    case Intrinsic::Pow:  return {42.0, 0.0, 25.0};
+    case Intrinsic::Sin:  return {22.0, 0.0, 12.0};
+    case Intrinsic::Cos:  return {22.0, 0.0, 12.0};
+    case Intrinsic::Sqrt: return {6.0, 1.0, 8.0};
+  }
+  throw ncar::precondition_error("unknown intrinsic");
+}
+
+const char* intrinsic_name(Intrinsic f) {
+  switch (f) {
+    case Intrinsic::Exp:  return "EXP";
+    case Intrinsic::Log:  return "LOG";
+    case Intrinsic::Pow:  return "PWR";
+    case Intrinsic::Sin:  return "SIN";
+    case Intrinsic::Cos:  return "COS";
+    case Intrinsic::Sqrt: return "SQRT";
+  }
+  throw ncar::precondition_error("unknown intrinsic");
+}
+
+}  // namespace ncar::sxs

@@ -1,0 +1,67 @@
+#pragma once
+// Operation descriptors charged against the SX-4 timing model.
+//
+// Benchmark kernels perform their numerics in ordinary C++ and *charge* the
+// simulated CPU with a descriptor of what a Fortran compiler would have
+// generated for the same loop nest on the SX-4: how many elements, how many
+// flops per element, how many words move through the memory port and with
+// what access pattern, and which pipe groups the loop keeps busy. The split
+// keeps the numerical code clean while the timing model sees exactly the
+// architectural quantities the paper's results depend on.
+
+namespace ncar::sxs {
+
+/// A vector-mode loop (vectorised inner loop of length `n`).
+struct VectorOp {
+  long n = 0;                ///< total elements processed by the loop
+  double flops_per_elem = 0; ///< add/multiply flops per element
+  double div_per_elem = 0;   ///< divide or square-root results per element
+
+  // Words of 8 bytes moving through the CPU's memory port, per element.
+  double load_words = 0;     ///< contiguous / constant-stride loads
+  double store_words = 0;    ///< contiguous / constant-stride stores
+  double gather_words = 0;   ///< list-vector (indexed) loads
+  double scatter_words = 0;  ///< list-vector (indexed) stores
+
+  long load_stride = 1;      ///< stride of the strided load streams
+  long store_stride = 1;     ///< stride of the strided store streams
+  int pipe_groups = 2;       ///< arithmetic pipe groups kept busy (1..3)
+
+  /// Number of distinct vector instructions in the loop body (used for the
+  /// per-chunk issue cost). Zero means "derive from the streams and flops".
+  int instructions = 0;
+};
+
+/// A scalar-mode loop (runs on the superscalar unit through the caches).
+struct ScalarOp {
+  long iters = 0;
+  double flops_per_iter = 0;
+  double mem_words_per_iter = 0;  ///< loads + stores, 8-byte words
+  double other_ops_per_iter = 0;  ///< integer / address / branch instructions
+  /// Bytes the loop touches repeatedly; decides the cache-resident fraction.
+  double working_set_bytes = 0;
+  /// Fraction of memory references that are re-uses of the working set
+  /// (1.0 = fully resident blocking, 0.0 = pure streaming).
+  double reuse_fraction = 0.0;
+};
+
+/// Vectorised intrinsic functions with hardware cost models (Table 3) and
+/// Cray-Y-MP-equivalent flop weights (used for "equivalent Mflops").
+enum class Intrinsic { Exp, Log, Pow, Sin, Cos, Sqrt };
+
+struct IntrinsicCost {
+  double hw_flops;      ///< add/multiply work per element in our pipes
+  double hw_div;        ///< divide-pipe results per element
+  double equiv_flops;   ///< Cray hardware-performance-monitor flop count
+};
+
+/// Cost table for vector intrinsic evaluation. The hardware costs reflect
+/// polynomial/table evaluation on the add+multiply pipe groups; the
+/// equivalent-flop weights are the conventional Cray library counts used to
+/// report "Cray Y-MP equivalent Mflops" for RADABS and CCM2.
+IntrinsicCost intrinsic_cost(Intrinsic f);
+
+/// Name for reports ("EXP", "LOG", ...), matching the paper's Table 3.
+const char* intrinsic_name(Intrinsic f);
+
+}  // namespace ncar::sxs

@@ -1,0 +1,93 @@
+#include "sxs/resource_block.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ncar::sxs {
+
+ResourceBlockTable::ResourceBlockTable(int total_cpus,
+                                       std::vector<ResourceBlockSpec> blocks)
+    : total_(total_cpus), specs_(std::move(blocks)) {
+  NCAR_REQUIRE(total_cpus >= 1, "node must have CPUs");
+  NCAR_REQUIRE(!specs_.empty(), "need at least one resource block");
+  int min_sum = 0;
+  for (const auto& s : specs_) {
+    NCAR_REQUIRE(!s.name.empty(), "block needs a name");
+    NCAR_REQUIRE(s.min_cpus >= 0, "negative minimum");
+    NCAR_REQUIRE(s.max_cpus >= std::max(s.min_cpus, 1),
+                 "maximum below minimum (or zero)");
+    NCAR_REQUIRE(s.max_cpus <= total_, "block maximum exceeds the node");
+    min_sum += s.min_cpus;
+  }
+  NCAR_REQUIRE(min_sum <= total_, "block minima exceed the node");
+  used_.assign(specs_.size(), 0);
+}
+
+const ResourceBlockSpec& ResourceBlockTable::spec(int block) const {
+  NCAR_REQUIRE(block >= 0 && block < block_count(), "block index");
+  return specs_[static_cast<std::size_t>(block)];
+}
+
+int ResourceBlockTable::block_index(const std::string& name) const {
+  for (std::size_t b = 0; b < specs_.size(); ++b) {
+    if (specs_[b].name == name) return static_cast<int>(b);
+  }
+  return -1;
+}
+
+int ResourceBlockTable::used(int block) const {
+  NCAR_REQUIRE(block >= 0 && block < block_count(), "block index");
+  return used_[static_cast<std::size_t>(block)];
+}
+
+int ResourceBlockTable::available(int block) const {
+  NCAR_REQUIRE(block >= 0 && block < block_count(), "block index");
+  const auto& s = specs_[static_cast<std::size_t>(block)];
+  const int mine = used_[static_cast<std::size_t>(block)];
+
+  // Free CPUs on the node, minus the unexercised minima other blocks are
+  // entitled to reclaim at any time.
+  int used_total = 0;
+  int reserved_elsewhere = 0;
+  for (std::size_t b = 0; b < specs_.size(); ++b) {
+    used_total += used_[b];
+    if (static_cast<int>(b) != block) {
+      reserved_elsewhere +=
+          std::max(0, specs_[b].min_cpus - used_[b]);
+    }
+  }
+  const int node_free = total_ - used_total - reserved_elsewhere;
+  return std::max(0, std::min(s.max_cpus - mine, node_free));
+}
+
+Allocation ResourceBlockTable::allocate(int block, int cpus) {
+  NCAR_REQUIRE(block >= 0 && block < block_count(), "block index");
+  NCAR_REQUIRE(cpus >= 1, "must allocate at least one CPU");
+  if (cpus > available(block)) return Allocation{};
+  used_[static_cast<std::size_t>(block)] += cpus;
+  return Allocation{block, cpus, next_id_++};
+}
+
+Allocation ResourceBlockTable::allocate(const std::string& name, int cpus) {
+  const int b = block_index(name);
+  NCAR_REQUIRE(b >= 0, "unknown resource block: " + name);
+  return allocate(b, cpus);
+}
+
+void ResourceBlockTable::release(Allocation& a) {
+  NCAR_REQUIRE(a.valid(), "releasing an invalid allocation");
+  NCAR_REQUIRE(a.block >= 0 && a.block < block_count(), "allocation block");
+  NCAR_REQUIRE(used_[static_cast<std::size_t>(a.block)] >= a.cpus,
+               "double release");
+  used_[static_cast<std::size_t>(a.block)] -= a.cpus;
+  a = Allocation{};
+}
+
+bool ResourceBlockTable::single_process_capable() const {
+  for (const auto& s : specs_) {
+    if (s.max_cpus == total_) return true;
+  }
+  return false;
+}
+
+}  // namespace ncar::sxs

@@ -1,0 +1,77 @@
+#pragma once
+// SUPER-UX Resource Blocks (paper section 2.6.4).
+//
+// "Resource Blocking ... allows the system administrator to define logical
+// scheduling groups which are mapped onto the SX-4 processors. Each
+// Resource Block has a maximum and minimum processor count, memory limits,
+// and scheduling characteristics" — e.g. an interactive partition next to
+// a FIFO batch partition. This module models that partitioning layer: a
+// ResourceBlockTable carves a node's CPUs into named blocks; allocations
+// are granted against a block and never exceed its maximum, and the table
+// guarantees the per-block minimum is always available to that block.
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ncar::sxs {
+
+enum class SchedulingPolicy {
+  Fifo,         ///< static parallel-processing FIFO (batch)
+  Interactive,  ///< time-shared interactive work
+  Vector,       ///< traditional multi-CPU vector batch
+};
+
+struct ResourceBlockSpec {
+  std::string name;
+  int min_cpus = 0;  ///< reserved for this block even when idle
+  int max_cpus = 0;  ///< hard ceiling for this block
+  SchedulingPolicy policy = SchedulingPolicy::Fifo;
+};
+
+/// A granted allocation; release through the table.
+struct Allocation {
+  int block = -1;  ///< block index
+  int cpus = 0;
+  long id = -1;    ///< handle
+  bool valid() const { return id >= 0; }
+};
+
+class ResourceBlockTable {
+public:
+  /// Build over `total_cpus`; the sum of minima must fit, and each block's
+  /// max must be at least its min and at most the node size.
+  ResourceBlockTable(int total_cpus, std::vector<ResourceBlockSpec> blocks);
+
+  int total_cpus() const { return total_; }
+  int block_count() const { return static_cast<int>(specs_.size()); }
+  const ResourceBlockSpec& spec(int block) const;
+  int block_index(const std::string& name) const;  ///< -1 when absent
+
+  /// CPUs currently in use by a block.
+  int used(int block) const;
+  /// CPUs a block could allocate right now: limited by its max, by the
+  /// node's free CPUs, and by the minima reserved for other blocks.
+  int available(int block) const;
+
+  /// Try to allocate; returns an invalid Allocation when it cannot be
+  /// granted. Never over-commits.
+  Allocation allocate(int block, int cpus);
+  Allocation allocate(const std::string& name, int cpus);
+
+  void release(Allocation& a);
+
+  /// All processors assigned to a single process (paper: "All processors
+  /// can be assigned to a single process by properly defining the Resource
+  /// Blocks"): true when some block's max equals the node size.
+  bool single_process_capable() const;
+
+private:
+  int total_;
+  std::vector<ResourceBlockSpec> specs_;
+  std::vector<int> used_;
+  long next_id_ = 0;
+};
+
+}  // namespace ncar::sxs

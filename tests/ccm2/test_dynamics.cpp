@@ -1,0 +1,123 @@
+// Physics validation of the spectral dynamical core against analytic
+// solutions of the barotropic vorticity equation on the sphere.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "ccm2/model.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using namespace ncar;
+using spectral::cd;
+
+ccm2::Ccm2Config wave_only_config() {
+  ccm2::Ccm2Config c;
+  c.res.name = "T21-wave";
+  c.res.truncation = 21;
+  c.res.nlat = 32;
+  c.res.nlon = 64;
+  c.res.nlev = 4;
+  c.res.dt_seconds = 900.0;
+  c.active_levels = 1;
+  c.u0 = 0.0;               // no background jet
+  c.wave_amplitude = 4e-6;  // single Rossby-Haurwitz mode
+  c.hyperdiff_tau_s = 1e12; // effectively inviscid
+  c.asselin = 0.01;
+  return c;
+}
+
+/// Extract the (m, n) spectral coefficient from the model's checkpoint
+/// (level 0 lives first; layout per Ccm2::checkpoint).
+cd coefficient(const ccm2::Ccm2& model, int m, int n) {
+  const auto snap = model.checkpoint();
+  const int idx = model.transform().index().at(m, n);
+  return cd(snap[1 + 2 * static_cast<std::size_t>(idx)],
+            snap[2 + 2 * static_cast<std::size_t>(idx)]);
+}
+
+TEST(BveDynamics, RossbyHaurwitzPhaseSpeedMatchesDispersion) {
+  // A single spherical harmonic Y_n^m is an exact solution of the
+  // nonlinear BVE (its self-advection vanishes): the coefficient rotates
+  // as exp(+i sigma t) with sigma = 2 Omega m / (n (n + 1)) — retrograde
+  // (westward) phase propagation.
+  const auto cfg = wave_only_config();
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  // Build a clean single-mode state: zero everything but (4, 5).
+  ccm2::Ccm2 model(cfg, node);
+  {
+    auto snap = model.checkpoint();
+    std::fill(snap.begin(), snap.end(), 0.0);
+    const int idx = model.transform().index().at(4, 5);
+    snap[1 + 2 * static_cast<std::size_t>(idx)] = cfg.wave_amplitude;
+    // zeta_prev must match zeta for a clean leapfrog start.
+    const std::size_t spec = static_cast<std::size_t>(
+        model.transform().index().size());
+    snap[1 + 2 * (spec + static_cast<std::size_t>(idx))] = cfg.wave_amplitude;
+    model.restore(snap);
+  }
+
+  const cd c0 = coefficient(model, 4, 5);
+  const int nsteps = 40;
+  for (int s = 0; s < nsteps; ++s) model.step(1);
+  const cd c1 = coefficient(model, 4, 5);
+
+  // Amplitude preserved (inviscid single mode).
+  EXPECT_NEAR(std::abs(c1), std::abs(c0), 0.02 * std::abs(c0));
+
+  // Phase rotation rate.
+  const double t = nsteps * cfg.res.dt_seconds;
+  const double measured = std::arg(c1 / c0) / t;
+  const double omega = 7.292e-5;
+  const double sigma = 2.0 * omega * 4.0 / (5.0 * 6.0);
+  EXPECT_NEAR(measured, sigma, 0.05 * sigma);
+}
+
+TEST(BveDynamics, ZonalFlowIsSteady) {
+  // A pure zonal jet (m = 0) is a steady solution: V has no meridional
+  // component and the advection of absolute vorticity vanishes.
+  auto cfg = wave_only_config();
+  cfg.u0 = 25.0;
+  cfg.wave_amplitude = 0.0;
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  ccm2::Ccm2 model(cfg, node);
+  const double c0 = model.checksum();
+  for (int s = 0; s < 20; ++s) model.step(1);
+  // Moisture transport and physics tick, but the vorticity state barely
+  // moves: compare the jet coefficient directly.
+  const cd jet = coefficient(model, 0, 1);
+  const double want = 2.0 * cfg.u0 / (cfg.radius * std::sqrt(3.0));
+  EXPECT_NEAR(jet.real(), want, 0.01 * want);
+  EXPECT_NE(c0, 0.0);
+}
+
+TEST(BveDynamics, HigherModesRotateSlower) {
+  // Dispersion: sigma ~ 1/(n(n+1)); the (4, 8) mode rotates slower than
+  // the (4, 5) mode.
+  const auto cfg = wave_only_config();
+  auto rate_of = [&](int n) {
+    sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+    ccm2::Ccm2 model(cfg, node);
+    auto snap = model.checkpoint();
+    std::fill(snap.begin(), snap.end(), 0.0);
+    const int idx = model.transform().index().at(4, n);
+    const std::size_t spec =
+        static_cast<std::size_t>(model.transform().index().size());
+    snap[1 + 2 * static_cast<std::size_t>(idx)] = cfg.wave_amplitude;
+    snap[1 + 2 * (spec + static_cast<std::size_t>(idx))] = cfg.wave_amplitude;
+    model.restore(snap);
+    const cd c0 = coefficient(model, 4, n);
+    for (int s = 0; s < 30; ++s) model.step(1);
+    const cd c1 = coefficient(model, 4, n);
+    return std::arg(c1 / c0) / (30 * cfg.res.dt_seconds);
+  };
+  const double r5 = rate_of(5);
+  const double r8 = rate_of(8);
+  EXPECT_GT(r5, r8);
+  EXPECT_NEAR(r5 / r8, (8.0 * 9.0) / (5.0 * 6.0), 0.15 * (72.0 / 30.0));
+}
+
+}  // namespace

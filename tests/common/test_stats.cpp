@@ -1,0 +1,79 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace {
+
+using ncar::BestOf;
+using ncar::summarize;
+
+TEST(BestOf, ReportsMinimumTimeAcrossTrials) {
+  BestOf b;
+  b.add_time(2.0);
+  b.add_time(1.5);
+  b.add_time(3.0);
+  EXPECT_EQ(b.trials(), 3);
+  EXPECT_DOUBLE_EQ(b.best_time(), 1.5);
+  EXPECT_DOUBLE_EQ(b.worst_time(), 3.0);
+}
+
+TEST(BestOf, SingleTrialIsBothBestAndWorst) {
+  BestOf b;
+  b.add_time(0.25);
+  EXPECT_DOUBLE_EQ(b.best_time(), 0.25);
+  EXPECT_DOUBLE_EQ(b.worst_time(), 0.25);
+}
+
+TEST(BestOf, EmptyThrowsOnQuery) {
+  BestOf b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_THROW(b.best_time(), ncar::precondition_error);
+  EXPECT_THROW(b.worst_time(), ncar::precondition_error);
+}
+
+TEST(BestOf, RejectsNegativeDurations) {
+  BestOf b;
+  EXPECT_THROW(b.add_time(-1.0), ncar::precondition_error);
+}
+
+TEST(Summarize, ComputesMomentsOfKnownSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Summarize, EmptySampleIsAllZero) {
+  const auto s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleElementHasZeroStddev) {
+  const std::vector<double> xs{7.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+}
+
+TEST(MaxDiff, AbsoluteAndRelative) {
+  const std::vector<double> a{1.0, 2.0, 4.0};
+  const std::vector<double> b{1.0, 2.5, 4.0};
+  EXPECT_DOUBLE_EQ(ncar::max_abs_diff(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ncar::max_rel_diff(a, b), 0.2);
+}
+
+TEST(MaxDiff, MismatchedLengthsThrow) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(ncar::max_abs_diff(a, b), ncar::precondition_error);
+}
+
+}  // namespace

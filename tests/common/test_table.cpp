@@ -1,0 +1,47 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using ncar::Table;
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"Name", "Mflops"});
+  t.add_row({"RADABS", "865.9"});
+  t.add_row({"POP", "537.0"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("RADABS"), std::string::npos);
+  EXPECT_NE(out.find("865.9"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumericColumnsAreRightAligned) {
+  Table t({"K", "V"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"b", "12.5"});
+  const std::string out = t.str();
+  // "1.5" must be padded on the left to line up with "12.5".
+  EXPECT_NE(out.find(" 1.5"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), ncar::precondition_error);
+}
+
+TEST(Table, EmptyHeaderListThrows) {
+  EXPECT_THROW(Table({}), ncar::precondition_error);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"A", "B", "C"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Units, RateConversions) {
+  EXPECT_DOUBLE_EQ(ncar::to_mb_per_s(2.5e6), 2.5);
+  EXPECT_DOUBLE_EQ(ncar::to_mflops(865.9e6), 865.9);
+  EXPECT_DOUBLE_EQ(ncar::to_gflops(24e9), 24.0);
+}
+
+TEST(Units, DurationSecondsOnly) {
+  EXPECT_EQ(ncar::format_duration(12.34), "12.34s");
+}
+
+TEST(Units, DurationMinutes) {
+  EXPECT_EQ(ncar::format_duration(45 * 60 + 28), "45m 28.0s");
+}
+
+TEST(Units, DurationRollsMinutesIntoHours) {
+  // The paper's PRODLOAD result (93 min 28 s) renders as 1h 33m 28s.
+  EXPECT_EQ(ncar::format_duration(93 * 60 + 28), "1h 33m 28.0s");
+}
+
+TEST(Units, DurationHours) {
+  EXPECT_EQ(ncar::format_duration(3600 + 62), "1h 01m 02.0s");
+}
+
+TEST(Units, NegativeClampedToZero) {
+  EXPECT_EQ(ncar::format_duration(-5), "0.00s");
+}
+
+TEST(Units, FormatFixedDigits) {
+  EXPECT_EQ(ncar::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(ncar::format_fixed(1327.53, 2), "1327.53");
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "fft/real_fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ncar;
+using fft::cd;
+using fft::Plan;
+
+std::vector<double> random_reals(long n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+TEST(RealFft, SpectrumSizeIsHalfPlusOne) {
+  EXPECT_EQ(fft::spectrum_size(8), 5);
+  EXPECT_EQ(fft::spectrum_size(9), 5);
+  EXPECT_EQ(fft::spectrum_size(2), 2);
+}
+
+TEST(RealFft, DcBinIsSum) {
+  const long n = 48;
+  Plan plan(n);
+  auto x = random_reals(n, 5);
+  std::vector<cd> spec(static_cast<std::size_t>(fft::spectrum_size(n)));
+  fft::real_forward(plan, x, spec);
+  double sum = 0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(spec[0].real(), sum, 1e-10);
+  EXPECT_NEAR(spec[0].imag(), 0.0, 1e-10);
+}
+
+TEST(RealFft, NyquistBinIsRealForEvenLengths) {
+  const long n = 64;
+  Plan plan(n);
+  auto x = random_reals(n, 6);
+  std::vector<cd> spec(static_cast<std::size_t>(fft::spectrum_size(n)));
+  fft::real_forward(plan, x, spec);
+  EXPECT_NEAR(spec.back().imag(), 0.0, 1e-10);
+}
+
+TEST(RealFft, CosineLandsInItsBin) {
+  const long n = 96;
+  Plan plan(n);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  const long bin = 5;
+  for (long j = 0; j < n; ++j) {
+    x[static_cast<std::size_t>(j)] =
+        std::cos(2.0 * M_PI * static_cast<double>(bin * j) / n);
+  }
+  std::vector<cd> spec(static_cast<std::size_t>(fft::spectrum_size(n)));
+  fft::real_forward(plan, x, spec);
+  EXPECT_NEAR(spec[bin].real(), n / 2.0, 1e-9);
+  for (long k = 0; k < fft::spectrum_size(n); ++k) {
+    if (k != bin) {
+      EXPECT_NEAR(std::abs(spec[static_cast<std::size_t>(k)]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(RealFft, WrongBufferSizesThrow) {
+  Plan plan(16);
+  std::vector<double> x(16);
+  std::vector<cd> small(4);
+  EXPECT_THROW(fft::real_forward(plan, x, small), ncar::precondition_error);
+}
+
+class RealFftParam : public ::testing::TestWithParam<long> {};
+
+TEST_P(RealFftParam, RoundTripIsIdentity) {
+  const long n = GetParam();
+  Plan plan(n);
+  auto x = random_reals(n, 100 + static_cast<std::uint64_t>(n));
+  std::vector<cd> spec(static_cast<std::size_t>(fft::spectrum_size(n)));
+  std::vector<double> back(static_cast<std::size_t>(n));
+  fft::real_forward(plan, x, spec);
+  fft::real_inverse(plan, spec, back);
+  for (long j = 0; j < n; ++j) {
+    EXPECT_NEAR(back[static_cast<std::size_t>(j)],
+                x[static_cast<std::size_t>(j)], 1e-11 * n)
+        << "n=" << n;
+  }
+}
+
+TEST_P(RealFftParam, MatchesNaiveDftHalfSpectrum) {
+  const long n = GetParam();
+  Plan plan(n);
+  auto x = random_reals(n, 200 + static_cast<std::uint64_t>(n));
+  std::vector<cd> spec(static_cast<std::size_t>(fft::spectrum_size(n)));
+  fft::real_forward(plan, x, spec);
+  std::vector<cd> cin(static_cast<std::size_t>(n)), ref(static_cast<std::size_t>(n));
+  for (long j = 0; j < n; ++j) cin[static_cast<std::size_t>(j)] = cd(x[static_cast<std::size_t>(j)], 0);
+  fft::naive_dft(cin, ref, false);
+  for (long k = 0; k < fft::spectrum_size(n); ++k) {
+    EXPECT_NEAR(std::abs(spec[static_cast<std::size_t>(k)] -
+                         ref[static_cast<std::size_t>(k)]),
+                0.0, 1e-9 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLengthFamilies, RealFftParam,
+                         ::testing::Values(2, 3, 4, 5, 6, 10, 12, 20, 48, 64,
+                                           80, 96, 128, 160, 192, 256, 320,
+                                           384, 512, 640, 768, 1024, 1280));
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "fft/style_bench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+namespace {
+
+using namespace ncar;
+
+class StyleBenchTest : public ::testing::Test {
+protected:
+  StyleBenchTest() : node(single_cpu()), cpu(node.cpu(0)) {}
+  static sxs::MachineConfig single_cpu() {
+    auto c = sxs::MachineConfig::sx4_benchmarked();
+    c.cpus_per_node = 1;
+    return c;
+  }
+  sxs::Node node;
+  sxs::Cpu& cpu;
+};
+
+TEST_F(StyleBenchTest, RfftVerifiesNumerics) {
+  const auto p = fft::run_rfft(cpu, 64, 100, 3);
+  EXPECT_TRUE(p.verified);
+  EXPECT_GT(p.mflops, 0.0);
+}
+
+TEST_F(StyleBenchTest, VfftVerifiesNumerics) {
+  const auto p = fft::run_vfft(cpu, 64, 100, 3);
+  EXPECT_TRUE(p.verified);
+}
+
+TEST_F(StyleBenchTest, VfftOrderOfMagnitudeFasterThanRfft) {
+  // The paper's headline for section 4.3.
+  const auto r = fft::run_rfft(cpu, 256, 4000, 3);
+  const auto v = fft::run_vfft(cpu, 256, 500, 3);
+  const double ratio = v.mflops / r.mflops;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST_F(StyleBenchTest, VfftRateGrowsWithInstanceCount) {
+  double prev = 0;
+  for (long m : {1L, 10L, 100L, 500L}) {
+    const auto p = fft::run_vfft(cpu, 128, m, 3);
+    EXPECT_GT(p.mflops, prev);
+    prev = p.mflops;
+  }
+}
+
+TEST_F(StyleBenchTest, UnsupportedLengthThrows) {
+  EXPECT_THROW(fft::run_rfft(cpu, 7, 10, 3), ncar::precondition_error);
+  EXPECT_THROW(fft::run_vfft(cpu, 14, 10, 3), ncar::precondition_error);
+}
+
+TEST(FftFlops, GrowsNLogN) {
+  // flops(2n) / flops(n) approaches 2 * (log n + 1)/log n > 2.
+  const double f256 = fft::rfft_flops(256);
+  const double f512 = fft::rfft_flops(512);
+  EXPECT_GT(f512, 2.0 * f256);
+  EXPECT_LT(f512, 2.5 * f256);
+}
+
+TEST(FftFlops, RadixFamiliesAllPositive) {
+  for (long n : {2L, 3L, 5L, 12L, 80L, 1280L}) {
+    EXPECT_GT(fft::rfft_flops(n), 0.0);
+  }
+}
+
+TEST(FftSchedules, RfftScheduleMatchesPaperFamilies) {
+  const auto sched = fft::rfft_schedule();
+  // 10 powers of two + 9 of 3*2^n + 9 of 5*2^n = 28 lengths.
+  EXPECT_EQ(sched.size(), 28u);
+  for (auto [n, m] : sched) {
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 1280);
+    EXPECT_LE(m, 500'000);  // paper: M from 500,000 down to 800
+    EXPECT_GE(m, 1);
+  }
+}
+
+TEST(FftSchedules, VfftLengthsMatchPaperTable) {
+  const auto ls = fft::vfft_lengths();
+  EXPECT_EQ(ls.size(), 16u);
+  for (long n : {4L, 512L, 3L, 768L, 5L, 1280L}) {
+    EXPECT_NE(std::find(ls.begin(), ls.end(), n), ls.end()) << n;
+  }
+}
+
+TEST(FftSchedules, VfftInstancesMatchPaperList) {
+  const auto ms = fft::vfft_instances();
+  ASSERT_EQ(ms.size(), 9u);
+  EXPECT_EQ(ms.front(), 1);
+  EXPECT_EQ(ms.back(), 500);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "fpt/elefunt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machines/comparator.hpp"
+
+namespace {
+
+using namespace ncar;
+using fpt::measure_accuracy;
+using fpt::measure_performance;
+using sxs::Intrinsic;
+
+class AccuracyParam : public ::testing::TestWithParam<Intrinsic> {};
+
+TEST_P(AccuracyParam, HostLibmPassesIdentityTests) {
+  const auto r = measure_accuracy(GetParam(), 5000);
+  EXPECT_TRUE(r.passed) << "max ulp " << r.max_ulp;
+  EXPECT_LE(r.rms_ulp, r.max_ulp);
+  EXPECT_EQ(r.samples, 5000);
+}
+
+TEST_P(AccuracyParam, DeterministicForSameSeed) {
+  const auto a = measure_accuracy(GetParam(), 2000, 11);
+  const auto b = measure_accuracy(GetParam(), 2000, 11);
+  EXPECT_DOUBLE_EQ(a.max_ulp, b.max_ulp);
+  EXPECT_DOUBLE_EQ(a.rms_ulp, b.rms_ulp);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, AccuracyParam,
+                         ::testing::Values(Intrinsic::Exp, Intrinsic::Log,
+                                           Intrinsic::Pow, Intrinsic::Sin,
+                                           Intrinsic::Cos, Intrinsic::Sqrt));
+
+TEST(ElefuntAccuracy, SqrtIsExactlyRounded) {
+  const auto r = measure_accuracy(Intrinsic::Sqrt, 20000);
+  EXPECT_DOUBLE_EQ(r.max_ulp, 0.0);  // exact for representable squares
+}
+
+TEST(ElefuntAccuracy, BatteryCoversPaperFunctions) {
+  const auto rs = fpt::run_elefunt_accuracy(1000);
+  ASSERT_EQ(rs.size(), 5u);  // EXP, LOG, PWR, SIN, SQRT
+  for (const auto& r : rs) EXPECT_TRUE(r.passed);
+}
+
+TEST(ElefuntAccuracy, ZeroSamplesThrows) {
+  EXPECT_THROW(measure_accuracy(Intrinsic::Exp, 0), ncar::precondition_error);
+}
+
+TEST(ElefuntPerformance, Sx4RatesAreInPaperRange) {
+  machines::Comparator sx4(machines::Comparator::nec_sx4_single());
+  for (const auto& r : fpt::run_elefunt_performance(sx4)) {
+    // Vectorised intrinsics: tens to hundreds of Mcalls/s.
+    EXPECT_GT(r.mcalls_per_s, 20.0) << sxs::intrinsic_name(r.func);
+    EXPECT_LT(r.mcalls_per_s, 500.0) << sxs::intrinsic_name(r.func);
+  }
+}
+
+TEST(ElefuntPerformance, SqrtIsFastestPwrIsSlowest) {
+  // PWR = exp(y log x) costs roughly exp+log; sqrt has its own pipes.
+  machines::Comparator sx4(machines::Comparator::nec_sx4_single());
+  const auto rs = fpt::run_elefunt_performance(sx4);
+  double pwr = 0, sqrt = 0;
+  for (const auto& r : rs) {
+    if (r.func == Intrinsic::Pow) pwr = r.mcalls_per_s;
+    if (r.func == Intrinsic::Sqrt) sqrt = r.mcalls_per_s;
+  }
+  for (const auto& r : rs) {
+    EXPECT_LE(pwr, r.mcalls_per_s + 1e-9);
+    EXPECT_GE(sqrt, r.mcalls_per_s - 1e-9);
+  }
+}
+
+TEST(ElefuntPerformance, VectorMachineBeatsScalarMachine) {
+  machines::Comparator sx4(machines::Comparator::nec_sx4_single());
+  machines::Comparator sparc(machines::Comparator::sun_sparc20());
+  const auto a = measure_performance(sx4, Intrinsic::Exp);
+  const auto b = measure_performance(sparc, Intrinsic::Exp);
+  EXPECT_GT(a.mcalls_per_s, 20.0 * b.mcalls_per_s);
+}
+
+}  // namespace

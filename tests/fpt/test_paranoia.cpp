@@ -1,0 +1,42 @@
+#include "fpt/paranoia.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ncar::fpt;
+
+TEST(Paranoia, DiscoverRadixIsTwo) { EXPECT_EQ(discover_radix(), 2); }
+
+TEST(Paranoia, DiscoverDigitsIs53) { EXPECT_EQ(discover_digits(), 53); }
+
+TEST(Paranoia, GuardDigitPresent) { EXPECT_TRUE(check_guard_digit()); }
+
+TEST(Paranoia, RoundsToNearestEven) { EXPECT_TRUE(check_round_to_nearest()); }
+
+TEST(Paranoia, SmallIntegerArithmeticExact) {
+  EXPECT_TRUE(check_small_integer_arithmetic());
+}
+
+TEST(Paranoia, SqrtExactOnPerfectSquares) {
+  EXPECT_TRUE(check_sqrt_exactness());
+}
+
+TEST(Paranoia, GradualUnderflow) { EXPECT_TRUE(check_gradual_underflow()); }
+
+TEST(Paranoia, InfinityAndNanSemantics) {
+  EXPECT_TRUE(check_infinity_semantics());
+}
+
+TEST(Paranoia, FullReportPassesOnIeeeHost) {
+  const auto r = run_paranoia();
+  EXPECT_TRUE(r.all_passed()) << r.failures() << " checks failed";
+  EXPECT_EQ(r.radix, 2);
+  EXPECT_EQ(r.digits, 53);
+  EXPECT_TRUE(r.has_guard_digit);
+  EXPECT_TRUE(r.rounds_to_nearest);
+  EXPECT_TRUE(r.gradual_underflow);
+  EXPECT_EQ(r.checks.size(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "hint/hint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "machines/comparator.hpp"
+
+namespace {
+
+using namespace ncar;
+using machines::Comparator;
+
+TEST(Hint, AnalyticAreaIsTwoLnTwoMinusOne) {
+  EXPECT_NEAR(hint::analytic_area(), 2.0 * std::log(2.0) - 1.0, 1e-15);
+  EXPECT_NEAR(hint::analytic_area(), 0.3862943611, 1e-9);
+}
+
+TEST(Hint, BoundsBracketTheAnalyticArea) {
+  Comparator m(Comparator::sun_sparc20());
+  const auto r = hint::run_hint(m, 10'000);
+  EXPECT_LE(r.lower, hint::analytic_area());
+  EXPECT_GE(r.upper, hint::analytic_area());
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Hint, QualityGrowsWithSplits) {
+  Comparator m(Comparator::sun_sparc20());
+  const auto a = hint::run_hint(m, 1'000);
+  const auto b = hint::run_hint(m, 10'000);
+  EXPECT_GT(b.quality, 5.0 * a.quality);
+}
+
+TEST(Hint, QualityScalesRoughlyLinearly) {
+  // Greedy bisection of a monotone function: gap ~ 1/n, quality ~ n.
+  Comparator m(Comparator::sun_sparc20());
+  const auto a = hint::run_hint(m, 20'000);
+  const auto b = hint::run_hint(m, 40'000);
+  const double ratio = b.quality / a.quality;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(Hint, MquipsRanksWorkstationsAboveJ90) {
+  // Table 1's inversion, from the HINT side.
+  Comparator sparc(Comparator::sun_sparc20());
+  Comparator rs6k(Comparator::ibm_rs6000_590());
+  Comparator j90(Comparator::cray_j90());
+  const auto a = hint::run_hint(sparc, 50'000);
+  const auto b = hint::run_hint(rs6k, 50'000);
+  const auto c = hint::run_hint(j90, 50'000);
+  EXPECT_GT(a.mquips, c.mquips);
+  EXPECT_GT(b.mquips, c.mquips);
+}
+
+TEST(Hint, DeterministicAcrossRuns) {
+  Comparator m(Comparator::cray_ymp());
+  const auto a = hint::run_hint(m, 5'000);
+  const auto b = hint::run_hint(m, 5'000);
+  EXPECT_DOUBLE_EQ(a.quality, b.quality);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(Hint, ZeroSplitsThrows) {
+  Comparator m(Comparator::cray_ymp());
+  EXPECT_THROW(hint::run_hint(m, 0), ncar::precondition_error);
+}
+
+}  // namespace

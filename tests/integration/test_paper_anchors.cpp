@@ -1,0 +1,116 @@
+// Paper-anchor regression tests: the handful of *numeric* results the
+// paper states in prose, pinned with generous tolerances so model
+// refactoring cannot silently drift away from the reproduced paper.
+// (The bench binaries print the full tables; these tests guard the
+// anchors in CI.)
+
+#include <gtest/gtest.h>
+
+#include "ccm2/model.hpp"
+#include "fft/style_bench.hpp"
+#include "machines/comparator.hpp"
+#include "ocean/mom.hpp"
+#include "ocean/pop.hpp"
+#include "radabs/radabs.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+namespace {
+
+using namespace ncar;
+
+TEST(PaperAnchors, Radabs866EquivMflops) {
+  machines::Comparator sx4(machines::Comparator::nec_sx4_single());
+  const auto r = radabs::run_radabs_standard(sx4);
+  EXPECT_NEAR(r.equiv_mflops, 865.9, 0.2 * 865.9);
+}
+
+TEST(PaperAnchors, VfftAboutTenTimesRfft) {
+  auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  cfg.cpus_per_node = 1;
+  sxs::Node node(cfg);
+  const auto r = fft::run_rfft(node.cpu(0), 256, 2000, 3);
+  const auto v = fft::run_vfft(node.cpu(0), 256, 500, 3);
+  const double ratio = v.mflops / r.mflops;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(PaperAnchors, Ccm2T170At32Cpus24Gflops) {
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  ccm2::Ccm2Config c;
+  c.res = ccm2::t170l18();
+  c.active_levels = 1;
+  ccm2::Ccm2 model(c, node);
+  const double g = model.sustained_equiv_gflops(32, 1);
+  EXPECT_NEAR(g, 24.0, 0.25 * 24.0);
+}
+
+TEST(PaperAnchors, Ccm2YearAtT42Near1327Seconds) {
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  iosim::DiskSystem disk;
+  ccm2::Ccm2Config c;
+  c.res = ccm2::t42l18();
+  c.active_levels = 1;
+  ccm2::Ccm2 model(c, node);
+  const double per_step = model.measure_step_seconds(32, 2);
+  const double year = per_step * 72 * 365 + model.write_history(disk, 32) * 365;
+  EXPECT_NEAR(year, 1327.53, 0.2 * 1327.53);
+}
+
+TEST(PaperAnchors, EnsembleDegradationNear189Percent) {
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  const double ratio =
+      node.contention_factor(32) / node.contention_factor(4);
+  EXPECT_NEAR(100.0 * (ratio - 1.0), 1.89, 0.4);
+}
+
+TEST(PaperAnchors, MomTable7SingleCpuTime) {
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  ocean::Mom mom(ocean::MomConfig::high_resolution(), node);
+  const double t350 = mom.measure_step_seconds(1, 10) * 350.0;
+  EXPECT_NEAR(t350, 1861.25, 0.2 * 1861.25);
+}
+
+TEST(PaperAnchors, Pop537Mflops) {
+  auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  cfg.cpus_per_node = 1;
+  sxs::Node node(cfg);
+  ocean::Pop pop(ocean::PopConfig::two_degree(), node);
+  EXPECT_NEAR(pop.measure_mflops(3), 537.0, 0.2 * 537.0);
+}
+
+TEST(PaperAnchors, ProductClockGives15PercentOnRadabs) {
+  // Paper: "an additional 15% performance improvement can be realized
+  // with ... an 8.0 ns clock".
+  machines::Comparator bench(machines::Comparator::nec_sx4_single());
+  auto prod_spec = machines::Comparator::nec_sx4_single();
+  prod_spec.cfg.clock_ns = 8.0;
+  machines::Comparator prod(prod_spec);
+  const double r92 = radabs::run_radabs_standard(bench).equiv_mflops;
+  const double r80 = radabs::run_radabs_standard(prod).equiv_mflops;
+  EXPECT_NEAR(r80 / r92, 1.15, 0.02);
+}
+
+TEST(PaperAnchors, LargerProblemsScaleBetter) {
+  // Figure 8's qualitative message.
+  sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
+  auto efficiency = [&](const ccm2::Resolution& res) {
+    ccm2::Ccm2Config c;
+    c.res = res;
+    c.active_levels = 1;
+    ccm2::Ccm2 model(c, node);
+    node.reset();
+    model.reset();
+    const double g1 = model.sustained_equiv_gflops(1, 1);
+    node.reset();
+    model.reset();
+    const double g32 = model.sustained_equiv_gflops(32, 1);
+    return g32 / (32.0 * g1);
+  };
+  const double e42 = efficiency(ccm2::t42l18());
+  const double e170 = efficiency(ccm2::t170l18());
+  EXPECT_GT(e170, 1.5 * e42);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Integration tests across modules: the scenarios the paper's benchmark
+// campaign actually exercised, stitched end to end.
+
+#include <gtest/gtest.h>
+
+#include "ccm2/model.hpp"
+#include "fpt/elefunt.hpp"
+#include "fpt/paranoia.hpp"
+#include "iosim/sfs.hpp"
+#include "machines/comparator.hpp"
+#include "ocean/mom.hpp"
+#include "prodload/scheduler.hpp"
+#include "radabs/radabs.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+#include "sxs/resource_block.hpp"
+
+namespace {
+
+using namespace ncar;
+
+// The suite's ordering principle (Dongarra et al., paper section 4):
+// start simple, end with applications. Verify the dependency chain: the
+// arithmetic is sound, the intrinsics are accurate, therefore RADABS's
+// numbers are meaningful, therefore CCM2's physics charge is meaningful.
+TEST(SuiteIntegration, CorrectnessGatesPerformance) {
+  ASSERT_TRUE(fpt::run_paranoia().all_passed());
+  for (const auto& r : fpt::run_elefunt_accuracy(2000)) {
+    ASSERT_TRUE(r.passed) << sxs::intrinsic_name(r.func);
+  }
+  machines::Comparator sx4(machines::Comparator::nec_sx4_single());
+  const auto radabs = radabs::run_radabs_standard(sx4);
+  EXPECT_GT(radabs.equiv_mflops, 0.0);
+}
+
+// A climate-campaign day: model steps + history write through SFS, with
+// the write-back cache absorbing the I/O at XMU speed.
+TEST(SuiteIntegration, CampaignDayWithSfsHistory) {
+  const auto machine = sxs::MachineConfig::sx4_benchmarked();
+  sxs::Node node(machine);
+  ccm2::Ccm2Config c;
+  c.res = ccm2::t42l18();
+  ccm2::Ccm2 model(c, node);
+
+  iosim::DiskSystem disk;
+  iosim::Sfs fs(machine, disk);
+
+  double compute = 0;
+  for (int s = 0; s < 12; ++s) compute += model.step(32).total;
+  const double io_wait = fs.write(model.history_bytes());
+  fs.advance(compute);  // next day's compute overlaps the drain
+
+  // The SFS wait is tiny next to raw disk time.
+  EXPECT_LT(io_wait, 0.1 * model.history_bytes() / disk.streaming_bytes_per_s());
+  // And the drain made progress during compute.
+  EXPECT_LT(fs.dirty_bytes(), model.history_bytes());
+}
+
+// Resource blocks host the PRODLOAD mix: the batch block takes the CCM2
+// jobs, the interactive block stays responsive (its minimum is preserved).
+TEST(SuiteIntegration, ResourceBlocksCarryProdloadMix) {
+  sxs::ResourceBlockTable blocks(
+      32, {{"interactive", 2, 4, sxs::SchedulingPolicy::Interactive},
+           {"batch", 0, 28, sxs::SchedulingPolicy::Fifo}});
+
+  // A PRODLOAD job: T106 on 8, two T42s on 2 each, HIPPI on 1 = 13 CPUs.
+  std::vector<sxs::Allocation> job;
+  for (int cpus : {8, 2, 2, 1}) {
+    auto a = blocks.allocate("batch", cpus);
+    ASSERT_TRUE(a.valid());
+    job.push_back(a);
+  }
+  // Two such jobs fit the batch block (26 <= 28)...
+  std::vector<sxs::Allocation> job2;
+  for (int cpus : {8, 2, 2, 1}) {
+    auto a = blocks.allocate("batch", cpus);
+    ASSERT_TRUE(a.valid());
+    job2.push_back(a);
+  }
+  // ...a third does not start (batch is at 26/28, first component needs 8).
+  EXPECT_FALSE(blocks.allocate("batch", 8).valid());
+  // The interactive minimum survived throughout.
+  EXPECT_GE(blocks.available(0), 2);
+  for (auto& a : job) blocks.release(a);
+  for (auto& a : job2) blocks.release(a);
+}
+
+// Checkpoint a MOM run mid-flight, "migrate" it to a fresh node (as NQS
+// restart would after a shutdown), and verify the trajectory continues
+// identically while the simulated clocks differ per machine.
+TEST(SuiteIntegration, MomRestartOnFreshNode) {
+  ocean::MomConfig cfg = ocean::MomConfig::low_resolution();
+  sxs::Node node_a(sxs::MachineConfig::sx4_benchmarked());
+  ocean::Mom a(cfg, node_a);
+  for (int s = 0; s < 6; ++s) a.step(8);
+  const auto snap = a.checkpoint();
+  for (int s = 0; s < 4; ++s) a.step(8);
+
+  sxs::Node node_b(sxs::MachineConfig::sx4_product());  // faster clock
+  ocean::Mom b(cfg, node_b);
+  b.restore(snap);
+  double t_b = 0;
+  for (int s = 0; s < 4; ++s) t_b += b.step(8);
+  EXPECT_DOUBLE_EQ(a.checksum(), b.checksum());
+  EXPECT_GT(t_b, 0.0);
+}
+
+// The PRODLOAD scheduler with service times derived from the live models —
+// the full pipeline the prodload bench uses, at test scale.
+TEST(SuiteIntegration, SchedulerConsumesModelServiceTimes) {
+  const auto machine = sxs::MachineConfig::sx4_benchmarked();
+  sxs::Node node(machine);
+  ccm2::Ccm2Config c;
+  c.res = ccm2::t42l18();
+  c.active_levels = 1;
+  ccm2::Ccm2 model(c, node);
+  node.reset();
+  const double t42_1day = model.measure_step_seconds(2, 2) *
+                          c.res.steps_per_day();
+
+  prodload::Scheduler sched(machine.cpus_per_node,
+                            machine.bank_contention_per_cpu);
+  prodload::Sequence seq{
+      "seq",
+      {prodload::Job{"job", {{"ccm2-a", 2, t42_1day}, {"ccm2-b", 2, t42_1day}}}}};
+  const auto r = sched.run({seq});
+  // Both components run concurrently; makespan ~ one job + contention.
+  EXPECT_GT(r.makespan, t42_1day);
+  EXPECT_LT(r.makespan, 1.05 * t42_1day);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "iosim/xmu_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+namespace {
+
+using namespace ncar;
+using iosim::XmuArray;
+
+class XmuArrayTest : public ::testing::Test {
+protected:
+  sxs::MachineConfig machine = sxs::MachineConfig::sx4_benchmarked();
+};
+
+TEST_F(XmuArrayTest, ValuesRoundTrip) {
+  XmuArray a(machine, 1'000'000, 131072, 65536);
+  a.write(0, 1.5);
+  a.write(999'999, -2.5);
+  EXPECT_DOUBLE_EQ(a.read(0), 1.5);
+  EXPECT_DOUBLE_EQ(a.read(999'999), -2.5);
+}
+
+TEST_F(XmuArrayTest, SequentialWalkFaultsOncePerBlock) {
+  const long n = 1'000'000, block = 65536;
+  XmuArray a(machine, n, 2 * block, block);
+  for (long i = 0; i < n; ++i) a.write(i, static_cast<double>(i));
+  // ceil(n / block) = 16 blocks.
+  EXPECT_EQ(a.faults(), (n + block - 1) / block);
+}
+
+TEST_F(XmuArrayTest, WindowResidentAccessIsFree) {
+  XmuArray a(machine, 100'000, 131072, 65536);  // whole array fits
+  for (long i = 0; i < 100'000; ++i) a.write(i, 1.0);
+  const long cold = a.faults();
+  for (long i = 0; i < 100'000; ++i) a.read(i);
+  EXPECT_EQ(a.faults(), cold);  // no further staging
+}
+
+TEST_F(XmuArrayTest, ThrashingPatternPaysStaging) {
+  const long block = 4096;
+  XmuArray a(machine, 16 * block, block, block);  // one-slot window
+  // Alternate between two blocks: every access faults after the first.
+  for (int r = 0; r < 10; ++r) {
+    a.read(0);
+    a.read(8 * block);
+  }
+  EXPECT_GE(a.faults(), 19);
+  EXPECT_GT(a.staging_seconds(), 0.0);
+}
+
+TEST_F(XmuArrayTest, StagingTimeMatchesXmuBandwidth) {
+  const long block = 65536;
+  XmuArray a(machine, 10 * block, block, block);
+  for (long b = 0; b < 10; ++b) a.read(b * block);  // 10 cold faults
+  // First fault stages in only; the rest stage in + out.
+  const double rate = machine.xmu_bytes_per_clock * machine.clock_hz();
+  const double want = (8.0 * block * 1 + 9 * 8.0 * block * 2) / rate;
+  EXPECT_NEAR(a.staging_seconds(), want, 1e-12);
+}
+
+TEST_F(XmuArrayTest, ChargeMovesTimeToCpu) {
+  sxs::Node node(machine);
+  XmuArray a(machine, 1'000'000, 65536, 65536);
+  for (long i = 0; i < 1'000'000; i += 65536) a.read(i);
+  const double staged = a.staging_seconds();
+  EXPECT_GT(staged, 0.0);
+  a.charge(node.cpu(0));
+  EXPECT_DOUBLE_EQ(a.staging_seconds(), 0.0);
+  EXPECT_NEAR(node.cpu(0).seconds(), staged, 1e-12);
+}
+
+TEST_F(XmuArrayTest, InvalidShapesThrow) {
+  EXPECT_THROW(XmuArray(machine, 100, 64, 128), ncar::precondition_error);
+  EXPECT_THROW(XmuArray(machine, 100, 100, 64), ncar::precondition_error);
+  // Exceeds the 4 GB XMU.
+  EXPECT_THROW(XmuArray(machine, 1'000'000'000, 65536, 65536),
+               ncar::precondition_error);
+  XmuArray a(machine, 100, 64, 64);
+  EXPECT_THROW(a.read(100), ncar::precondition_error);
+  EXPECT_THROW(a.read(-1), ncar::precondition_error);
+}
+
+}  // namespace

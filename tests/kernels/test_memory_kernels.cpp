@@ -1,0 +1,136 @@
+#include "kernels/memory_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+
+namespace {
+
+using namespace ncar;
+using kernels::MemKernel;
+
+class MemKernelTest : public ::testing::Test {
+protected:
+  MemKernelTest() : node(single_cpu()), cpu(node.cpu(0)) {}
+  static sxs::MachineConfig single_cpu() {
+    auto c = sxs::MachineConfig::sx4_benchmarked();
+    c.cpus_per_node = 1;
+    return c;
+  }
+  sxs::Node node;
+  sxs::Cpu& cpu;
+};
+
+TEST_F(MemKernelTest, CopyVerifiesNumerics) {
+  const auto p = kernels::run_copy(cpu, 1000, 100, 5);
+  EXPECT_TRUE(p.verified);
+  EXPECT_GT(p.mb_per_s, 0.0);
+}
+
+TEST_F(MemKernelTest, CopyLongVectorsNearPortLimit) {
+  const auto p = kernels::run_copy(cpu, 1'000'000, 1, 5);
+  // One-way payload at the 9.2 ns port: 8 words/cycle = ~6.96 GB/s.
+  EXPECT_GT(p.mb_per_s, 6000.0);
+  EXPECT_LT(p.mb_per_s, 7000.0);
+}
+
+TEST_F(MemKernelTest, CopyShortVectorsStartupBound) {
+  const auto p = kernels::run_copy(cpu, 1, 1'000'000, 5);
+  EXPECT_LT(p.mb_per_s, 100.0);
+}
+
+TEST_F(MemKernelTest, IaVerifiesGatherNumerics) {
+  const auto p = kernels::run_ia(cpu, 1000, 100, 5);
+  EXPECT_TRUE(p.verified);
+}
+
+TEST_F(MemKernelTest, IaSlowerThanCopyAtLongVectors) {
+  const auto c = kernels::run_copy(cpu, 100'000, 10, 5);
+  const auto g = kernels::run_ia(cpu, 100'000, 10, 5);
+  EXPECT_GT(c.mb_per_s, 2.0 * g.mb_per_s);
+}
+
+TEST_F(MemKernelTest, XposeVerifiesTransposeNumerics) {
+  const auto p = kernels::run_xpose(cpu, 64, 4, 5);
+  EXPECT_TRUE(p.verified);
+}
+
+TEST_F(MemKernelTest, XposeSlowerThanCopy) {
+  const auto c = kernels::run_copy(cpu, 250'000, 4, 5);
+  const auto x = kernels::run_xpose(cpu, 500, 4, 5);
+  EXPECT_GT(c.mb_per_s, 1.3 * x.mb_per_s);
+}
+
+TEST_F(MemKernelTest, XposePowerOfTwoDimensionConflicts) {
+  // N=512 folds the stride onto few banks; N=500 does not.
+  const auto bad = kernels::run_xpose(cpu, 512, 4, 5);
+  const auto good = kernels::run_xpose(cpu, 500, 4, 5);
+  EXPECT_GT(good.mb_per_s, 1.5 * bad.mb_per_s);
+}
+
+TEST_F(MemKernelTest, BandwidthIsOneWayPayload) {
+  const auto p = kernels::run_copy(cpu, 100'000, 1, 1);
+  const double bytes = 8.0 * 100'000;
+  EXPECT_NEAR(p.mb_per_s, bytes / p.seconds / 1e6, 1e-6);
+}
+
+TEST_F(MemKernelTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(kernels::run_copy(cpu, 0, 1, 5), ncar::precondition_error);
+  EXPECT_THROW(kernels::run_copy(cpu, 1, 1, 0), ncar::precondition_error);
+  EXPECT_THROW(kernels::run_xpose(cpu, 1, 1, 5), ncar::precondition_error);
+}
+
+TEST(Schedule, ConstantWorkKeepsProductRoughlyConstant) {
+  const auto sched = kernels::constant_work_schedule(1'000'000);
+  ASSERT_GE(sched.size(), 15u);
+  EXPECT_EQ(sched.front().first, 1);
+  EXPECT_EQ(sched.back().first, 1'000'000);
+  for (auto [n, m] : sched) {
+    const double work = static_cast<double>(n) * static_cast<double>(m);
+    EXPECT_GE(work, 0.4e6);
+    EXPECT_LE(work, 1.6e6);
+  }
+}
+
+TEST(Schedule, XposeRangeMatchesPaper) {
+  const auto sched = kernels::xpose_schedule(1'000'000);
+  EXPECT_EQ(sched.front().first, 2);     // N from 2
+  EXPECT_LE(sched.back().first, 1000);   // to 10^3
+  // M from 250,000 down to 1 (paper section 4.2.3).
+  EXPECT_EQ(sched.front().second, 250'000);
+  EXPECT_EQ(sched.back().second, 1);
+}
+
+TEST(Schedule, StrictlyIncreasingN) {
+  for (auto sched : {kernels::constant_work_schedule(100'000),
+                     kernels::xpose_schedule(100'000)}) {
+    for (std::size_t i = 1; i < sched.size(); ++i) {
+      EXPECT_GT(sched[i].first, sched[i - 1].first);
+    }
+  }
+}
+
+class SweepParam : public ::testing::TestWithParam<MemKernel> {};
+
+TEST_P(SweepParam, AllPointsVerifiedAndMonotoneAtHighN) {
+  auto cfg = sxs::MachineConfig::sx4_benchmarked();
+  cfg.cpus_per_node = 1;
+  sxs::Node node(cfg);
+  const auto pts = kernels::sweep(GetParam(), node.cpu(0), 100'000, 3);
+  ASSERT_GE(pts.size(), 10u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(p.verified) << "N=" << p.n;
+    EXPECT_GT(p.mb_per_s, 0.0);
+  }
+  // Bandwidth at the longest vectors beats the shortest (startup).
+  EXPECT_GT(pts.back().mb_per_s, pts.front().mb_per_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SweepParam,
+                         ::testing::Values(MemKernel::Copy,
+                                           MemKernel::IndirectAddress,
+                                           MemKernel::Transpose));
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "machines/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sxs/ops.hpp"
+
+namespace {
+
+using ncar::machines::Comparator;
+using ncar::sxs::Intrinsic;
+using ncar::sxs::VectorOp;
+
+VectorOp triad(long n) {
+  VectorOp op;
+  op.n = n;
+  op.flops_per_elem = 2;
+  op.load_words = 2;
+  op.store_words = 1;
+  return op;
+}
+
+TEST(Comparator, AllPresetsValidate) {
+  // Construction validates each preset's configuration.
+  Comparator a(Comparator::sun_sparc20());
+  Comparator b(Comparator::ibm_rs6000_590());
+  Comparator c(Comparator::cray_j90());
+  Comparator d(Comparator::cray_ymp());
+  Comparator e(Comparator::nec_sx4_single());
+  EXPECT_FALSE(a.has_vector());
+  EXPECT_FALSE(b.has_vector());
+  EXPECT_TRUE(c.has_vector());
+  EXPECT_TRUE(d.has_vector());
+  EXPECT_TRUE(e.has_vector());
+}
+
+TEST(Comparator, VectorMachinesWinLongVectorLoops) {
+  // The same long triad loop must run far faster on the Y-MP than on the
+  // Sparc20 — this asymmetry is what Table 1's RADABS column shows.
+  Comparator ymp(Comparator::cray_ymp());
+  Comparator sparc(Comparator::sun_sparc20());
+  const long n = 1 << 20;
+  ymp.vec(triad(n));
+  sparc.vec(triad(n));
+  EXPECT_GT(sparc.seconds(), 4.0 * ymp.seconds());
+}
+
+TEST(Comparator, ScalarMachinesCompetitiveOnScalarWork) {
+  // Cache-friendly scalar work (HINT-like) runs comparably or better on the
+  // workstations than on the Crays' scalar units.
+  ncar::sxs::ScalarOp op;
+  op.iters = 100000;
+  op.flops_per_iter = 4;
+  op.mem_words_per_iter = 4;
+  op.other_ops_per_iter = 8;
+  op.working_set_bytes = 8 * 1024;
+  op.reuse_fraction = 0.9;
+
+  Comparator j90(Comparator::cray_j90());
+  Comparator sparc(Comparator::sun_sparc20());
+  j90.scalar(op);
+  sparc.scalar(op);
+  EXPECT_LT(sparc.seconds(), j90.seconds());
+}
+
+TEST(Comparator, Sx4BeatsYmpOnVectorWork) {
+  Comparator sx4(Comparator::nec_sx4_single());
+  Comparator ymp(Comparator::cray_ymp());
+  const long n = 1 << 20;
+  sx4.vec(triad(n));
+  ymp.vec(triad(n));
+  // ~1.7 Gflops peak vs 333 Mflops peak; memory-bound triad still >2x.
+  EXPECT_GT(ymp.seconds(), 2.0 * sx4.seconds());
+}
+
+TEST(Comparator, IntrinsicsVectoriseOnVectorMachines) {
+  Comparator ymp(Comparator::cray_ymp());
+  Comparator rs6k(Comparator::ibm_rs6000_590());
+  const long n = 100000;
+  ymp.intrinsic(Intrinsic::Exp, n);
+  rs6k.intrinsic(Intrinsic::Exp, n);
+  EXPECT_LT(ymp.seconds(), rs6k.seconds());
+}
+
+TEST(Comparator, EquivalentFlopsUseCrayCurrency) {
+  Comparator ymp(Comparator::cray_ymp());
+  ymp.intrinsic(Intrinsic::Exp, 1000);
+  EXPECT_DOUBLE_EQ(ymp.equiv_flops(), 11000.0);
+}
+
+TEST(Comparator, ResetClearsAccounting) {
+  Comparator sx4(Comparator::nec_sx4_single());
+  sx4.vec(triad(1000));
+  sx4.reset();
+  EXPECT_DOUBLE_EQ(sx4.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(sx4.equiv_flops(), 0.0);
+}
+
+TEST(Comparator, ScalarFallbackChargesVectorLoopAsScalar) {
+  Comparator sparc(Comparator::sun_sparc20());
+  sparc.vec(triad(10000));
+  // 2 flops/elem accounted either way.
+  EXPECT_DOUBLE_EQ(sparc.hw_flops(), 20000.0);
+  EXPECT_GT(sparc.seconds(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "ocean/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using ncar::ocean::LandMask;
+
+TEST(LandMask, OceanFractionNearHalf) {
+  LandMask m(360, 180);
+  EXPECT_GT(m.ocean_fraction(), 0.35);
+  EXPECT_LT(m.ocean_fraction(), 0.60);
+}
+
+TEST(LandMask, SouthernOceanBandIsAllWater) {
+  LandMask m(360, 180);
+  // Rows between 64S and 40S (j = lat + 90 - 0.5).
+  for (int j = 30; j <= 48; ++j) {
+    EXPECT_EQ(m.ocean_in_row(j), 360) << "row " << j;
+  }
+}
+
+TEST(LandMask, PolarCapsMostlyLand) {
+  LandMask m(360, 180);
+  EXPECT_LT(m.ocean_in_row(0), 80);
+  EXPECT_LT(m.ocean_in_row(179), 80);
+}
+
+TEST(LandMask, RowCountsMatchMask) {
+  LandMask m(120, 60);
+  long total = 0;
+  for (int j = 0; j < 60; ++j) {
+    int count = 0;
+    for (int i = 0; i < 120; ++i) count += m.ocean(i, j);
+    EXPECT_EQ(count, m.ocean_in_row(j));
+    total += count;
+  }
+  EXPECT_EQ(total, m.ocean_total());
+}
+
+TEST(LandMask, ImbalanceGrowsWithProcessorCount) {
+  LandMask m(360, 180);
+  EXPECT_DOUBLE_EQ(m.block_imbalance(1), 1.0);
+  EXPECT_GT(m.block_imbalance(8), m.block_imbalance(4));
+  EXPECT_GE(m.block_imbalance(32), m.block_imbalance(16) * 0.99);
+  // The Southern Ocean band caps the imbalance around 1/ocean_fraction.
+  EXPECT_LT(m.block_imbalance(32), 1.0 / m.ocean_fraction() * 1.15);
+}
+
+TEST(LandMask, LowResolutionSameCharacter) {
+  LandMask m(120, 60);
+  EXPECT_GT(m.ocean_fraction(), 0.3);
+  EXPECT_GT(m.block_imbalance(8), 1.2);
+}
+
+TEST(LandMask, InvalidShapesThrow) {
+  EXPECT_THROW(LandMask(4, 180), ncar::precondition_error);
+  LandMask m(120, 60);
+  EXPECT_THROW(m.block_imbalance(0), ncar::precondition_error);
+  EXPECT_THROW(m.block_imbalance(61), ncar::precondition_error);
+}
+
+}  // namespace

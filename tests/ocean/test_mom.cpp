@@ -1,0 +1,112 @@
+#include "ocean/mom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using namespace ncar;
+
+class MomTest : public ::testing::Test {
+protected:
+  MomTest() : node(sxs::MachineConfig::sx4_benchmarked()) {}
+  sxs::Node node;
+};
+
+TEST_F(MomTest, LowResolutionConfigMatchesPaper) {
+  // "The low resolution version has a nominal horizontal resolution of 3
+  // degrees ... with 25 levels"; high resolution 1 degree, 45 levels.
+  const auto lo = ocean::MomConfig::low_resolution();
+  EXPECT_EQ(lo.nlon, 120);
+  EXPECT_EQ(lo.nlev, 25);
+  const auto hi = ocean::MomConfig::high_resolution();
+  EXPECT_EQ(hi.nlon, 360);
+  EXPECT_EQ(hi.nlat, 180);
+  EXPECT_EQ(hi.nlev, 45);
+}
+
+TEST_F(MomTest, SorSolverConverges) {
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  mom.step(1);
+  // 60 SOR sweeps on the coarse grid drive the residual well down from the
+  // O(1e-11) forcing magnitude.
+  EXPECT_LT(mom.last_sor_residual(), 1e-11);
+  EXPECT_GT(mom.last_sor_residual(), 0.0);
+}
+
+TEST_F(MomTest, TemperatureStaysPhysicalOver40Steps) {
+  // Paper: "A run of 40 timesteps ... is used for testing and verification".
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  for (int s = 0; s < 40; ++s) mom.step(2);
+  EXPECT_GT(mom.mean_temperature(), 0.0);
+  EXPECT_LT(mom.mean_temperature(), 30.0);
+  EXPECT_GT(mom.mean_salinity(), 33.0);
+  EXPECT_LT(mom.mean_salinity(), 36.0);
+}
+
+TEST_F(MomTest, CirculationSpinsUpFromRest) {
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  EXPECT_DOUBLE_EQ(mom.barotropic_ke(), 0.0);
+  mom.step(1);
+  EXPECT_GT(mom.barotropic_ke(), 0.0);
+}
+
+TEST_F(MomTest, ConvectiveAdjustmentKeepsColumnsStable) {
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  for (int s = 0; s < 10; ++s) mom.step(1);
+  // After adjustment, no deeper cell may be warmer than the one above.
+  EXPECT_TRUE(mom.columns_statically_stable());
+}
+
+TEST_F(MomTest, DeterministicAcrossCpuCounts) {
+  ocean::Mom a(ocean::MomConfig::low_resolution(), node);
+  for (int s = 0; s < 5; ++s) a.step(1);
+  ocean::Mom b(ocean::MomConfig::low_resolution(), node);
+  for (int s = 0; s < 5; ++s) b.step(16);
+  EXPECT_DOUBLE_EQ(a.checksum(), b.checksum());
+}
+
+TEST_F(MomTest, DiagnosticsStepIsSlower) {
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  // Steps 1..9 have no diagnostics; step 10 does.
+  double t9 = 0;
+  for (int s = 0; s < 9; ++s) t9 = mom.step(1);
+  const double t10 = mom.step(1);
+  EXPECT_GT(t10, t9);
+}
+
+TEST_F(MomTest, SpeedupShapeMatchesTable7) {
+  // The headline: modest scalability — speedup at 32 CPUs lands near 9,
+  // far below ideal (paper Table 7).
+  ocean::Mom mom(ocean::MomConfig::high_resolution(), node);
+  node.reset();
+  mom.reset();
+  const double t1 = mom.measure_step_seconds(1, 10);
+  node.reset();
+  mom.reset();
+  const double t32 = mom.measure_step_seconds(32, 10);
+  const double speedup = t1 / t32;
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LT(speedup, 12.0);
+}
+
+TEST_F(MomTest, ResetRestoresState) {
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  const double c0 = mom.checksum();
+  for (int s = 0; s < 3; ++s) mom.step(1);
+  mom.reset();
+  EXPECT_DOUBLE_EQ(mom.checksum(), c0);
+}
+
+TEST_F(MomTest, InvalidArgsThrow) {
+  ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
+  EXPECT_THROW(mom.step(0), ncar::precondition_error);
+  EXPECT_THROW(mom.step(64), ncar::precondition_error);
+  EXPECT_THROW(mom.measure_step_seconds(1, 0), ncar::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include "ocean/pop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using namespace ncar;
+using ocean::cshift;
+
+sxs::MachineConfig single_cpu() {
+  auto c = sxs::MachineConfig::sx4_benchmarked();
+  c.cpus_per_node = 1;
+  return c;
+}
+
+TEST(Cshift, PeriodicInLongitude) {
+  Array2D<double> a(4, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) a(i, j) = static_cast<double>(10 * j + i);
+  }
+  const auto s = cshift(a, 0, 1);
+  EXPECT_DOUBLE_EQ(s(0, 0), a(1, 0));
+  EXPECT_DOUBLE_EQ(s(3, 0), a(0, 0));  // wraps
+  const auto m = cshift(a, 0, -1);
+  EXPECT_DOUBLE_EQ(m(0, 1), a(3, 1));
+}
+
+TEST(Cshift, ClampedAtLatitudeWalls) {
+  Array2D<double> a(4, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) a(i, j) = static_cast<double>(j);
+  }
+  const auto up = cshift(a, 1, 1);
+  EXPECT_DOUBLE_EQ(up(0, 2), 2.0);  // clamped, not wrapped
+  const auto dn = cshift(a, 1, -1);
+  EXPECT_DOUBLE_EQ(dn(0, 0), 0.0);
+}
+
+TEST(Cshift, InvalidDimThrows) {
+  Array2D<double> a(4, 3);
+  EXPECT_THROW(cshift(a, 2, 1), ncar::precondition_error);
+}
+
+class PopTest : public ::testing::Test {
+protected:
+  PopTest() : node(single_cpu()), pop(ocean::PopConfig::two_degree(), node) {}
+  sxs::Node node;
+  ocean::Pop pop;
+};
+
+TEST_F(PopTest, FreeSurfaceVolumeConserved) {
+  const double m0 = pop.mean_eta();
+  for (int s = 0; s < 20; ++s) pop.step();
+  // The centred divergence over a periodic/walled grid conserves volume to
+  // rounding.
+  EXPECT_NEAR(pop.mean_eta(), m0, 1e-12);
+}
+
+TEST_F(PopTest, GravityWavesConvertHeightToMotion) {
+  EXPECT_DOUBLE_EQ(pop.surface_ke(), 0.0);
+  pop.step();
+  EXPECT_GT(pop.surface_ke(), 0.0);
+}
+
+TEST_F(PopTest, EnergyBoundedUnderDrag) {
+  double peak = 0;
+  for (int s = 0; s < 50; ++s) {
+    pop.step();
+    peak = std::max(peak, pop.surface_ke());
+  }
+  EXPECT_TRUE(std::isfinite(peak));
+  // With drag, late-time KE must not exceed the early peak by much.
+  EXPECT_LT(pop.surface_ke(), 2.0 * peak);
+}
+
+TEST_F(PopTest, TracerMeanDriftsAtMostSlowly) {
+  const double t0 = pop.mean_tracer(0);
+  for (int s = 0; s < 20; ++s) pop.step();
+  EXPECT_NEAR(pop.mean_tracer(0), t0, 0.02 * t0);
+}
+
+TEST_F(PopTest, MflopsMatchPaperFigure) {
+  node.reset();
+  pop.reset();
+  const double mf = pop.measure_mflops(3);
+  // Paper: 537 Mflops on one SX-4 processor.
+  EXPECT_GT(mf, 0.8 * 537.0);
+  EXPECT_LT(mf, 1.25 * 537.0);
+}
+
+TEST_F(PopTest, CshiftDominatesTime) {
+  // The unvectorised CSHIFT is where the time goes — the paper's "even so"
+  // hinges on it.
+  node.reset();
+  pop.reset();
+  pop.measure_mflops(2);
+  EXPECT_GT(pop.cshift_time_fraction(), 0.4);
+  EXPECT_LT(pop.cshift_time_fraction(), 0.95);
+}
+
+TEST_F(PopTest, DeterministicChecksum) {
+  ocean::Pop a(ocean::PopConfig::two_degree(), node);
+  ocean::Pop b(ocean::PopConfig::two_degree(), node);
+  for (int s = 0; s < 5; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_DOUBLE_EQ(a.checksum(), b.checksum());
+}
+
+TEST_F(PopTest, ResetRestoresState) {
+  const double c0 = pop.checksum();
+  for (int s = 0; s < 3; ++s) pop.step();
+  pop.reset();
+  EXPECT_DOUBLE_EQ(pop.checksum(), c0);
+  EXPECT_EQ(pop.steps_taken(), 0);
+}
+
+TEST_F(PopTest, InvalidConfigThrows) {
+  auto bad = ocean::PopConfig::two_degree();
+  bad.nlev = 0;
+  EXPECT_THROW(ocean::Pop(bad, node), ncar::precondition_error);
+  EXPECT_THROW(pop.mean_tracer(99), ncar::precondition_error);
+}
+
+}  // namespace

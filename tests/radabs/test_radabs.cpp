@@ -1,0 +1,106 @@
+#include "radabs/radabs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "machines/comparator.hpp"
+
+namespace {
+
+using namespace ncar;
+using machines::Comparator;
+
+TEST(RadabsAtmosphere, ProfilesArePhysical) {
+  const auto f = radabs::make_test_atmosphere(64, 18);
+  EXPECT_EQ(f.ncol, 64);
+  EXPECT_EQ(f.nlev, 18);
+  // Pressure increases monotonically toward the surface.
+  for (int k = 1; k < f.nlev; ++k) {
+    EXPECT_GT(f.pressure[static_cast<std::size_t>(k)],
+              f.pressure[static_cast<std::size_t>(k - 1)]);
+  }
+  EXPECT_LE(f.pressure.back(), 1.01e5);
+  for (double t : f.temp) {
+    EXPECT_GT(t, 180.0);
+    EXPECT_LT(t, 330.0);
+  }
+  for (double q : f.qh2o) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LT(q, 0.05);
+  }
+}
+
+TEST(RadabsAtmosphere, DeterministicForSeed) {
+  const auto a = radabs::make_test_atmosphere(8, 10, 5);
+  const auto b = radabs::make_test_atmosphere(8, 10, 5);
+  EXPECT_EQ(a.temp, b.temp);
+  EXPECT_EQ(a.qh2o, b.qh2o);
+}
+
+TEST(RadabsAtmosphere, InvalidShapesThrow) {
+  EXPECT_THROW(radabs::make_test_atmosphere(0, 18), ncar::precondition_error);
+  EXPECT_THROW(radabs::make_test_atmosphere(8, 1), ncar::precondition_error);
+}
+
+TEST(Radabs, ChecksumIsFiniteAndReproducible) {
+  Comparator m(Comparator::nec_sx4_single());
+  const auto f = radabs::make_test_atmosphere(32, 10);
+  const auto a = radabs::run_radabs(m, f);
+  const auto b = radabs::run_radabs(m, f);
+  EXPECT_TRUE(std::isfinite(a.checksum));
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.level_pairs, 45);  // 10 choose 2
+}
+
+TEST(Radabs, AbsorptivitiesBounded) {
+  // a1 in (0,1), a2 small positive: per-pair-column mean below ~1.1.
+  Comparator m(Comparator::nec_sx4_single());
+  const auto f = radabs::make_test_atmosphere(32, 10);
+  const auto r = radabs::run_radabs(m, f);
+  const double mean = r.checksum / (32.0 * 45.0);
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 1.2);
+}
+
+TEST(Radabs, Sx4ReproducesPaperFigure) {
+  // Paper section 4.4: 865.9 Cray Y-MP equivalent Mflops on the SX-4/1.
+  Comparator m(Comparator::nec_sx4_single());
+  const auto r = radabs::run_radabs_standard(m);
+  EXPECT_GT(r.equiv_mflops, 0.75 * 865.9);
+  EXPECT_LT(r.equiv_mflops, 1.25 * 865.9);
+}
+
+TEST(Radabs, HardwareFlopsExceedEquivalentFlops) {
+  // The pipes execute more flops than Cray library counting credits.
+  Comparator m(Comparator::nec_sx4_single());
+  const auto r = radabs::run_radabs_standard(m);
+  EXPECT_GT(r.hw_mflops, r.equiv_mflops);
+}
+
+TEST(Radabs, VectorMachinesOutperformScalarMachinesTenfold) {
+  Comparator sx4(Comparator::nec_sx4_single());
+  Comparator sparc(Comparator::sun_sparc20());
+  const auto a = radabs::run_radabs_standard(sx4);
+  const auto b = radabs::run_radabs_standard(sparc);
+  EXPECT_GT(a.equiv_mflops, 10.0 * b.equiv_mflops);
+  // Same numerics on both machines.
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(Radabs, YmpMatchesTable1) {
+  Comparator ymp(Comparator::cray_ymp());
+  const auto r = radabs::run_radabs_standard(ymp);
+  EXPECT_GT(r.equiv_mflops, 0.75 * 178.1);
+  EXPECT_LT(r.equiv_mflops, 1.25 * 178.1);
+}
+
+TEST(Radabs, PairCountQuadraticInLevels) {
+  Comparator m(Comparator::nec_sx4_single());
+  const auto f18 = radabs::make_test_atmosphere(8, 18);
+  const auto r = radabs::run_radabs(m, f18);
+  EXPECT_EQ(r.level_pairs, 18 * 17 / 2);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "spectral/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace ncar::spectral;
+
+TEST(GaussLegendre, WeightsSumToTwo) {
+  for (int n : {2, 8, 64, 160, 256}) {
+    const auto g = gauss_legendre(n);
+    double sum = 0;
+    for (double w : g.weight) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(GaussLegendre, NodesAscendInOpenInterval) {
+  const auto g = gauss_legendre(64);
+  for (std::size_t i = 0; i < g.mu.size(); ++i) {
+    EXPECT_GT(g.mu[i], -1.0);
+    EXPECT_LT(g.mu[i], 1.0);
+    if (i) {
+      EXPECT_GT(g.mu[i], g.mu[i - 1]);
+    }
+  }
+}
+
+TEST(GaussLegendre, NodesAreSymmetric) {
+  const auto g = gauss_legendre(32);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(g.mu[i], -g.mu[31 - i], 1e-13);
+    EXPECT_NEAR(g.weight[i], g.weight[31 - i], 1e-13);
+  }
+}
+
+TEST(GaussLegendre, IntegratesPolynomialsExactly) {
+  // n-point rule is exact for degree <= 2n-1.
+  const int n = 6;
+  const auto g = gauss_legendre(n);
+  for (int d = 0; d <= 2 * n - 1; ++d) {
+    double q = 0;
+    for (std::size_t i = 0; i < g.mu.size(); ++i) {
+      q += g.weight[i] * std::pow(g.mu[i], d);
+    }
+    const double exact = (d % 2 == 1) ? 0.0 : 2.0 / (d + 1.0);
+    EXPECT_NEAR(q, exact, 1e-12) << "degree " << d;
+  }
+}
+
+TEST(GaussLegendre, DoesNotIntegrateBeyondDegreeBound) {
+  // Degree 2n polynomial must show quadrature error (sanity that the rule
+  // is n-point Gauss, not something stronger).
+  const int n = 4;
+  const auto g = gauss_legendre(n);
+  double q = 0;
+  for (std::size_t i = 0; i < g.mu.size(); ++i) {
+    q += g.weight[i] * std::pow(g.mu[i], 2 * n);
+  }
+  EXPECT_GT(std::abs(q - 2.0 / (2 * n + 1)), 1e-8);
+}
+
+TEST(GaussLegendre, RootsAreLegendreZeros) {
+  const int n = 24;
+  const auto g = gauss_legendre(n);
+  for (double mu : g.mu) {
+    EXPECT_NEAR(legendre_pn(n, mu).p, 0.0, 1e-12);
+  }
+}
+
+TEST(LegendrePn, KnownValues) {
+  EXPECT_DOUBLE_EQ(legendre_pn(0, 0.3).p, 1.0);
+  EXPECT_DOUBLE_EQ(legendre_pn(1, 0.3).p, 0.3);
+  EXPECT_NEAR(legendre_pn(2, 0.5).p, 0.5 * (3 * 0.25 - 1), 1e-14);
+  EXPECT_NEAR(legendre_pn(3, -0.2).p, 0.5 * (5 * -0.008 - 3 * -0.2), 1e-14);
+}
+
+TEST(GaussLegendre, InvalidCountThrows) {
+  EXPECT_THROW(gauss_legendre(0), ncar::precondition_error);
+}
+
+}  // namespace

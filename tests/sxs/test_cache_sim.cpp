@@ -1,0 +1,116 @@
+#include "sxs/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using ncar::sxs::CacheSim;
+
+TEST(CacheSim, FirstAccessMissesSecondHits) {
+  CacheSim c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(8));  // same line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(CacheSim, SequentialWalkMissesOncePerLine) {
+  CacheSim c(64 * 1024, 128, 2);
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) c.access(static_cast<std::uint64_t>(i) * 8);
+  // 4096 words * 8 bytes = 32 KB = 256 lines of 128 bytes.
+  EXPECT_EQ(c.misses(), 256u);
+}
+
+TEST(CacheSim, WorkingSetWithinCapacityFullyHitsOnSecondPass) {
+  CacheSim c(64 * 1024, 128, 2);
+  const int words = 64 * 1024 / 8;  // exactly capacity
+  for (int i = 0; i < words; ++i) c.access(static_cast<std::uint64_t>(i) * 8);
+  const auto cold = c.misses();
+  for (int i = 0; i < words; ++i) c.access(static_cast<std::uint64_t>(i) * 8);
+  EXPECT_EQ(c.misses(), cold);  // no additional misses
+}
+
+TEST(CacheSim, WorkingSetBeyondCapacityThrashes) {
+  CacheSim c(1024, 64, 1);  // 16 lines, direct mapped
+  const int words = 512;    // 4 KB stream, 4x capacity
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < words; ++i)
+      c.access(static_cast<std::uint64_t>(i) * 8);
+  }
+  // Every line access misses on both passes.
+  EXPECT_EQ(c.misses(), 2u * (512 * 8 / 64));
+}
+
+TEST(CacheSim, LruEvictsLeastRecentlyUsed) {
+  // 2-way, 1 set: capacity 2 lines.
+  CacheSim c(128, 64, 2);
+  c.access(0);       // miss, line A
+  c.access(64);      // miss, line B
+  c.access(0);       // hit A (B becomes LRU)
+  c.access(128);     // miss, evicts B
+  EXPECT_TRUE(c.access(0));    // A survived
+  EXPECT_FALSE(c.access(64));  // B was evicted
+}
+
+TEST(CacheSim, ConflictingAddressesInOneSetEvict) {
+  // Direct-mapped: two addresses mapping to the same set alternate-miss.
+  CacheSim c(1024, 64, 1);  // 16 sets
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 1024;  // same set, different tag
+  for (int i = 0; i < 10; ++i) {
+    c.access(a);
+    c.access(b);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(CacheSim, AssociativityResolvesConflicts) {
+  CacheSim c(1024, 64, 2);  // 8 sets, 2-way
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 512;  // same set in the 8-set cache
+  c.access(a);
+  c.access(b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(c.access(a));
+    EXPECT_TRUE(c.access(b));
+  }
+}
+
+TEST(CacheSim, FlushClearsStateAndCounters) {
+  CacheSim c(1024, 64, 2);
+  c.access(0);
+  c.access(0);
+  c.flush();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(0));  // cold again
+}
+
+TEST(CacheSim, DcacheFactoryMatchesConfig) {
+  const auto cfg = ncar::sxs::MachineConfig::sx4_product();
+  auto c = CacheSim::dcache(cfg);
+  EXPECT_EQ(c.line_bytes(), cfg.cache_line_bytes);
+  EXPECT_EQ(c.ways(), cfg.cache_ways);
+  EXPECT_EQ(c.sets() * c.line_bytes() * static_cast<std::size_t>(c.ways()),
+            cfg.dcache_bytes);
+}
+
+TEST(CacheSim, InvalidGeometryThrows) {
+  EXPECT_THROW(CacheSim(1000, 64, 2), ncar::precondition_error);   // not divisible
+  EXPECT_THROW(CacheSim(1024, 60, 2), ncar::precondition_error);   // line not pow2
+  EXPECT_THROW(CacheSim(1024, 64, 0), ncar::precondition_error);   // zero ways
+}
+
+TEST(CacheSim, RandomAccessesOverLargeRangeMostlyMiss) {
+  CacheSim c(64 * 1024, 128, 2);
+  ncar::Rng rng(99);
+  const std::uint64_t range = 64ull * 1024 * 1024;  // 64 MB, 1024x capacity
+  for (int i = 0; i < 20000; ++i) c.access(rng.next_u64() % range);
+  EXPECT_GT(c.miss_rate(), 0.95);
+}
+
+}  // namespace

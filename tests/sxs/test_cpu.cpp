@@ -1,0 +1,147 @@
+#include "sxs/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using ncar::sxs::Cpu;
+using ncar::sxs::Intrinsic;
+using ncar::sxs::MachineConfig;
+using ncar::sxs::ScalarOp;
+using ncar::sxs::VectorOp;
+
+class CpuTest : public ::testing::Test {
+protected:
+  MachineConfig cfg = MachineConfig::sx4_benchmarked();
+  Cpu cpu{cfg};
+};
+
+TEST_F(CpuTest, StartsAtZero) {
+  EXPECT_DOUBLE_EQ(cpu.cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 0.0);
+}
+
+TEST_F(CpuTest, VectorOpAccumulatesCyclesAndFlops) {
+  VectorOp op;
+  op.n = 1000;
+  op.flops_per_elem = 2;
+  op.load_words = 2;
+  op.store_words = 1;
+  cpu.vec(op);
+  EXPECT_GT(cpu.cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 2000.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 2000.0);
+}
+
+TEST_F(CpuTest, SecondsAreCyclesTimesClock) {
+  cpu.charge_cycles(1000.0);
+  EXPECT_NEAR(cpu.seconds(), 1000.0 * 9.2e-9, 1e-15);
+}
+
+TEST_F(CpuTest, ChargeSecondsRoundTrips) {
+  cpu.charge_seconds(1e-3);
+  EXPECT_NEAR(cpu.seconds(), 1e-3, 1e-12);
+}
+
+TEST_F(CpuTest, IntrinsicUsesDifferentFlopCurrencies) {
+  cpu.intrinsic(Intrinsic::Exp, 1000);
+  // Hardware pipes executed 18 flops per EXP; Cray counting says 11.
+  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 18000.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 11000.0);
+}
+
+TEST_F(CpuTest, VectorIntrinsicRateIsPaperShaped) {
+  // ELEFUNT reports millions of calls per second; a vectorised EXP on the
+  // SX-4/1 should land in the tens-to-hundreds of Mcalls/s.
+  const long n = 1 << 22;
+  cpu.intrinsic(Intrinsic::Exp, n);
+  const double mcalls = n / cpu.seconds() / 1e6;
+  EXPECT_GT(mcalls, 30.0);
+  EXPECT_LT(mcalls, 200.0);
+}
+
+TEST_F(CpuTest, ScalarIntrinsicMuchSlowerThanVector) {
+  Cpu a{cfg}, b{cfg};
+  const long n = 100000;
+  a.intrinsic(Intrinsic::Sin, n);
+  b.scalar_intrinsic(Intrinsic::Sin, n);
+  EXPECT_GT(b.seconds(), 5.0 * a.seconds());
+}
+
+TEST_F(CpuTest, ContentionInflatesChargedTime) {
+  VectorOp op;
+  op.n = 100000;
+  op.load_words = 1;
+  op.store_words = 1;
+  Cpu base{cfg};
+  base.vec(op);
+  cpu.set_contention(1.1);
+  cpu.vec(op);
+  EXPECT_NEAR(cpu.cycles() / base.cycles(), 1.1, 1e-9);
+}
+
+TEST_F(CpuTest, ContentionBelowOneThrows) {
+  EXPECT_THROW(cpu.set_contention(0.9), ncar::precondition_error);
+}
+
+TEST_F(CpuTest, ResetClearsEverything) {
+  cpu.charge_cycles(10);
+  cpu.add_equiv_flops(5);
+  cpu.set_contention(1.5);
+  cpu.reset();
+  EXPECT_DOUBLE_EQ(cpu.cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.contention(), 1.0);
+}
+
+TEST_F(CpuTest, NegativeChargesThrow) {
+  EXPECT_THROW(cpu.charge_cycles(-1), ncar::precondition_error);
+  EXPECT_THROW(cpu.charge_seconds(-1), ncar::precondition_error);
+  EXPECT_THROW(cpu.intrinsic(Intrinsic::Exp, -1), ncar::precondition_error);
+}
+
+TEST_F(CpuTest, ScalarOpGoesThroughCacheModel) {
+  ScalarOp op;
+  op.iters = 10000;
+  op.flops_per_iter = 1;
+  op.mem_words_per_iter = 2;
+  op.reuse_fraction = 0.0;
+  cpu.scalar(op);
+  EXPECT_GT(cpu.cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 10000.0);
+}
+
+// Property sweep: every intrinsic has positive cost and a vector rate below
+// the machine's arithmetic limit.
+class IntrinsicParam : public ::testing::TestWithParam<Intrinsic> {};
+
+TEST_P(IntrinsicParam, VectorRateBelowPipeLimit) {
+  const auto cfg = MachineConfig::sx4_benchmarked();
+  Cpu cpu{cfg};
+  const long n = 1 << 20;
+  cpu.intrinsic(GetParam(), n);
+  const double calls_per_s = n / cpu.seconds();
+  EXPECT_GT(calls_per_s, 0.0);
+  // A call costs at least one result through the pipes.
+  EXPECT_LT(calls_per_s, cfg.peak_flops_per_cpu());
+}
+
+TEST_P(IntrinsicParam, EquivalentFlopsArePositiveAndBelowHardware) {
+  const auto cost = ncar::sxs::intrinsic_cost(GetParam());
+  EXPECT_GT(cost.equiv_flops, 0.0);
+  EXPECT_GT(cost.hw_flops + cost.hw_div, 0.0);
+  // Cray counted fewer flops than the polynomial evaluation actually costs.
+  EXPECT_LE(cost.equiv_flops, cost.hw_flops + cost.hw_div * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntrinsics, IntrinsicParam,
+                         ::testing::Values(Intrinsic::Exp, Intrinsic::Log,
+                                           Intrinsic::Pow, Intrinsic::Sin,
+                                           Intrinsic::Cos, Intrinsic::Sqrt));
+
+}  // namespace

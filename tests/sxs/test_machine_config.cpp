@@ -1,0 +1,69 @@
+#include "sxs/machine_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using ncar::sxs::MachineConfig;
+
+TEST(MachineConfig, BenchmarkedSystemMatchesTable2) {
+  const auto c = MachineConfig::sx4_benchmarked();
+  EXPECT_DOUBLE_EQ(c.clock_ns, 9.2);
+  EXPECT_EQ(c.cpus_per_node, 32);
+  EXPECT_EQ(c.nodes, 1);
+  EXPECT_EQ(c.total_cpus(), 32);
+}
+
+TEST(MachineConfig, ProductPartPeaksAtTwoGflops) {
+  const auto c = MachineConfig::sx4_product();
+  // 8 add + 8 multiply pipes at 125 MHz = 2 GFLOPS (paper section 2.1).
+  EXPECT_NEAR(c.peak_flops_per_cpu(), 2e9, 1e-6);
+}
+
+TEST(MachineConfig, BenchmarkedClockLowersPeak) {
+  const auto c = MachineConfig::sx4_benchmarked();
+  EXPECT_NEAR(c.peak_flops_per_cpu(), 16.0 / 9.2e-9, 1.0);
+  EXPECT_LT(c.peak_flops_per_cpu(), 2e9);
+}
+
+TEST(MachineConfig, PortBandwidthIs16GBPerSecAt8ns) {
+  const auto c = MachineConfig::sx4_product();
+  EXPECT_NEAR(c.port_bytes_per_clock * c.clock_hz(), 16e9, 1e-3);
+}
+
+TEST(MachineConfig, MultiNodeScalesCpuCount) {
+  const auto c = MachineConfig::sx4_multinode(4);
+  EXPECT_EQ(c.nodes, 4);
+  EXPECT_EQ(c.total_cpus(), 128);
+}
+
+TEST(MachineConfig, MultiNodeBeyondIxsLimitThrows) {
+  EXPECT_THROW(MachineConfig::sx4_multinode(17), ncar::precondition_error);
+}
+
+TEST(MachineConfig, ValidateRejectsNonPowerOfTwoBanks) {
+  auto c = MachineConfig::sx4_product();
+  c.memory_banks = 1000;
+  EXPECT_THROW(c.validate(), ncar::config_error);
+}
+
+TEST(MachineConfig, ValidateRejectsVectorLengthNotMultipleOfPipes) {
+  auto c = MachineConfig::sx4_product();
+  c.vector_length = 250;
+  EXPECT_THROW(c.validate(), ncar::config_error);
+}
+
+TEST(MachineConfig, ValidateRejectsZeroClock) {
+  auto c = MachineConfig::sx4_product();
+  c.clock_ns = 0;
+  EXPECT_THROW(c.validate(), ncar::config_error);
+}
+
+TEST(MachineConfig, SecondsPerClockInverseOfClockHz) {
+  const auto c = MachineConfig::sx4_benchmarked();
+  EXPECT_NEAR(c.seconds_per_clock() * c.clock_hz(), 1.0, 1e-12);
+}
+
+}  // namespace

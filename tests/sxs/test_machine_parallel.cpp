@@ -1,0 +1,97 @@
+// Multi-node parallel regions over the IXS (single system image,
+// paper section 2.5).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sxs/machine.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using namespace ncar;
+using sxs::Cpu;
+using sxs::Machine;
+using sxs::MachineConfig;
+
+sxs::VectorOp work(long n) {
+  sxs::VectorOp op;
+  op.n = n;
+  op.flops_per_elem = 2;
+  op.load_words = 2;
+  op.store_words = 1;
+  return op;
+}
+
+TEST(MachineParallel, TwoNodesNearlyHalveBalancedWork) {
+  const long n = 1 << 22;
+  Machine one(MachineConfig::sx4_multinode(1));
+  const double t1 = one.parallel(1, 32, [&](int, int, Cpu& c) {
+    c.vec(work(n / 32));
+  });
+  Machine two(MachineConfig::sx4_multinode(2));
+  const double t2 = two.parallel(2, 32, [&](int, int, Cpu& c) {
+    c.vec(work(n / 64));
+  });
+  EXPECT_LT(t2, t1);
+  EXPECT_GT(t2, 0.45 * t1);  // global barrier + startup keep it above half
+}
+
+TEST(MachineParallel, SlowestNodeSetsRegionTime) {
+  Machine m(MachineConfig::sx4_multinode(2));
+  const double t = m.parallel(2, 4, [&](int node, int, Cpu& c) {
+    c.vec(work(node == 0 ? 400000 : 100000));
+  });
+  Machine solo(MachineConfig::sx4_multinode(2));
+  const double t_big = solo.parallel(1, 4, [&](int, int, Cpu& c) {
+    c.vec(work(400000));
+  });
+  EXPECT_GE(t, t_big);            // at least the slow node
+  EXPECT_LT(t, t_big * 1.1);      // but not the sum of both
+}
+
+TEST(MachineParallel, NodeClocksSynchroniseAtRegionEnd) {
+  Machine m(MachineConfig::sx4_multinode(4));
+  m.parallel(4, 8, [&](int node, int, Cpu& c) {
+    c.vec(work(10000 * (node + 1)));  // imbalanced across nodes
+  });
+  const double t0 = m.node(0).elapsed_seconds();
+  for (int n = 1; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(m.node(n).elapsed_seconds(), t0);
+  }
+}
+
+TEST(MachineParallel, GlobalBarrierOnlyForMultipleNodes) {
+  Machine m(MachineConfig::sx4_multinode(2));
+  const double t_one_node = m.parallel(1, 8, [&](int, int, Cpu& c) {
+    c.vec(work(100000));
+  });
+  Machine m2(MachineConfig::sx4_multinode(2));
+  const double t_two_node = m2.parallel(2, 8, [&](int node, int, Cpu& c) {
+    if (node == 0) c.vec(work(100000));  // node 1 idles
+  });
+  // Same critical path plus the IXS barrier.
+  EXPECT_GT(t_two_node, t_one_node);
+  EXPECT_NEAR(t_two_node - t_one_node,
+              m2.ixs().global_barrier_seconds(2), 1e-9);
+}
+
+TEST(MachineParallel, ExchangeAdvancesAllClocks) {
+  Machine m(MachineConfig::sx4_multinode(4));
+  const double t = m.exchange(4, 1e9);
+  EXPECT_GT(t, 0.0);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(m.node(n).elapsed_seconds(), t);
+  }
+}
+
+TEST(MachineParallel, InvalidNodeCountsThrow) {
+  Machine m(MachineConfig::sx4_multinode(2));
+  EXPECT_THROW(m.parallel(3, 8, [](int, int, Cpu&) {}),
+               ncar::precondition_error);
+  EXPECT_THROW(m.parallel(0, 8, [](int, int, Cpu&) {}),
+               ncar::precondition_error);
+  EXPECT_THROW(m.exchange(5, 1.0), ncar::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "sxs/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using ncar::sxs::MachineConfig;
+using ncar::sxs::MemoryModel;
+
+class MemoryModelTest : public ::testing::Test {
+protected:
+  MachineConfig cfg = MachineConfig::sx4_product();
+  MemoryModel mem{cfg};
+};
+
+TEST_F(MemoryModelTest, UnitStrideRunsAtFullPortWidth) {
+  // 16 words per clock at the 16 GB/s port (128 bytes / 8-byte words).
+  EXPECT_DOUBLE_EQ(mem.port_words_per_clock(), 16.0);
+  EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 1), 100.0);
+}
+
+TEST_F(MemoryModelTest, StrideTwoIsConflictFree) {
+  // Paper section 2.2: "Conflict free unit stride as well as stride 2
+  // access is guaranteed".
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(2), 1.0);
+  EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 2), mem.stream_cycles(1600, 1));
+}
+
+TEST_F(MemoryModelTest, SmallOddStridesBenefitFromShortBankCycle) {
+  // With 1024 banks and a 2-clock bank cycle, moderate strides visit enough
+  // banks that only the baseline strided penalty applies ("higher strides
+  // ... benefit from the very short bank cycle time" — slower than unit
+  // stride, but far from pathological).
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(3), cfg.strided_port_divisor);
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(7), cfg.strided_port_divisor);
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(100), cfg.strided_port_divisor);
+}
+
+TEST_F(MemoryModelTest, PowerOfTwoStridesConflict) {
+  // A stride equal to the bank count folds everything onto one bank.
+  const double f = mem.stride_conflict_factor(cfg.memory_banks);
+  EXPECT_GT(f, 1.0);
+  // Demand is 16 words/clock * 2-clock bank cycle on a single bank.
+  EXPECT_DOUBLE_EQ(f, 32.0);
+}
+
+TEST_F(MemoryModelTest, HalfBankStrideConflictsLess) {
+  const double f_full = mem.stride_conflict_factor(cfg.memory_banks);
+  const double f_half = mem.stride_conflict_factor(cfg.memory_banks / 2);
+  EXPECT_GT(f_half, 1.0);
+  EXPECT_LT(f_half, f_full);
+}
+
+TEST_F(MemoryModelTest, NegativeStrideTreatedAsPositive) {
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(-1), 1.0);
+  EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(-1024),
+                   mem.stride_conflict_factor(1024));
+}
+
+TEST_F(MemoryModelTest, GatherSlowerThanStream) {
+  const long n = 100000;
+  EXPECT_GT(mem.gather_cycles(n), mem.stream_cycles(n, 1));
+  EXPECT_DOUBLE_EQ(mem.gather_cycles(n),
+                   mem.stream_cycles(n, 1) * cfg.gather_port_divisor);
+}
+
+TEST_F(MemoryModelTest, ScatterSlowerThanStream) {
+  const long n = 100000;
+  EXPECT_DOUBLE_EQ(mem.scatter_cycles(n),
+                   mem.stream_cycles(n, 1) * cfg.scatter_port_divisor);
+}
+
+TEST_F(MemoryModelTest, ZeroWordsIsFree) {
+  EXPECT_DOUBLE_EQ(mem.stream_cycles(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mem.gather_cycles(0), 0.0);
+  EXPECT_DOUBLE_EQ(mem.scatter_cycles(0), 0.0);
+}
+
+TEST_F(MemoryModelTest, NegativeWordCountThrows) {
+  EXPECT_THROW(mem.stream_cycles(-1, 1), ncar::precondition_error);
+  EXPECT_THROW(mem.gather_cycles(-1), ncar::precondition_error);
+}
+
+TEST(MemoryModelBanks, FewerBanksConflictSooner) {
+  auto small = MachineConfig::sx4_product();
+  small.memory_banks = 64;
+  MemoryModel mem_small{small};
+  auto big = MachineConfig::sx4_product();
+  MemoryModel mem_big{big};
+  // Stride 64: on a 64-bank machine all requests hit one bank.
+  EXPECT_GT(mem_small.stride_conflict_factor(64),
+            mem_big.stride_conflict_factor(64));
+}
+
+}  // namespace

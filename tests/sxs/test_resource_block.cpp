@@ -1,0 +1,105 @@
+#include "sxs/resource_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace ncar::sxs;
+
+std::vector<ResourceBlockSpec> ncar_style() {
+  // The paper's example: an interactive partition, a FIFO static-parallel
+  // partition, and a traditional vector-batch partition.
+  return {
+      {"interactive", 2, 4, SchedulingPolicy::Interactive},
+      {"parallel", 8, 24, SchedulingPolicy::Fifo},
+      {"vector-batch", 4, 16, SchedulingPolicy::Vector},
+  };
+}
+
+TEST(ResourceBlocks, ConstructionValidates) {
+  ResourceBlockTable t(32, ncar_style());
+  EXPECT_EQ(t.block_count(), 3);
+  EXPECT_EQ(t.total_cpus(), 32);
+  EXPECT_EQ(t.block_index("parallel"), 1);
+  EXPECT_EQ(t.block_index("nope"), -1);
+}
+
+TEST(ResourceBlocks, MinimaAreReservedAcrossBlocks) {
+  ResourceBlockTable t(32, ncar_style());
+  // parallel's max is 24, but interactive(2) + vector-batch(4) minima are
+  // reserved: only 32 - 6 = 26 -> still capped by max 24... but if max
+  // were larger the reservation binds. Check with a fresh table:
+  ResourceBlockTable t2(32, {{"a", 8, 32, SchedulingPolicy::Fifo},
+                             {"b", 8, 32, SchedulingPolicy::Fifo}});
+  EXPECT_EQ(t2.available(0), 24);  // 32 minus b's reserved 8
+}
+
+TEST(ResourceBlocks, AllocateAndRelease) {
+  ResourceBlockTable t(32, ncar_style());
+  auto a = t.allocate("parallel", 16);
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(t.used(1), 16);
+  EXPECT_LE(t.available(1), 8);  // max 24 minus 16
+  t.release(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(t.used(1), 0);
+}
+
+TEST(ResourceBlocks, BlockMaxEnforced) {
+  ResourceBlockTable t(32, ncar_style());
+  EXPECT_FALSE(t.allocate("interactive", 5).valid());  // max 4
+  auto a = t.allocate("interactive", 4);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(t.allocate("interactive", 1).valid());
+}
+
+TEST(ResourceBlocks, NodeCapacityEnforcedAcrossBlocks) {
+  ResourceBlockTable t(32, {{"a", 0, 32, SchedulingPolicy::Fifo},
+                            {"b", 0, 32, SchedulingPolicy::Fifo}});
+  auto a = t.allocate("a", 20);
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(t.available(1), 12);
+  EXPECT_FALSE(t.allocate("b", 13).valid());
+  EXPECT_TRUE(t.allocate("b", 12).valid());
+}
+
+TEST(ResourceBlocks, SingleProcessCapability) {
+  // Paper: "All processors can be assigned to a single process by properly
+  // defining the Resource Blocks."
+  ResourceBlockTable whole(32, {{"all", 0, 32, SchedulingPolicy::Fifo}});
+  EXPECT_TRUE(whole.single_process_capable());
+  auto a = whole.allocate("all", 32);
+  EXPECT_TRUE(a.valid());
+
+  ResourceBlockTable split(32, ncar_style());
+  EXPECT_FALSE(split.single_process_capable());
+}
+
+TEST(ResourceBlocks, ReleaseRestoresAvailability) {
+  ResourceBlockTable t(32, {{"a", 0, 32, SchedulingPolicy::Fifo}});
+  auto a = t.allocate(0, 32);
+  EXPECT_EQ(t.available(0), 0);
+  t.release(a);
+  EXPECT_EQ(t.available(0), 32);
+}
+
+TEST(ResourceBlocks, InvalidConfigurationsThrow) {
+  using V = std::vector<ResourceBlockSpec>;
+  EXPECT_THROW(ResourceBlockTable(32, V{}), ncar::precondition_error);
+  EXPECT_THROW(ResourceBlockTable(
+                   32, V{{"a", 20, 32, SchedulingPolicy::Fifo},
+                         {"b", 20, 32, SchedulingPolicy::Fifo}}),
+               ncar::precondition_error);  // minima 40 > 32
+  EXPECT_THROW(ResourceBlockTable(32, V{{"a", 4, 2, SchedulingPolicy::Fifo}}),
+               ncar::precondition_error);  // max < min
+  EXPECT_THROW(ResourceBlockTable(32, V{{"a", 0, 64, SchedulingPolicy::Fifo}}),
+               ncar::precondition_error);  // max > node
+  ResourceBlockTable t(32, {{"a", 0, 32, SchedulingPolicy::Fifo}});
+  EXPECT_THROW(t.allocate(0, 0), ncar::precondition_error);
+  Allocation bad;
+  EXPECT_THROW(t.release(bad), ncar::precondition_error);
+}
+
+}  // namespace
