@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_arch"
+  "../bench/ablation_arch.pdb"
+  "CMakeFiles/ablation_arch.dir/ablation_arch.cpp.o"
+  "CMakeFiles/ablation_arch.dir/ablation_arch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

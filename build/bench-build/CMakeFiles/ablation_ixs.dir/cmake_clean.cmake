@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ixs"
+  "../bench/ablation_ixs.pdb"
+  "CMakeFiles/ablation_ixs.dir/ablation_ixs.cpp.o"
+  "CMakeFiles/ablation_ixs.dir/ablation_ixs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ixs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

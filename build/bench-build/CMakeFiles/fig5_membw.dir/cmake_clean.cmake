@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_membw"
+  "../bench/fig5_membw.pdb"
+  "CMakeFiles/fig5_membw.dir/fig5_membw.cpp.o"
+  "CMakeFiles/fig5_membw.dir/fig5_membw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_rfft"
+  "../bench/fig6_rfft.pdb"
+  "CMakeFiles/fig6_rfft.dir/fig6_rfft.cpp.o"
+  "CMakeFiles/fig6_rfft.dir/fig6_rfft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_vfft"
+  "../bench/fig7_vfft.pdb"
+  "CMakeFiles/fig7_vfft.dir/fig7_vfft.cpp.o"
+  "CMakeFiles/fig7_vfft.dir/fig7_vfft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

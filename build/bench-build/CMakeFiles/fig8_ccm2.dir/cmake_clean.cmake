@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_ccm2"
+  "../bench/fig8_ccm2.pdb"
+  "CMakeFiles/fig8_ccm2.dir/fig8_ccm2.cpp.o"
+  "CMakeFiles/fig8_ccm2.dir/fig8_ccm2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ccm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

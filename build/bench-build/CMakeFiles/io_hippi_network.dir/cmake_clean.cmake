@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/io_hippi_network"
+  "../bench/io_hippi_network.pdb"
+  "CMakeFiles/io_hippi_network.dir/io_hippi_network.cpp.o"
+  "CMakeFiles/io_hippi_network.dir/io_hippi_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_hippi_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

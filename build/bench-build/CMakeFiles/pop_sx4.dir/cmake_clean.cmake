@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pop_sx4"
+  "../bench/pop_sx4.pdb"
+  "CMakeFiles/pop_sx4.dir/pop_sx4.cpp.o"
+  "CMakeFiles/pop_sx4.dir/pop_sx4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_sx4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/prodload"
+  "../bench/prodload.pdb"
+  "CMakeFiles/prodload.dir/prodload.cpp.o"
+  "CMakeFiles/prodload.dir/prodload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

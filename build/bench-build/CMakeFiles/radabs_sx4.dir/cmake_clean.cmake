@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/radabs_sx4"
+  "../bench/radabs_sx4.pdb"
+  "CMakeFiles/radabs_sx4.dir/radabs_sx4.cpp.o"
+  "CMakeFiles/radabs_sx4.dir/radabs_sx4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radabs_sx4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

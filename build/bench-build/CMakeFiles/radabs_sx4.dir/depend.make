@@ -1,0 +1,2 @@
+# Empty dependencies file for radabs_sx4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_hint_radabs"
+  "../bench/table1_hint_radabs.pdb"
+  "CMakeFiles/table1_hint_radabs.dir/table1_hint_radabs.cpp.o"
+  "CMakeFiles/table1_hint_radabs.dir/table1_hint_radabs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hint_radabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

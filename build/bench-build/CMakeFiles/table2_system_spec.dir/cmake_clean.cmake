@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_system_spec"
+  "../bench/table2_system_spec.pdb"
+  "CMakeFiles/table2_system_spec.dir/table2_system_spec.cpp.o"
+  "CMakeFiles/table2_system_spec.dir/table2_system_spec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_system_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_elefunt"
+  "../bench/table3_elefunt.pdb"
+  "CMakeFiles/table3_elefunt.dir/table3_elefunt.cpp.o"
+  "CMakeFiles/table3_elefunt.dir/table3_elefunt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_elefunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_ccm2_year"
+  "../bench/table5_ccm2_year.pdb"
+  "CMakeFiles/table5_ccm2_year.dir/table5_ccm2_year.cpp.o"
+  "CMakeFiles/table5_ccm2_year.dir/table5_ccm2_year.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ccm2_year.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

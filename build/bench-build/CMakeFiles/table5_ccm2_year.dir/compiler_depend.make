@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_ccm2_year.
+# This may be replaced when dependencies are built.

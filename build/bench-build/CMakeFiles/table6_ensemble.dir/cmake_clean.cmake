@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_ensemble"
+  "../bench/table6_ensemble.pdb"
+  "CMakeFiles/table6_ensemble.dir/table6_ensemble.cpp.o"
+  "CMakeFiles/table6_ensemble.dir/table6_ensemble.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_mom"
+  "../bench/table7_mom.pdb"
+  "CMakeFiles/table7_mom.dir/table7_mom.cpp.o"
+  "CMakeFiles/table7_mom.dir/table7_mom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_mom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procurement_shootout.dir/procurement_shootout.cpp.o"
+  "CMakeFiles/procurement_shootout.dir/procurement_shootout.cpp.o.d"
+  "procurement_shootout"
+  "procurement_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

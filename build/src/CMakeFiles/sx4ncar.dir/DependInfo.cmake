@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccm2/model.cpp" "src/CMakeFiles/sx4ncar.dir/ccm2/model.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/ccm2/model.cpp.o.d"
+  "/root/repo/src/ccm2/resolution.cpp" "src/CMakeFiles/sx4ncar.dir/ccm2/resolution.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/ccm2/resolution.cpp.o.d"
+  "/root/repo/src/ccm2/slt.cpp" "src/CMakeFiles/sx4ncar.dir/ccm2/slt.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/ccm2/slt.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/sx4ncar.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/sx4ncar.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/sx4ncar.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/common/units.cpp.o.d"
+  "/root/repo/src/fft/complex_fft.cpp" "src/CMakeFiles/sx4ncar.dir/fft/complex_fft.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/fft/complex_fft.cpp.o.d"
+  "/root/repo/src/fft/real_fft.cpp" "src/CMakeFiles/sx4ncar.dir/fft/real_fft.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/fft/real_fft.cpp.o.d"
+  "/root/repo/src/fft/style_bench.cpp" "src/CMakeFiles/sx4ncar.dir/fft/style_bench.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/fft/style_bench.cpp.o.d"
+  "/root/repo/src/fpt/elefunt.cpp" "src/CMakeFiles/sx4ncar.dir/fpt/elefunt.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/fpt/elefunt.cpp.o.d"
+  "/root/repo/src/fpt/paranoia.cpp" "src/CMakeFiles/sx4ncar.dir/fpt/paranoia.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/fpt/paranoia.cpp.o.d"
+  "/root/repo/src/hint/hint.cpp" "src/CMakeFiles/sx4ncar.dir/hint/hint.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/hint/hint.cpp.o.d"
+  "/root/repo/src/iosim/disk.cpp" "src/CMakeFiles/sx4ncar.dir/iosim/disk.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/iosim/disk.cpp.o.d"
+  "/root/repo/src/iosim/hippi.cpp" "src/CMakeFiles/sx4ncar.dir/iosim/hippi.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/iosim/hippi.cpp.o.d"
+  "/root/repo/src/iosim/history.cpp" "src/CMakeFiles/sx4ncar.dir/iosim/history.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/iosim/history.cpp.o.d"
+  "/root/repo/src/iosim/network.cpp" "src/CMakeFiles/sx4ncar.dir/iosim/network.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/iosim/network.cpp.o.d"
+  "/root/repo/src/iosim/sfs.cpp" "src/CMakeFiles/sx4ncar.dir/iosim/sfs.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/iosim/sfs.cpp.o.d"
+  "/root/repo/src/iosim/xmu_array.cpp" "src/CMakeFiles/sx4ncar.dir/iosim/xmu_array.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/iosim/xmu_array.cpp.o.d"
+  "/root/repo/src/kernels/memory_kernels.cpp" "src/CMakeFiles/sx4ncar.dir/kernels/memory_kernels.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/kernels/memory_kernels.cpp.o.d"
+  "/root/repo/src/machines/comparator.cpp" "src/CMakeFiles/sx4ncar.dir/machines/comparator.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/machines/comparator.cpp.o.d"
+  "/root/repo/src/ocean/mask.cpp" "src/CMakeFiles/sx4ncar.dir/ocean/mask.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/ocean/mask.cpp.o.d"
+  "/root/repo/src/ocean/mom.cpp" "src/CMakeFiles/sx4ncar.dir/ocean/mom.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/ocean/mom.cpp.o.d"
+  "/root/repo/src/ocean/pop.cpp" "src/CMakeFiles/sx4ncar.dir/ocean/pop.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/ocean/pop.cpp.o.d"
+  "/root/repo/src/prodload/nqs.cpp" "src/CMakeFiles/sx4ncar.dir/prodload/nqs.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/prodload/nqs.cpp.o.d"
+  "/root/repo/src/prodload/scheduler.cpp" "src/CMakeFiles/sx4ncar.dir/prodload/scheduler.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/prodload/scheduler.cpp.o.d"
+  "/root/repo/src/radabs/radabs.cpp" "src/CMakeFiles/sx4ncar.dir/radabs/radabs.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/radabs/radabs.cpp.o.d"
+  "/root/repo/src/spectral/gauss.cpp" "src/CMakeFiles/sx4ncar.dir/spectral/gauss.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/spectral/gauss.cpp.o.d"
+  "/root/repo/src/spectral/legendre.cpp" "src/CMakeFiles/sx4ncar.dir/spectral/legendre.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/spectral/legendre.cpp.o.d"
+  "/root/repo/src/spectral/sht.cpp" "src/CMakeFiles/sx4ncar.dir/spectral/sht.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/spectral/sht.cpp.o.d"
+  "/root/repo/src/sxs/cache_sim.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/cache_sim.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/cache_sim.cpp.o.d"
+  "/root/repo/src/sxs/cpu.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/cpu.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/cpu.cpp.o.d"
+  "/root/repo/src/sxs/ixs.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/ixs.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/ixs.cpp.o.d"
+  "/root/repo/src/sxs/machine.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/machine.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/machine.cpp.o.d"
+  "/root/repo/src/sxs/machine_config.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/machine_config.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/machine_config.cpp.o.d"
+  "/root/repo/src/sxs/memory_model.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/memory_model.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/memory_model.cpp.o.d"
+  "/root/repo/src/sxs/node.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/node.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/node.cpp.o.d"
+  "/root/repo/src/sxs/ops.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/ops.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/ops.cpp.o.d"
+  "/root/repo/src/sxs/resource_block.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/resource_block.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/resource_block.cpp.o.d"
+  "/root/repo/src/sxs/scalar_unit.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/scalar_unit.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/scalar_unit.cpp.o.d"
+  "/root/repo/src/sxs/vector_unit.cpp" "src/CMakeFiles/sx4ncar.dir/sxs/vector_unit.cpp.o" "gcc" "src/CMakeFiles/sx4ncar.dir/sxs/vector_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

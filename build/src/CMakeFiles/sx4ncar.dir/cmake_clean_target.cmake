@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsx4ncar.a"
+)

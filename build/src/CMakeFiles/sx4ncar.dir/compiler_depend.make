@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sx4ncar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sx4ncar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sxs")
+subdirs("machines")
+subdirs("fpt")
+subdirs("kernels")
+subdirs("fft")
+subdirs("radabs")
+subdirs("hint")
+subdirs("iosim")
+subdirs("prodload")
+subdirs("spectral")
+subdirs("ccm2")
+subdirs("ocean")

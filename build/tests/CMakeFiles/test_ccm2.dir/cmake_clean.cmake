@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccm2.dir/ccm2/test_checkpoint.cpp.o"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_dynamics.cpp.o"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_dynamics.cpp.o.d"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_model.cpp.o"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_model.cpp.o.d"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_slt.cpp.o"
+  "CMakeFiles/test_ccm2.dir/ccm2/test_slt.cpp.o.d"
+  "test_ccm2"
+  "test_ccm2.pdb"
+  "test_ccm2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fft/test_complex_fft.cpp" "tests/CMakeFiles/test_fft.dir/fft/test_complex_fft.cpp.o" "gcc" "tests/CMakeFiles/test_fft.dir/fft/test_complex_fft.cpp.o.d"
+  "/root/repo/tests/fft/test_real_fft.cpp" "tests/CMakeFiles/test_fft.dir/fft/test_real_fft.cpp.o" "gcc" "tests/CMakeFiles/test_fft.dir/fft/test_real_fft.cpp.o.d"
+  "/root/repo/tests/fft/test_style_bench.cpp" "tests/CMakeFiles/test_fft.dir/fft/test_style_bench.cpp.o" "gcc" "tests/CMakeFiles/test_fft.dir/fft/test_style_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sx4ncar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpt.dir/fpt/test_elefunt.cpp.o"
+  "CMakeFiles/test_fpt.dir/fpt/test_elefunt.cpp.o.d"
+  "CMakeFiles/test_fpt.dir/fpt/test_paranoia.cpp.o"
+  "CMakeFiles/test_fpt.dir/fpt/test_paranoia.cpp.o.d"
+  "test_fpt"
+  "test_fpt.pdb"
+  "test_fpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

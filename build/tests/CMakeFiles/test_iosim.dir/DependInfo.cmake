@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iosim/test_disk.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/test_disk.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/test_disk.cpp.o.d"
+  "/root/repo/tests/iosim/test_hippi_network.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/test_hippi_network.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/test_hippi_network.cpp.o.d"
+  "/root/repo/tests/iosim/test_history.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/test_history.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/test_history.cpp.o.d"
+  "/root/repo/tests/iosim/test_sfs.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/test_sfs.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/test_sfs.cpp.o.d"
+  "/root/repo/tests/iosim/test_xmu_array.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/test_xmu_array.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/test_xmu_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sx4ncar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iosim.dir/iosim/test_disk.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/test_disk.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/test_hippi_network.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/test_hippi_network.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/test_history.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/test_history.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/test_sfs.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/test_sfs.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/test_xmu_array.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/test_xmu_array.cpp.o.d"
+  "test_iosim"
+  "test_iosim.pdb"
+  "test_iosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocean.dir/ocean/test_mask.cpp.o"
+  "CMakeFiles/test_ocean.dir/ocean/test_mask.cpp.o.d"
+  "CMakeFiles/test_ocean.dir/ocean/test_mom.cpp.o"
+  "CMakeFiles/test_ocean.dir/ocean/test_mom.cpp.o.d"
+  "CMakeFiles/test_ocean.dir/ocean/test_pop.cpp.o"
+  "CMakeFiles/test_ocean.dir/ocean/test_pop.cpp.o.d"
+  "test_ocean"
+  "test_ocean.pdb"
+  "test_ocean[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prodload.dir/prodload/test_nqs.cpp.o"
+  "CMakeFiles/test_prodload.dir/prodload/test_nqs.cpp.o.d"
+  "CMakeFiles/test_prodload.dir/prodload/test_scheduler.cpp.o"
+  "CMakeFiles/test_prodload.dir/prodload/test_scheduler.cpp.o.d"
+  "test_prodload"
+  "test_prodload.pdb"
+  "test_prodload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prodload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

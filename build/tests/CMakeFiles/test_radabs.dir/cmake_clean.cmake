@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radabs.dir/radabs/test_radabs.cpp.o"
+  "CMakeFiles/test_radabs.dir/radabs/test_radabs.cpp.o.d"
+  "test_radabs"
+  "test_radabs.pdb"
+  "test_radabs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sxs/test_cache_sim.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_cache_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/sxs/test_cpu.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_cpu.cpp.o.d"
+  "/root/repo/tests/sxs/test_cycle_breakdown.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_cycle_breakdown.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_cycle_breakdown.cpp.o.d"
+  "/root/repo/tests/sxs/test_ixs.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_ixs.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_ixs.cpp.o.d"
+  "/root/repo/tests/sxs/test_machine_config.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_machine_config.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_machine_config.cpp.o.d"
+  "/root/repo/tests/sxs/test_machine_parallel.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_machine_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_machine_parallel.cpp.o.d"
+  "/root/repo/tests/sxs/test_memory_model.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_memory_model.cpp.o.d"
+  "/root/repo/tests/sxs/test_node.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_node.cpp.o.d"
+  "/root/repo/tests/sxs/test_properties.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_properties.cpp.o.d"
+  "/root/repo/tests/sxs/test_resource_block.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_resource_block.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_resource_block.cpp.o.d"
+  "/root/repo/tests/sxs/test_scalar_unit.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_scalar_unit.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_scalar_unit.cpp.o.d"
+  "/root/repo/tests/sxs/test_vector_unit.cpp" "tests/CMakeFiles/test_sxs.dir/sxs/test_vector_unit.cpp.o" "gcc" "tests/CMakeFiles/test_sxs.dir/sxs/test_vector_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sx4ncar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

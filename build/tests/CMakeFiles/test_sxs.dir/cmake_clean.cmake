@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sxs.dir/sxs/test_cache_sim.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_cache_sim.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_cpu.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_cpu.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_cycle_breakdown.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_cycle_breakdown.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_ixs.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_ixs.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_machine_config.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_machine_config.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_machine_parallel.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_machine_parallel.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_memory_model.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_memory_model.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_node.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_node.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_properties.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_properties.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_resource_block.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_resource_block.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_scalar_unit.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_scalar_unit.cpp.o.d"
+  "CMakeFiles/test_sxs.dir/sxs/test_vector_unit.cpp.o"
+  "CMakeFiles/test_sxs.dir/sxs/test_vector_unit.cpp.o.d"
+  "test_sxs"
+  "test_sxs.pdb"
+  "test_sxs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sxs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

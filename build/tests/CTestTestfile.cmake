@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sxs[1]_include.cmake")
+include("/root/repo/build/tests/test_machines[1]_include.cmake")
+include("/root/repo/build/tests/test_fpt[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_hint[1]_include.cmake")
+include("/root/repo/build/tests/test_spectral[1]_include.cmake")
+include("/root/repo/build/tests/test_radabs[1]_include.cmake")
+include("/root/repo/build/tests/test_iosim[1]_include.cmake")
+include("/root/repo/build/tests/test_prodload[1]_include.cmake")
+include("/root/repo/build/tests/test_ccm2[1]_include.cmake")
+include("/root/repo/build/tests/test_ocean[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
