@@ -17,6 +17,7 @@
 #include "fft/style_bench.hpp"
 #include "kernels/memory_kernels.hpp"
 #include "radabs/radabs.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
@@ -48,6 +49,8 @@ double ccm2_gflops(const sxs::MachineConfig& cfg) {
 }  // namespace
 
 int main() {
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   bool ok = true;
 
   // --- banks --------------------------------------------------------------

@@ -10,11 +10,14 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "fft/style_bench.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   auto cfg = sxs::MachineConfig::sx4_benchmarked();
   cfg.cpus_per_node = 1;
   sxs::Node node(cfg);

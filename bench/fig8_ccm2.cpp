@@ -13,11 +13,14 @@
 #include "ccm2/model.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
 
   print_banner(std::cout, "Table 4: CCM2 resolutions");
   Table t4({"Resolution", "Grid (lat x lon)", "Levels", "Time step"});

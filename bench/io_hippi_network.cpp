@@ -15,10 +15,13 @@
 #include "iosim/hippi.hpp"
 #include "iosim/history.hpp"
 #include "iosim/network.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   bool ok = true;
 

@@ -19,6 +19,7 @@
 #include "common/units.hpp"
 #include "iosim/hippi.hpp"
 #include "prodload/scheduler.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
@@ -40,6 +41,8 @@ double ccm2_days(ncar::sxs::Node& node, const ncar::ccm2::Resolution& res,
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
 

@@ -12,9 +12,12 @@
 #include "common/units.hpp"
 #include "machines/comparator.hpp"
 #include "radabs/radabs.hpp"
+#include "sxs/execution_policy.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   machines::Comparator sx4(machines::Comparator::nec_sx4_single());
   const auto r = radabs::run_radabs_standard(sx4);
 

@@ -19,9 +19,12 @@
 #include "hint/hint.hpp"
 #include "machines/comparator.hpp"
 #include "radabs/radabs.hpp"
+#include "sxs/execution_policy.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   using machines::Comparator;
 
   struct Row {

@@ -8,10 +8,13 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
 
   print_banner(std::cout, "Table 2: NEC SX-4/32 system specification");

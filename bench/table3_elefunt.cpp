@@ -16,9 +16,12 @@
 #include "fpt/elefunt.hpp"
 #include "fpt/paranoia.hpp"
 #include "machines/comparator.hpp"
+#include "sxs/execution_policy.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
 
   // PARANOIA first: no performance number matters on broken arithmetic.
   const auto paranoia = fpt::run_paranoia();

@@ -17,11 +17,14 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "iosim/disk.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
   iosim::DiskSystem disk;

@@ -10,11 +10,13 @@
 #include "ccm2/model.hpp"
 #include "common/units.hpp"
 #include "iosim/disk.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
 int main() {
   using namespace ncar;
+  std::printf("host execution: %s\n\n", sxs::host_execution_summary().c_str());
 
   const auto machine = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(machine);

@@ -7,11 +7,13 @@
 
 #include "common/units.hpp"
 #include "ocean/mom.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
 int main() {
   using namespace ncar;
+  std::printf("host execution: %s\n\n", sxs::host_execution_summary().c_str());
 
   sxs::Node node(sxs::MachineConfig::sx4_benchmarked());
   ocean::Mom mom(ocean::MomConfig::low_resolution(), node);

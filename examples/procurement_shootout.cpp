@@ -13,6 +13,7 @@
 #include "common/units.hpp"
 #include "hint/hint.hpp"
 #include "machines/comparator.hpp"
+#include "sxs/execution_policy.hpp"
 
 namespace {
 
@@ -36,6 +37,8 @@ void run_workload(ncar::machines::Comparator& m, long ncol, int nlev) {
 
 int main() {
   using namespace ncar;
+  std::cout << "host execution: " << sxs::host_execution_summary()
+            << "\n\n";
   using machines::Comparator;
 
   struct Entry {

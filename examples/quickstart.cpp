@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
 int main() {
   using namespace ncar;
+  std::printf("host execution: %s\n\n", sxs::host_execution_summary().c_str());
 
   // The machine the paper benchmarked: SX-4/32 with the 9.2 ns clock.
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();

@@ -1,0 +1,62 @@
+#include "sxs/execution_policy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace ncar::sxs {
+
+namespace {
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ExecutionPolicy policy_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return ExecutionPolicy::Threaded;
+  if (std::strcmp(value, "seq") == 0 || std::strcmp(value, "sequential") == 0) {
+    return ExecutionPolicy::Sequential;
+  }
+  if (std::strcmp(value, "threaded") == 0) return ExecutionPolicy::Threaded;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end != value && *end == '\0' && n <= 1) {
+    return ExecutionPolicy::Sequential;
+  }
+  return ExecutionPolicy::Threaded;
+}
+
+int threads_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return hardware_threads();
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end != value && *end == '\0') {
+    return static_cast<int>(std::clamp(n, 1L, 1024L));
+  }
+  return hardware_threads();
+}
+
+ExecutionPolicy default_execution_policy() {
+  return policy_from_env(std::getenv("SX4NCAR_HOST_THREADS"));
+}
+
+const char* to_string(ExecutionPolicy p) {
+  return p == ExecutionPolicy::Sequential ? "sequential" : "threaded";
+}
+
+std::string host_execution_summary() {
+  if (default_execution_policy() == ExecutionPolicy::Sequential) {
+    return "sequential (1 host thread)";
+  }
+  const int threads = ThreadPool::configured_host_threads();
+  return "threaded (" + std::to_string(threads) + " host thread" +
+         (threads == 1 ? "" : "s") + ")";
+}
+
+}  // namespace ncar::sxs

@@ -8,15 +8,21 @@
 #include <memory>
 #include <vector>
 
+#include "sxs/execution_policy.hpp"
 #include "sxs/ixs.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
+
+namespace ncar {
+class ThreadPool;
+}
 
 namespace ncar::sxs {
 
 class Machine {
 public:
-  explicit Machine(const MachineConfig& cfg);
+  explicit Machine(const MachineConfig& cfg,
+                   ExecutionPolicy policy = default_execution_policy());
 
   const MachineConfig& config() const { return cfg_; }
   int node_count() const { return static_cast<int>(nodes_.size()); }
@@ -30,6 +36,11 @@ public:
   /// region ends with a global communications-register barrier over the
   /// IXS; all participating node clocks synchronise to the slowest node.
   /// Returns the region's simulated seconds.
+  ///
+  /// Under ExecutionPolicy::Threaded, node regions are dispatched to the
+  /// host thread pool and each node's ranks fan out in turn (the pool
+  /// handles the nesting); simulated results are bit-identical to the
+  /// sequential policy.
   double parallel(int nodes_used, int cpus_per_node_used,
                   const std::function<void(int, int, Cpu&)>& body);
 
@@ -43,15 +54,28 @@ public:
   /// Seconds to move `bytes` through one IOP channel (section 2.4).
   double iop_transfer_seconds(double bytes) const;
 
+  /// Set the host execution policy for this machine and all its nodes.
+  void set_execution_policy(ExecutionPolicy p);
+  ExecutionPolicy execution_policy() const { return policy_; }
+
+  /// Use `pool` instead of ThreadPool::global() on this machine and all its
+  /// nodes (dependency injection for tests); nullptr restores the global
+  /// pool. The pool must outlive every region run on this machine.
+  void set_thread_pool(ThreadPool* pool);
+
   /// Global simulated wall clock: max over node clocks.
   double elapsed_seconds() const;
 
   void reset();
 
 private:
+  ThreadPool& pool() const;
+
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Node>> nodes_;
   Ixs ixs_;
+  ExecutionPolicy policy_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace ncar::sxs

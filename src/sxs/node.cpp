@@ -3,10 +3,33 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ncar::sxs {
 
-Node::Node(const MachineConfig& cfg) : cfg_(cfg) {
+namespace {
+
+/// Restores a Cpu's contention factor to 1.0 when the region body exits,
+/// even by exception — otherwise a throwing body would leave the factor
+/// stuck and poison every later region on that Cpu.
+class ContentionScope {
+public:
+  ContentionScope(Cpu& cpu, double factor) : cpu_(cpu) {
+    cpu_.set_contention(factor);
+  }
+  ~ContentionScope() { cpu_.set_contention(1.0); }
+
+  ContentionScope(const ContentionScope&) = delete;
+  ContentionScope& operator=(const ContentionScope&) = delete;
+
+private:
+  Cpu& cpu_;
+};
+
+}  // namespace
+
+Node::Node(const MachineConfig& cfg, ExecutionPolicy policy)
+    : cfg_(cfg), policy_(policy) {
   cfg_.validate();
   cpus_.reserve(static_cast<std::size_t>(cfg_.cpus_per_node));
   for (int i = 0; i < cfg_.cpus_per_node; ++i) {
@@ -38,21 +61,38 @@ double Node::barrier_seconds(int ncpu) const {
   return clocks * cfg_.seconds_per_clock();
 }
 
+ThreadPool& Node::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::global();
+}
+
 double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
   NCAR_REQUIRE(ncpu >= 1 && ncpu <= cpu_count(),
                "parallel width exceeds node CPU count");
   const int active = std::min(ncpu + external_active_, cpu_count());
   const double contention = contention_factor(active);
 
-  double max_delta = 0.0;
-  for (int rank = 0; rank < ncpu; ++rank) {
+  // Each rank touches only its own Cpu, so the bodies can run on host
+  // threads in any order; delta[rank] is written by exactly one rank.
+  std::vector<double> delta(static_cast<std::size_t>(ncpu), 0.0);
+  const auto run_rank = [&](int rank) {
     Cpu& c = *cpus_[static_cast<std::size_t>(rank)];
     const double before = c.cycles();
-    c.set_contention(contention);
+    ContentionScope scope(c, contention);
     body(rank, c);
-    c.set_contention(1.0);
-    max_delta = std::max(max_delta, c.cycles() - before);
+    delta[static_cast<std::size_t>(rank)] = c.cycles() - before;
+  };
+
+  if (policy_ == ExecutionPolicy::Threaded && ncpu > 1) {
+    pool().parallel_for(ncpu, run_rank);
+  } else {
+    for (int rank = 0; rank < ncpu; ++rank) run_rank(rank);
   }
+
+  // The reduction runs in rank order on the calling thread, and max is
+  // insensitive to ordering anyway, so the region time is bit-identical
+  // under either execution policy.
+  double max_delta = 0.0;
+  for (const double d : delta) max_delta = std::max(max_delta, d);
 
   const double region =
       max_delta * cfg_.seconds_per_clock() + barrier_seconds(ncpu);
@@ -65,9 +105,8 @@ double Node::serial(const std::function<void(Cpu&)>& body) {
   const double before = c.cycles();
   // Memory traffic from other jobs on the node slows serial sections too.
   const int active = std::min(1 + external_active_, cpu_count());
-  c.set_contention(contention_factor(active));
+  ContentionScope scope(c, contention_factor(active));
   body(c);
-  c.set_contention(1.0);
   const double region = (c.cycles() - before) * cfg_.seconds_per_clock();
   elapsed_ += region;
   return region;

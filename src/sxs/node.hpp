@@ -3,23 +3,31 @@
 // with a macrotasking runtime modelled on the SX-4's communications
 // registers (paper section 2.1) and Resource Blocks (section 2.6.4).
 //
-// The runtime executes simulated-CPU work bodies sequentially on the host
-// while accounting cycles per simulated CPU; the simulated elapsed time of a
-// parallel region is the maximum over participating CPUs plus the barrier
-// cost. This is deterministic and independent of host parallelism.
+// The runtime accounts cycles per simulated CPU; the simulated elapsed time
+// of a parallel region is the maximum over participating CPUs plus the
+// barrier cost. On the *host*, rank bodies run either sequentially or on the
+// host thread pool (ExecutionPolicy); because every rank charges its own
+// Cpu and the region time is a max-reduction, the simulated result is
+// deterministic and bit-identical under either policy.
 
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "sxs/cpu.hpp"
+#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
+
+namespace ncar {
+class ThreadPool;
+}
 
 namespace ncar::sxs {
 
 class Node {
 public:
-  explicit Node(const MachineConfig& cfg);
+  explicit Node(const MachineConfig& cfg,
+                ExecutionPolicy policy = default_execution_policy());
 
   const MachineConfig& config() const { return cfg_; }
   int cpu_count() const { return static_cast<int>(cpus_.size()); }
@@ -32,6 +40,13 @@ public:
   /// Memory-bound work inside the region is inflated by the bank-contention
   /// factor for `ncpu` active CPUs (plus any external load, see
   /// `set_external_active_cpus`).
+  ///
+  /// Under ExecutionPolicy::Threaded the rank bodies run concurrently on
+  /// host threads. A body must confine its side effects to its own rank's
+  /// state (its Cpu, plus any rank-private or rank-partitioned host data) —
+  /// every body in this repository already does. If a body throws, the
+  /// lowest-throwing rank's exception propagates, every rank's contention
+  /// factor is restored to 1.0, and the node clock does not advance.
   double parallel(int ncpu, const std::function<void(int, Cpu&)>& body);
 
   /// Run `body(cpu0)` serially on CPU 0; returns and advances by its time.
@@ -48,6 +63,16 @@ public:
   void set_external_active_cpus(int n);
   int external_active_cpus() const { return external_active_; }
 
+  /// How rank bodies are executed on the host. Never changes simulated
+  /// results; see execution_policy.hpp.
+  void set_execution_policy(ExecutionPolicy p) { policy_ = p; }
+  ExecutionPolicy execution_policy() const { return policy_; }
+
+  /// Use `pool` instead of ThreadPool::global() for threaded regions
+  /// (dependency injection for tests); nullptr restores the global pool.
+  /// The pool must outlive every region run on this node.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Node wall clock (simulated seconds since construction / reset).
   double elapsed_seconds() const { return elapsed_; }
   /// Advance the node wall clock without CPU work (I/O waits etc.).
@@ -57,10 +82,14 @@ public:
   void reset();
 
 private:
+  ThreadPool& pool() const;
+
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   double elapsed_ = 0;
   int external_active_ = 0;
+  ExecutionPolicy policy_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace ncar::sxs

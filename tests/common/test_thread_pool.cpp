@@ -1,0 +1,100 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ncar::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToInlineLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  int sum = 0;
+  // With no workers the body runs on the caller, in index order.
+  std::vector<int> order;
+  pool.parallel_for(5, [&](int i) {
+    order.push_back(i);
+    sum += i;
+  });
+  EXPECT_EQ(sum, 10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](int) { ran = true; });
+  pool.parallel_for(-3, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // A Machine region fans out per node, each node per rank; the pool must
+  // support that nesting without deadlock even when every worker is busy
+  // with an outer task.
+  ThreadPool pool(3);
+  const int outer = 8, inner = 64;
+  std::vector<std::atomic<int>> sums(outer);
+  pool.parallel_for(outer, [&](int o) {
+    pool.parallel_for(inner, [&](int i) {
+      sums[static_cast<std::size_t>(o)] += i;
+    });
+  });
+  for (const auto& s : sums) EXPECT_EQ(s.load(), inner * (inner - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    try {
+      pool.parallel_for(32, [&](int i) {
+        if (i == 3) throw std::runtime_error("rank 3");
+        if (i == 17) throw std::runtime_error("rank 17");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "rank 3");
+    }
+  }
+}
+
+TEST(ThreadPool, AllIndicesFinishBeforeExceptionPropagates) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](int i) {
+                                   hits[static_cast<std::size_t>(i)]++;
+                                   if (i == 0) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int rep = 0; rep < 200; ++rep) {
+    pool.parallel_for(16, [&](int i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 200L * 16 * 15 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().thread_count(), 1);
+  EXPECT_GE(ThreadPool::configured_host_threads(), 1);
+}
+
+}  // namespace
