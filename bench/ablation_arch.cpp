@@ -15,9 +15,9 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "fft/style_bench.hpp"
+#include "harness/reporter.hpp"
 #include "kernels/memory_kernels.hpp"
 #include "radabs/radabs.hpp"
-#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
@@ -48,26 +48,29 @@ double ccm2_gflops(const sxs::MachineConfig& cfg) {
 
 }  // namespace
 
-int main() {
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
-  bool ok = true;
+int main(int argc, char** argv) {
+  bench::BenchReporter rep("ablation_arch", argc, argv);
 
   // --- banks --------------------------------------------------------------
   print_banner(std::cout, "Ablation: memory bank count (XPOSE N=512)");
   Table tb({"Banks", "XPOSE MB/s"});
   double prev = 0;
+  bool banks_ok = true;
   for (int banks : {64, 256, 1024}) {
     auto cfg = sxs::MachineConfig::sx4_benchmarked();
     cfg.memory_banks = banks;
     const double bw = xpose_bw(cfg);
     tb.add_row({std::to_string(banks), format_fixed(bw, 0)});
-    ok = ok && bw >= prev;
+    banks_ok = banks_ok && bw >= prev;
     prev = bw;
+    rep.metric("ablation.xpose_mb_per_s@banks=" + std::to_string(banks), bw,
+               "MB/s");
   }
   tb.print(std::cout);
   std::printf("more banks monotonically help power-of-two strides: %s\n",
-              ok ? "yes" : "NO");
+              banks_ok ? "yes" : "NO");
+  rep.expect_true("ablation.banks_monotone", banks_ok,
+                  "more banks help power-of-two strides (DESIGN.md section 5)");
 
   // --- vector length -------------------------------------------------------
   print_banner(std::cout, "Ablation: vector register length (VFFT N=256)");
@@ -81,14 +84,16 @@ int main() {
     tv.add_row({std::to_string(vl), format_fixed(mf, 1)});
     vl_ok = vl_ok && mf >= prev * 0.999;
     prev = mf;
+    rep.metric("ablation.vfft_mflops@vl=" + std::to_string(vl), mf, "Mflops");
   }
   tv.print(std::cout);
-  ok = ok && vl_ok;
+  rep.expect_true("ablation.vector_length_monotone", vl_ok,
+                  "longer vector registers help VFFT at M=500");
 
   // --- clock ---------------------------------------------------------------
   print_banner(std::cout, "Ablation: 9.2 ns vs 8.0 ns clock (RADABS)");
-  machines::Comparator bench(machines::Comparator::nec_sx4_single());
-  const double r92 = radabs::run_radabs_standard(bench).equiv_mflops;
+  machines::Comparator benchmarked(machines::Comparator::nec_sx4_single());
+  const double r92 = radabs::run_radabs_standard(benchmarked).equiv_mflops;
   auto product = machines::Comparator::nec_sx4_single();
   product.cfg.clock_ns = 8.0;
   machines::Comparator prod(product);
@@ -101,7 +106,9 @@ int main() {
   std::printf("clock gain: %.1f%% (paper predicts ~15%% with tuning; the\n"
               "pure clock ratio is %.1f%%)\n",
               100 * gain, 100 * (9.2 / 8.0 - 1.0));
-  ok = ok && gain > 0.10 && gain < 0.18;
+  rep.expect("ablation.clock_gain_fraction", gain,
+             bench::Band::range(0.10, 0.18),
+             "paper: an additional 15% performance improvement at 8.0 ns");
 
   // --- synchronisation -----------------------------------------------------
   print_banner(std::cout, "Ablation: barrier cost (CCM2 T106, 32 CPUs)");
@@ -114,12 +121,15 @@ int main() {
     ts.add_row({format_fixed(base, 0), format_fixed(g, 2)});
     if (base == 100.0) g_cheap = g;
     if (base == 15000.0) g_dear = g;
+    rep.metric("ablation.ccm2_gflops@barrier_clocks=" +
+                   std::to_string(long(base)),
+               g, "Gflops");
   }
   ts.print(std::cout);
   std::printf("cheap barriers beat expensive ones: %s\n",
               g_cheap > g_dear ? "yes" : "NO");
-  ok = ok && g_cheap > g_dear;
+  rep.expect_true("ablation.cheap_barriers_beat_expensive", g_cheap > g_dear,
+                  "inflating macrotask barrier cost lowers 32-CPU CCM2 rate");
 
-  std::printf("\nall ablation relationships hold: %s\n", ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+  return rep.finish(std::cout);
 }

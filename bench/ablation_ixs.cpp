@@ -15,15 +15,14 @@
 #include "ccm2/model.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sxs/execution_policy.hpp"
+#include "harness/reporter.hpp"
 #include "sxs/ixs.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("ablation_ixs", argc, argv);
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
 
@@ -71,12 +70,17 @@ int main() {
     monotone = monotone && g >= prev_gflops;
     prev_gflops = g;
     if (nodes == 16) eff16 = eff;
+    rep.metric("ablation_ixs.ccm2_gflops@nodes=" + std::to_string(nodes), g,
+               "Gflops");
   }
   tbl.print(std::cout);
 
+  rep.metric("ablation_ixs.efficiency@nodes=16", eff16);
+  rep.expect_true("ablation_ixs.throughput_grows_with_nodes", monotone,
+                  "IXS coupling adds throughput on the fixed-size problem");
   std::printf("\nthroughput grows with nodes: %s\n", monotone ? "yes" : "NO");
   std::printf("strong-scaling efficiency at 16 nodes: %.0f%% (the fixed-size\n"
               "problem is limited by the serial step section, not the IXS)\n",
               100 * eff16);
-  return monotone ? 0 : 1;
+  return rep.finish(std::cout);
 }

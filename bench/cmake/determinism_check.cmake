@@ -1,0 +1,57 @@
+# Determinism regression check for a bench binary's emitted JSON.
+#
+# Runs BENCH_BIN under SX4NCAR_HOST_THREADS=1 and =8 (and =8 a second
+# time to catch run-to-run nondeterminism), with --deterministic so the
+# host-execution banner and wall time are omitted from the JSON, then
+# requires all three files to be byte-identical. This is PR 1's
+# cross-policy determinism guarantee enforced at the bench-harness layer.
+#
+# Required -D variables: BENCH_BIN, BENCH_NAME, OUT_DIR.
+
+foreach(var BENCH_BIN BENCH_NAME OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "determinism_check: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+function(run_bench threads tag)
+  set(out ${OUT_DIR}/${BENCH_NAME}.${tag}.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+      SX4NCAR_HOST_THREADS=${threads}
+      SX4NCAR_BENCH_FULL=
+      ${BENCH_BIN} --deterministic --json ${out}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_NAME} failed (threads=${threads}, exit ${rc}):\n"
+      "${stdout}\n${stderr}")
+  endif()
+endfunction()
+
+run_bench(1 t1)
+run_bench(8 t8)
+run_bench(8 t8b)
+
+foreach(pair "t1;t8" "t8;t8b")
+  list(GET pair 0 a)
+  list(GET pair 1 b)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${OUT_DIR}/${BENCH_NAME}.${a}.json
+      ${OUT_DIR}/${BENCH_NAME}.${b}.json
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_NAME}: emitted JSON differs between ${a} and ${b} "
+      "(host-thread policy leaked into simulated results); compare\n"
+      "  ${OUT_DIR}/${BENCH_NAME}.${a}.json\n"
+      "  ${OUT_DIR}/${BENCH_NAME}.${b}.json")
+  endif()
+endforeach()
+
+message(STATUS "${BENCH_NAME}: JSON byte-identical across policies and runs")

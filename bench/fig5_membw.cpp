@@ -7,26 +7,24 @@
 // growing with N as vector startup amortises.
 
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "harness/reporter.hpp"
 #include "kernels/memory_kernels.hpp"
-#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("fig5_membw", argc, argv);
   auto cfg = sxs::MachineConfig::sx4_benchmarked();
   cfg.cpus_per_node = 1;
   sxs::Node node(cfg);
   sxs::Cpu& cpu = node.cpu(0);
 
-  const bool full = std::getenv("SX4NCAR_BENCH_FULL") != nullptr;
+  const bool full = rep.full_mode();
   const long total = full ? 1'000'000 : 250'000;
   const int ktries = 20;
 
@@ -58,9 +56,21 @@ int main() {
   t.print(std::cout);
 
   bool verified = true;
-  for (const auto& p : copy) verified = verified && p.verified;
-  for (const auto& p : ia) verified = verified && p.verified;
-  for (const auto& p : xpose) verified = verified && p.verified;
+  for (const auto& p : copy) {
+    verified = verified && p.verified;
+    rep.metric("fig5.copy.mb_per_s@N=" + std::to_string(p.n), p.mb_per_s,
+               "MB/s");
+  }
+  for (const auto& p : ia) {
+    verified = verified && p.verified;
+    rep.metric("fig5.ia.mb_per_s@N=" + std::to_string(p.n), p.mb_per_s,
+               "MB/s");
+  }
+  for (const auto& p : xpose) {
+    verified = verified && p.verified;
+    rep.metric("fig5.xpose.mb_per_s@N=" + std::to_string(p.n), p.mb_per_s,
+               "MB/s");
+  }
 
   // Paper-shape checks at the long-vector end.
   const auto& c_hi = copy.back();
@@ -70,6 +80,15 @@ int main() {
       c_hi.mb_per_s > 2.0 * i_hi.mb_per_s && c_hi.mb_per_s > 1.5 * x_hi.mb_per_s;
   const bool grows = copy.front().mb_per_s < c_hi.mb_per_s;
 
+  rep.expect_true("fig5.numerics_verified", verified,
+                  "all kernel results checked against reference");
+  rep.expect_true(
+      "fig5.copy_dominates", copy_dominates,
+      "paper Fig 5 prose: COPY far exceeds IA and XPOSE at long vectors");
+  rep.expect_true("fig5.bandwidth_grows_with_n", grows,
+                  "paper Fig 5 prose: vector startup amortises with N");
+  rep.metric("fig5.copy.peak_mb_per_s", c_hi.mb_per_s, "MB/s");
+
   std::printf("\nnumerics verified: %s\n", verified ? "yes" : "NO");
   std::printf("COPY far exceeds IA and XPOSE at long vectors: %s (paper: yes)\n",
               copy_dominates ? "yes" : "NO");
@@ -77,5 +96,5 @@ int main() {
               grows ? "yes" : "NO");
   std::printf("peak COPY bandwidth: %.0f MB/s (one-way payload)\n",
               c_hi.mb_per_s);
-  return (verified && copy_dominates && grows) ? 0 : 1;
+  return rep.finish(std::cout);
 }

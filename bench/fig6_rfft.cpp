@@ -11,14 +11,13 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "fft/style_bench.hpp"
-#include "sxs/execution_policy.hpp"
+#include "harness/reporter.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("fig6_rfft", argc, argv);
   auto cfg = sxs::MachineConfig::sx4_benchmarked();
   cfg.cpus_per_node = 1;
   sxs::Node node(cfg);
@@ -36,12 +35,21 @@ int main() {
                format_fixed(p.mflops, 1), p.verified ? "yes" : "NO"});
     all_ok = all_ok && p.verified;
     best = std::max(best, p.mflops);
+    rep.metric("fig6.rfft.mflops@N=" + std::to_string(p.n), p.mflops,
+               "Mflops");
   }
   t.print(std::cout);
+
+  rep.expect_true("fig6.numerics_verified", all_ok,
+                  "every transform checked against the naive DFT");
+  rep.expect("fig6.rfft.peak_mflops", best, bench::Band::range(50.0, 400.0),
+             "paper Fig 6 prose: O(100) Mflops, an order below VFFT",
+             "Mflops");
+
   std::printf("\nnumerics verified against naive DFT: %s\n",
               all_ok ? "yes" : "NO");
   std::printf("peak RFFT rate: %.1f Mflops (paper: O(100) Mflops, an order "
               "below VFFT)\n",
               best);
-  return all_ok ? 0 : 1;
+  return rep.finish(std::cout);
 }

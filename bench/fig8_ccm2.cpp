@@ -7,20 +7,18 @@
 // counts). Table 4's grid shapes and time steps are printed first.
 
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "ccm2/model.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sxs/execution_policy.hpp"
+#include "harness/reporter.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("fig8_ccm2", argc, argv);
 
   print_banner(std::cout, "Table 4: CCM2 resolutions");
   Table t4({"Resolution", "Grid (lat x lon)", "Levels", "Time step"});
@@ -33,7 +31,7 @@ int main() {
 
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
-  const bool full = std::getenv("SX4NCAR_BENCH_FULL") != nullptr;
+  const bool full = rep.full_mode();
 
   print_banner(std::cout,
                "Figure 8: CCM2 sustained Cray-equivalent Gflops, SX-4/32");
@@ -54,6 +52,8 @@ int main() {
       if (p == 1) g1 = g;
       t.add_row({res.name, std::to_string(p), format_fixed(g, 2),
                  format_fixed(g / g1, 2)});
+      rep.metric("fig8.ccm2." + res.name + ".gflops@cpus=" + std::to_string(p),
+                 g, "Gflops");
       if (res.name == "T170L18" && p == 32) {
         t170_32 = g;
         t170_eff = g / g1 / 32.0;
@@ -63,6 +63,15 @@ int main() {
   }
   t.print(std::cout);
 
+  rep.expect("fig8.ccm2.t170_gflops@cpus=32", t170_32,
+             bench::Band::relative(24.0, 0.25),
+             "paper Fig 8: T170L18 sustains 24 Gflops on 32 CPUs", "Gflops");
+  rep.metric("fig8.ccm2.t42_efficiency@cpus=32", t42_eff);
+  rep.metric("fig8.ccm2.t170_efficiency@cpus=32", t170_eff);
+  rep.expect_true("fig8.larger_problems_scale_better", t170_eff > t42_eff,
+                  "paper prose: medium and large problems scale reasonably "
+                  "well, small ones flatten");
+
   std::printf("\nT170L18 on 32 CPUs: %.1f Gflops (paper: 24), ratio %.2f\n",
               t170_32, t170_32 / 24.0);
   std::printf("parallel efficiency at 32 CPUs: T42 %.0f%%, T170 %.0f%%\n",
@@ -71,5 +80,5 @@ int main() {
   const bool shape = t170_eff > t42_eff;
   std::printf("T170 within 25%% of paper: %s; larger problems scale better: %s\n",
               anchor ? "yes" : "NO", shape ? "yes" : "NO");
-  return (anchor && shape) ? 0 : 1;
+  return rep.finish(std::cout);
 }

@@ -1,0 +1,173 @@
+#include "harness/expectation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ncar::bench {
+
+Band Band::absolute(double expected, double tol) {
+  if (tol < 0) throw std::invalid_argument("band: negative tolerance");
+  Band b;
+  b.kind = Kind::Absolute;
+  b.expected = expected;
+  b.tol = tol;
+  return b;
+}
+
+Band Band::relative(double expected, double rel_tol) {
+  if (rel_tol < 0) throw std::invalid_argument("band: negative tolerance");
+  Band b;
+  b.kind = Kind::Relative;
+  b.expected = expected;
+  b.tol = rel_tol;
+  return b;
+}
+
+Band Band::range(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("band: lo > hi");
+  Band b;
+  b.kind = Kind::Range;
+  b.lo_ = lo;
+  b.hi_ = hi;
+  b.expected = 0.5 * (lo + hi);
+  return b;
+}
+
+Band Band::boolean(bool expected) {
+  Band b;
+  b.kind = Kind::Boolean;
+  b.expected = expected ? 1.0 : 0.0;
+  return b;
+}
+
+double Band::lo() const {
+  switch (kind) {
+    case Kind::Absolute: return expected - tol;
+    case Kind::Relative: return expected - tol * std::fabs(expected);
+    case Kind::Range: return lo_;
+    case Kind::Boolean: return expected;
+  }
+  return 0.0;
+}
+
+double Band::hi() const {
+  switch (kind) {
+    case Kind::Absolute: return expected + tol;
+    case Kind::Relative: return expected + tol * std::fabs(expected);
+    case Kind::Range: return hi_;
+    case Kind::Boolean: return expected;
+  }
+  return 0.0;
+}
+
+bool Band::contains(double actual) const {
+  if (kind == Kind::Boolean) return actual == expected;
+  return actual >= lo() && actual <= hi();
+}
+
+std::string Band::describe() const {
+  switch (kind) {
+    case Kind::Absolute:
+      return Json::number_to_string(expected) + " ±" +
+             Json::number_to_string(tol);
+    case Kind::Relative:
+      return Json::number_to_string(expected) + " ±" +
+             Json::number_to_string(100.0 * tol) + "%";
+    case Kind::Range:
+      return "[" + Json::number_to_string(lo_) + ", " +
+             Json::number_to_string(hi_) + "]";
+    case Kind::Boolean:
+      return expected != 0.0 ? "true" : "false";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* kind_name(Band::Kind k) {
+  switch (k) {
+    case Band::Kind::Absolute: return "abs";
+    case Band::Kind::Relative: return "rel";
+    case Band::Kind::Range: return "range";
+    case Band::Kind::Boolean: return "bool";
+  }
+  return "?";
+}
+
+Band::Kind kind_from_name(const std::string& s) {
+  if (s == "abs") return Band::Kind::Absolute;
+  if (s == "rel") return Band::Kind::Relative;
+  if (s == "range") return Band::Kind::Range;
+  if (s == "bool") return Band::Kind::Boolean;
+  throw std::runtime_error("band: unknown kind \"" + s + "\"");
+}
+
+}  // namespace
+
+Json Band::to_json() const {
+  Json j = Json::object();
+  j.set("kind", kind_name(kind));
+  switch (kind) {
+    case Kind::Absolute:
+    case Kind::Relative:
+      j.set("expected", expected);
+      j.set("tol", tol);
+      break;
+    case Kind::Range:
+      j.set("lo", lo_);
+      j.set("hi", hi_);
+      break;
+    case Kind::Boolean:
+      j.set("expected", expected != 0.0);
+      break;
+  }
+  return j;
+}
+
+Band Band::from_json(const Json& j) {
+  const Kind k = kind_from_name(j.at("kind").as_string());
+  switch (k) {
+    case Kind::Absolute:
+      return absolute(j.at("expected").as_number(), j.at("tol").as_number());
+    case Kind::Relative:
+      return relative(j.at("expected").as_number(), j.at("tol").as_number());
+    case Kind::Range:
+      return range(j.at("lo").as_number(), j.at("hi").as_number());
+    case Kind::Boolean:
+      return boolean(j.at("expected").as_bool());
+  }
+  throw std::runtime_error("band: unreachable");
+}
+
+bool Band::operator==(const Band& other) const {
+  return kind == other.kind && expected == other.expected &&
+         tol == other.tol && lo_ == other.lo_ && hi_ == other.hi_;
+}
+
+Json Expectation::to_json() const {
+  Json j = Json::object();
+  j.set("metric", metric);
+  j.set("band", band.to_json());
+  j.set("source", source);
+  if (band.kind == Band::Kind::Boolean) {
+    j.set("actual", actual != 0.0);
+  } else {
+    j.set("actual", actual);
+  }
+  j.set("passed", passed);
+  return j;
+}
+
+Expectation Expectation::from_json(const Json& j) {
+  Expectation e;
+  e.metric = j.at("metric").as_string();
+  e.band = Band::from_json(j.at("band"));
+  e.source = j.at("source").as_string();
+  const Json& actual = j.at("actual");
+  e.actual = actual.is_bool() ? (actual.as_bool() ? 1.0 : 0.0)
+                              : actual.as_number();
+  e.passed = j.at("passed").as_bool();
+  return e;
+}
+
+}  // namespace ncar::bench

@@ -1,0 +1,62 @@
+#pragma once
+// Tolerance bands and paper-anchored expectations.
+//
+// An Expectation ties a named metric to the value the paper (or
+// EXPERIMENTS.md) records for it, plus the tolerance band inside which the
+// model is considered faithful. Bench mains register expectations through
+// BenchReporter; the band, actual value, and verdict all land in the
+// emitted JSON so `bench_gate` and CI can re-check them without rerunning
+// the bench.
+
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+
+namespace ncar::bench {
+
+/// An inclusive acceptance interval around an expected value.
+struct Band {
+  enum class Kind {
+    Absolute,  ///< expected ± tol
+    Relative,  ///< expected ± tol * |expected|
+    Range,     ///< [lo, hi] with no single expected point
+    Boolean,   ///< actual must equal expected (0 or 1)
+  };
+
+  Kind kind = Kind::Absolute;
+  double expected = 0.0;  ///< paper value (midpoint for Range)
+  double tol = 0.0;       ///< absolute or relative half-width
+  double lo_ = 0.0, hi_ = 0.0;  ///< Range bounds
+
+  static Band absolute(double expected, double tol);
+  static Band relative(double expected, double rel_tol);
+  static Band range(double lo, double hi);
+  static Band boolean(bool expected);
+
+  double lo() const;
+  double hi() const;
+  bool contains(double actual) const;
+
+  /// Human-readable form, e.g. "24 ±25%" or "[0.10, 0.18]".
+  std::string describe() const;
+
+  Json to_json() const;
+  static Band from_json(const Json& j);
+
+  bool operator==(const Band& other) const;
+};
+
+/// A checked claim: metric vs band, with provenance.
+struct Expectation {
+  std::string metric;  ///< name of the metric being checked
+  Band band;
+  std::string source;  ///< e.g. "paper Table 7", "EXPERIMENTS.md fig8"
+  double actual = 0.0;
+  bool passed = false;
+
+  Json to_json() const;
+  static Expectation from_json(const Json& j);
+};
+
+}  // namespace ncar::bench

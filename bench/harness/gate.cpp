@@ -1,0 +1,244 @@
+#include "harness/gate.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "harness/baseline.hpp"
+#include "harness/expectation.hpp"
+#include "harness/reporter.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ncar::bench {
+
+namespace {
+
+/// Sorted *.json stems in `dir` so the gate's order (and the summary) is
+/// independent of directory enumeration order.
+std::vector<std::string> json_stems(const fs::path& dir) {
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+Json load_json_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Json::parse(ss.str());
+}
+
+}  // namespace
+
+Json GateReport::summary(double rel_tol) const {
+  Json j = Json::object();
+  j.set("schema", "sx4ncar-bench-summary-v1");
+  j.set("rel_tol", rel_tol);
+  j.set("ok", ok);
+  int regressed = 0, failed_exp = 0;
+  Json benches = Json::array();
+  for (const auto& e : entries) {
+    Json b = Json::object();
+    b.set("bench", e.bench);
+    b.set("status", e.status);
+    b.set("metrics_checked", e.metrics_checked);
+    b.set("regressed", e.regressed);
+    b.set("missing_metrics", e.missing_metrics);
+    b.set("expectations_failed", e.expectations_failed);
+    if (!e.notes.empty()) {
+      Json notes = Json::array();
+      for (const auto& n : e.notes) notes.push_back(n);
+      b.set("notes", std::move(notes));
+    }
+    benches.push_back(std::move(b));
+    regressed += e.regressed;
+    failed_exp += e.expectations_failed;
+  }
+  j.set("benches", std::move(benches));
+  j.set("total_regressed", regressed);
+  j.set("total_expectations_failed", failed_exp);
+  return j;
+}
+
+int run_gate(const GateOptions& opts, std::ostream& log,
+             GateReport* out_report) {
+  if (!fs::is_directory(opts.results_dir)) {
+    log << "bench_gate: results directory not found: " << opts.results_dir
+        << '\n';
+    return 2;
+  }
+
+  if (opts.update_baselines) {
+    fs::create_directories(opts.baselines_dir);
+    int written = 0;
+    for (const auto& stem : json_stems(opts.results_dir)) {
+      try {
+        const Json result =
+            load_json_file(fs::path(opts.results_dir) / (stem + ".json"));
+        const Baseline base = result_to_baseline(result);
+        base.save((fs::path(opts.baselines_dir) / (stem + ".json")).string());
+        log << "bench_gate: baselined " << base.bench << " ("
+            << base.metrics.size() << " metrics)\n";
+        ++written;
+      } catch (const std::exception& e) {
+        log << "bench_gate: skipping " << stem << ": " << e.what() << '\n';
+      }
+    }
+    log << "bench_gate: wrote " << written << " baselines to "
+        << opts.baselines_dir << '\n';
+    return 0;
+  }
+
+  if (!fs::is_directory(opts.baselines_dir)) {
+    log << "bench_gate: baselines directory not found: " << opts.baselines_dir
+        << '\n';
+    return 2;
+  }
+
+  GateReport report;
+
+  // Pass 1: every committed baseline must have a matching, in-band result.
+  for (const auto& stem : json_stems(opts.baselines_dir)) {
+    GateEntry entry;
+    entry.bench = stem;
+    const fs::path result_path = fs::path(opts.results_dir) / (stem + ".json");
+
+    Baseline base;
+    try {
+      base = Baseline::load(
+          (fs::path(opts.baselines_dir) / (stem + ".json")).string());
+    } catch (const std::exception& e) {
+      entry.status = "invalid-result";
+      entry.notes.push_back(e.what());
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+
+    if (!fs::exists(result_path)) {
+      entry.status = "missing-result";
+      entry.notes.push_back("no result file " + result_path.string());
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+
+    Json result;
+    Baseline run;
+    try {
+      result = load_json_file(result_path);
+      run = Baseline::from_json(result);
+    } catch (const std::exception& e) {
+      entry.status = "invalid-result";
+      entry.notes.push_back(e.what());
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+
+    if (run.full_mode != base.full_mode) {
+      entry.status = "mode-mismatch";
+      entry.notes.push_back(std::string("baseline is ") +
+                            (base.full_mode ? "full" : "quick") +
+                            " mode, result is " +
+                            (run.full_mode ? "full" : "quick"));
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+
+    const CompareResult cmp = compare_metrics(base, run.metrics, opts.rel_tol);
+    entry.metrics_checked = static_cast<int>(cmp.deltas.size());
+    entry.regressed = cmp.regressed;
+    entry.missing_metrics = cmp.missing;
+    for (const auto& d : cmp.deltas) {
+      if (d.status == MetricDelta::Status::Missing) {
+        entry.notes.push_back("missing metric " + d.name);
+      } else if (d.status == MetricDelta::Status::Regressed) {
+        entry.notes.push_back(
+            d.name + ": baseline " + Json::number_to_string(d.baseline) +
+            ", now " + Json::number_to_string(d.actual) + " (" +
+            Json::number_to_string(100.0 * d.rel_change) + "%)");
+      }
+    }
+
+    if (const Json* failed = result.find("expectations_failed")) {
+      entry.expectations_failed = static_cast<int>(failed->as_number());
+      if (const Json* exps = result.find("expectations")) {
+        for (const auto& ej : exps->as_array()) {
+          const Expectation e = Expectation::from_json(ej);
+          if (!e.passed) {
+            entry.notes.push_back("expectation failed: " + e.metric + " [" +
+                                  e.source + "]");
+          }
+        }
+      }
+    }
+
+    if (entry.expectations_failed > 0) entry.status = "expectation-failed";
+    else if (!cmp.ok()) entry.status = "regressed";
+    else entry.status = "ok";
+    report.entries.push_back(std::move(entry));
+  }
+
+  // Pass 2: results without a baseline still gate on their own recorded
+  // expectations (e.g. host-timing benches we deliberately don't baseline).
+  for (const auto& stem : json_stems(opts.results_dir)) {
+    if (fs::exists(fs::path(opts.baselines_dir) / (stem + ".json"))) continue;
+    GateEntry entry;
+    entry.bench = stem;
+    entry.status = "no-baseline";
+    try {
+      const Json result =
+          load_json_file(fs::path(opts.results_dir) / (stem + ".json"));
+      if (const Json* failed = result.find("expectations_failed")) {
+        entry.expectations_failed = static_cast<int>(failed->as_number());
+        if (entry.expectations_failed > 0) entry.status = "expectation-failed";
+      }
+    } catch (const std::exception& e) {
+      entry.status = "invalid-result";
+      entry.notes.push_back(e.what());
+    }
+    report.entries.push_back(std::move(entry));
+  }
+
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const GateEntry& a, const GateEntry& b) {
+              return a.bench < b.bench;
+            });
+
+  report.ok = true;
+  for (const auto& e : report.entries) {
+    if (e.status != "ok" && e.status != "no-baseline") report.ok = false;
+    log << "bench_gate: " << e.bench << ": " << e.status;
+    if (e.metrics_checked > 0) log << " (" << e.metrics_checked << " metrics)";
+    log << '\n';
+    for (const auto& n : e.notes) log << "  - " << n << '\n';
+  }
+  log << "bench_gate: " << report.entries.size() << " benches, verdict "
+      << (report.ok ? "PASS" : "FAIL") << '\n';
+
+  int rc = report.ok ? 0 : 1;
+  if (!opts.summary_path.empty()) {
+    try {
+      const fs::path p(opts.summary_path);
+      if (p.has_parent_path()) fs::create_directories(p.parent_path());
+      std::ofstream out(opts.summary_path);
+      if (!out) throw std::runtime_error("cannot write " + opts.summary_path);
+      out << report.summary(opts.rel_tol).dump() << '\n';
+      log << "bench_gate: wrote " << opts.summary_path << '\n';
+    } catch (const std::exception& e) {
+      log << "bench_gate: ERROR: " << e.what() << '\n';
+      rc = 2;
+    }
+  }
+  if (out_report) *out_report = std::move(report);
+  return rc;
+}
+
+}  // namespace ncar::bench

@@ -1,0 +1,107 @@
+#pragma once
+// BenchReporter — the machine-readable spine of every bench main.
+//
+// Usage pattern (see any bench/*.cpp):
+//
+//   int main(int argc, char** argv) {
+//     bench::BenchReporter rep("table7_mom", argc, argv);
+//     ... print the human tables exactly as before ...
+//     rep.metric("table7.mom.speedup@cpus=32", speedup);
+//     rep.expect("table7.mom.seconds@cpus=32", time350,
+//                bench::Band::relative(226.62, 0.25), "paper Table 7");
+//     return rep.finish(std::cout);
+//   }
+//
+// The reporter prints the host-execution banner at construction, collects
+// named scalar metrics and paper expectations during the run, and at
+// finish() prints a verdict block, writes bench/results/<name>.json, and
+// returns the process exit code (0 only if every expectation holds — and,
+// under --ci-check, if no metric regressed against the committed
+// baseline). Command line:
+//
+//   --json <path>         write the result JSON to <path> instead of
+//                         <results-dir>/<name>.json
+//   --results-dir <dir>   result directory (default bench/results, or
+//                         $SX4NCAR_BENCH_RESULTS_DIR)
+//   --list                print registered metrics/expectations instead of
+//                         writing JSON
+//   --ci-check            also diff metrics against the committed baseline
+//   --baseline-dir <dir>  baseline directory for --ci-check (default
+//                         bench/baselines, or $SX4NCAR_BASELINE_DIR)
+//   --tol <rel>           baseline tolerance for --ci-check (default 0.02)
+//   --deterministic       omit host-dependent JSON fields (host_execution,
+//                         wall_time_s) so emitted files are byte-identical
+//                         across host-thread policies
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/baseline.hpp"
+#include "harness/expectation.hpp"
+#include "harness/json.hpp"
+
+namespace ncar::bench {
+
+class BenchReporter {
+public:
+  /// Parses flags (exits on --help / bad usage) and prints the
+  /// "host execution: ..." banner followed by a blank line.
+  BenchReporter(std::string name, int argc, char** argv);
+
+  /// Register a named scalar. Names must be unique within a run; returns
+  /// `value` so measurements can be registered inline.
+  double metric(const std::string& name, double value,
+                const std::string& unit = "");
+
+  /// Register a metric *and* check it against a paper band. Returns the
+  /// verdict (also folded into the exit code at finish()).
+  bool expect(const std::string& metric_name, double actual, Band band,
+              const std::string& source, const std::string& unit = "");
+
+  /// Boolean claim (stored as a 0/1 metric with a Boolean band).
+  bool expect_true(const std::string& metric_name, bool ok,
+                   const std::string& source);
+
+  /// True when SX4NCAR_BENCH_FULL is set — recorded in the JSON so the
+  /// gate can refuse to compare quick-mode results to full-mode baselines.
+  bool full_mode() const { return full_mode_; }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  const std::vector<Expectation>& expectations() const {
+    return expectations_;
+  }
+
+  /// Result document in the result-v1 schema (what finish() writes).
+  Json result_json() const;
+
+  /// Print the verdict block, write (or --list) the JSON, and return the
+  /// process exit code.
+  int finish(std::ostream& os);
+
+private:
+  int check_baseline(std::ostream& os);
+
+  std::string name_;
+  bool full_mode_ = false;
+  bool list_ = false;
+  bool ci_check_ = false;
+  bool deterministic_ = false;
+  double tol_ = 0.02;
+  std::string json_path_;
+  std::string results_dir_;
+  std::string baseline_dir_;
+  std::string host_execution_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Metric> metrics_;
+  std::vector<Expectation> expectations_;
+};
+
+/// Convert a result-v1 document into the committed-baseline schema
+/// (drops host-dependent fields and expectations). Used by
+/// `bench_gate --update-baselines`.
+Baseline result_to_baseline(const Json& result);
+
+}  // namespace ncar::bench

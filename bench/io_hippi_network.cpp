@@ -11,25 +11,24 @@
 #include "ccm2/resolution.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "harness/reporter.hpp"
 #include "iosim/disk.hpp"
 #include "iosim/hippi.hpp"
 #include "iosim/history.hpp"
 #include "iosim/network.hpp"
-#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("io_hippi_network", argc, argv);
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
-  bool ok = true;
 
   // --- I/O: history-tape writes at multiple climate model resolutions ----
   print_banner(std::cout, "I/O benchmark: history tape writes by resolution");
   iosim::DiskSystem disk;
   Table io({"Resolution", "Volume MB", "1 writer (s)", "32 writers (s)",
             "MB/s (32w)"});
+  bool writers_scale = true;
   for (const auto& res : ccm2::table4()) {
     iosim::HistoryShape shape{res.nlon, res.nlat, res.nlev, 16};
     const double bytes = iosim::history_write_bytes(shape);
@@ -37,11 +36,17 @@ int main() {
     const double t32 = iosim::write_history_seconds(disk, shape, 32);
     io.add_row({res.name, format_fixed(bytes / 1e6, 1), format_fixed(t1, 2),
                 format_fixed(t32, 2), format_fixed(bytes / t32 / 1e6, 1)});
-    ok = ok && t32 <= t1;  // concurrent record writers must not be slower
+    writers_scale = writers_scale && t32 <= t1;
+    rep.metric("io.history_mb_per_s_32w." + res.name, bytes / t32 / 1e6,
+               "MB/s");
   }
   io.print(std::cout);
   std::printf("streaming ceiling: %.0f MB/s\n",
               disk.streaming_bytes_per_s() / 1e6);
+  rep.metric("io.disk_streaming_mb_per_s", disk.streaming_bytes_per_s() / 1e6,
+             "MB/s");
+  rep.expect_true("io.concurrent_writers_not_slower", writers_scale,
+                  "concurrent history-record writers never slower than one");
 
   // --- HIPPI: packet-size sweep, single and concurrent transfers ---------
   print_banner(std::cout, "HIPPI benchmark: raw packet transfers");
@@ -49,6 +54,7 @@ int main() {
   Table h({"Packet KB", "1 stream MB/s", "2 streams MB/s", "4 streams MB/s",
            "8 streams MB/s"});
   double prev = 0;
+  bool monotone = true;
   for (double kb : {4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
     const double bytes = kb * 1024;
     h.add_row({format_fixed(kb, 0),
@@ -57,17 +63,26 @@ int main() {
                format_fixed(hippi.concurrent_bytes_per_s(4, bytes) / 1e6, 1),
                format_fixed(hippi.concurrent_bytes_per_s(8, bytes) / 1e6, 1)});
     const double eff = hippi.effective_bytes_per_s(bytes);
-    ok = ok && eff >= prev;  // bigger packets amortise setup
+    monotone = monotone && eff >= prev;
     prev = eff;
+    rep.metric("hippi.mb_per_s@packet_kb=" + std::to_string(long(kb)),
+               eff / 1e6, "MB/s");
   }
   h.print(std::cout);
   const double big = hippi.effective_bytes_per_s(4096 * 1024);
   std::printf("large-packet rate approaches the HIPPI-800 payload: %.1f MB/s\n",
               big / 1e6);
-  ok = ok && big > 0.9 * cfg.hippi_bytes_per_s;
-  // Beyond the 4 IOP channels, concurrency cannot add bandwidth.
-  ok = ok && hippi.concurrent_bytes_per_s(8, 1 << 20) <=
-                 hippi.concurrent_bytes_per_s(4, 1 << 20) * 1.001;
+  rep.expect_true("hippi.rate_monotone_in_packet_size", monotone,
+                  "bigger packets amortise channel setup");
+  rep.expect("hippi.large_packet_mb_per_s", big / 1e6,
+             bench::Band::range(0.9 * cfg.hippi_bytes_per_s / 1e6,
+                                cfg.hippi_bytes_per_s / 1e6),
+             "approaches the HIPPI-800 100 MB/s payload limit", "MB/s");
+  rep.expect_true(
+      "hippi.concurrency_capped_by_iops",
+      hippi.concurrent_bytes_per_s(8, 1 << 20) <=
+          hippi.concurrent_bytes_per_s(4, 1 << 20) * 1.001,
+      "beyond the 4 IOP channels, concurrency cannot add bandwidth");
 
   // --- NETWORK: FDDI/IP data-transfer and command tests -------------------
   print_banner(std::cout, "NETWORK benchmark: FDDI/IP");
@@ -80,9 +95,14 @@ int main() {
   n.add_row({"1 MB transfer", format_duration(net.data_transfer_seconds(1e6))});
   n.add_row({"non-data command", format_duration(net.command_seconds())});
   n.print(std::cout);
-  // FDDI line rate bounds the ceiling.
-  ok = ok && net.throughput_bytes_per_s() <= 100e6 / 8.0 + 1;
+  rep.metric("network.throughput_mb_per_s", net.throughput_bytes_per_s() / 1e6,
+             "MB/s");
+  rep.metric("network.command_seconds", net.command_seconds(), "s");
+  rep.expect_true("network.bounded_by_fddi_line_rate",
+                  net.throughput_bytes_per_s() <= 100e6 / 8.0 + 1,
+                  "FDDI line rate bounds the ceiling");
 
+  const bool ok = writers_scale && monotone;
   std::printf("\ninternal consistency checks: %s\n", ok ? "pass" : "FAIL");
-  return ok ? 0 : 1;
+  return rep.finish(std::cout);
 }

@@ -4,12 +4,24 @@
 // the Legendre transform, the SOR solver, and the SLT — as a regression
 // guard for the library's own implementation quality (everything else in
 // bench/ reports *simulated* SX-4 time).
+//
+// The custom main routes results through BenchReporter so this binary
+// emits the same result-JSON schema as the rest of bench/. Host timings
+// are machine-dependent, so no baseline is committed for them and
+// bench_gate reports this bench as "no-baseline" — the JSON exists for
+// trajectory tracking (BENCH_*.json), not for gating.
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <type_traits>
+#include <vector>
 
 #include "ccm2/slt.hpp"
 #include "common/rng.hpp"
 #include "fft/real_fft.hpp"
+#include "harness/reporter.hpp"
 #include "ocean/mask.hpp"
 #include "spectral/sht.hpp"
 
@@ -71,6 +83,70 @@ void BM_LandMaskBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_LandMaskBuild);
 
+// google-benchmark renamed Run::error_occurred to Run::skipped in v1.8;
+// detect whichever member this library version has.
+template <typename R, typename = void>
+struct HasErrorOccurred : std::false_type {};
+template <typename R>
+struct HasErrorOccurred<
+    R, std::void_t<decltype(std::declval<const R&>().error_occurred)>>
+    : std::true_type {};
+
+template <typename R>
+bool run_failed(const R& run) {
+  if constexpr (HasErrorOccurred<R>::value) {
+    return run.error_occurred;
+  } else {
+    return run.skipped != 0;
+  }
+}
+
+/// Console output as usual, plus each per-iteration run captured as a
+/// harness metric (real ns/iteration and, where set, items/s).
+class HarnessReporter : public benchmark::ConsoleReporter {
+public:
+  explicit HarnessReporter(bench::BenchReporter& rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const auto& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run_failed(run)) continue;
+      const std::string base = "micro." + run.benchmark_name();
+      rep_.metric(base + ".real_ns", run.GetAdjustedRealTime(), "ns");
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        rep_.metric(base + ".items_per_s", items->second, "items/s");
+      }
+    }
+  }
+
+private:
+  bench::BenchReporter& rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split argv: --benchmark_* goes to google-benchmark, the rest to the
+  // harness.
+  std::vector<char*> gb_args{argv[0]};
+  std::vector<char*> harness_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark", 0) == 0) {
+      gb_args.push_back(argv[i]);
+    } else {
+      harness_args.push_back(argv[i]);
+    }
+  }
+
+  bench::BenchReporter rep("micro_substrates",
+                           static_cast<int>(harness_args.size()),
+                           harness_args.data());
+
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+  HarnessReporter reporter(rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  return rep.finish(std::cout);
+}

@@ -10,14 +10,13 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "harness/reporter.hpp"
 #include "machines/comparator.hpp"
 #include "radabs/radabs.hpp"
-#include "sxs/execution_policy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("radabs_sx4", argc, argv);
   machines::Comparator sx4(machines::Comparator::nec_sx4_single());
   const auto r = radabs::run_radabs_standard(sx4);
 
@@ -37,7 +36,16 @@ int main() {
   std::printf("intrinsics dominate the kernel (paper: \"much of the time in\n"
               "RADABS is spent in intrinsic function calls\"): %s\n",
               intrinsic_bound ? "yes" : "NO");
-  const bool ok = ratio > 0.8 && ratio < 1.25 && intrinsic_bound;
-  std::printf("within 25%% of the paper's figure: %s\n", ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+  std::printf("within 25%% of the paper's figure: %s\n",
+              ratio > 0.8 && ratio < 1.25 && intrinsic_bound ? "yes" : "NO");
+
+  rep.expect("radabs.equiv_mflops", r.equiv_mflops,
+             bench::Band::relative(865.9, 0.25), "paper section 4.4",
+             "Mflops");
+  rep.metric("radabs.hw_mflops", r.hw_mflops, "Mflops");
+  rep.metric("radabs.checksum", r.checksum);
+  rep.expect("radabs.intrinsic_time_fraction", sx4.intrinsic_time_fraction(),
+             bench::Band::range(0.4, 1.0),
+             "paper: much of the time is spent in intrinsic function calls");
+  return rep.finish(std::cout);
 }

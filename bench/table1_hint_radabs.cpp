@@ -10,34 +10,33 @@
 // climate workloads (paper section 3.3).
 
 #include <cstdio>
-#include <functional>
 #include <iostream>
 #include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "harness/reporter.hpp"
 #include "hint/hint.hpp"
 #include "machines/comparator.hpp"
 #include "radabs/radabs.hpp"
-#include "sxs/execution_policy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("table1_hint_radabs", argc, argv);
   using machines::Comparator;
 
   struct Row {
     const char* label;
+    const char* key;
     machines::Spec spec;
     double paper_mquips;
     double paper_mflops;
   };
   std::vector<Row> rows = {
-      {"SUN SPARC20", Comparator::sun_sparc20(), 3.5, 12.8},
-      {"IBM RS6K 590", Comparator::ibm_rs6000_590(), 5.2, 16.5},
-      {"CRI J90", Comparator::cray_j90(), 1.7, 60.8},
-      {"CRI YMP", Comparator::cray_ymp(), 3.1, 178.1},
+      {"SUN SPARC20", "sparc20", Comparator::sun_sparc20(), 3.5, 12.8},
+      {"IBM RS6K 590", "rs6000_590", Comparator::ibm_rs6000_590(), 5.2, 16.5},
+      {"CRI J90", "j90", Comparator::cray_j90(), 1.7, 60.8},
+      {"CRI YMP", "ymp", Comparator::cray_ymp(), 3.1, 178.1},
   };
 
   print_banner(std::cout,
@@ -45,6 +44,7 @@ int main() {
   Table t({"Benchmark / System", "Paper", "Model", "Model/Paper"});
 
   std::vector<double> model_mquips, model_mflops;
+  bool hint_ok = true;
   for (auto& row : rows) {
     Comparator machine(row.spec);
     const auto h = hint::run_hint(machine);
@@ -53,6 +53,10 @@ int main() {
                format_fixed(row.paper_mquips, 1), format_fixed(h.mquips, 1),
                format_fixed(h.mquips / row.paper_mquips, 2)});
     if (!h.verified) std::printf("!! HINT bounds failed on %s\n", row.label);
+    hint_ok = hint_ok && h.verified;
+    rep.expect(std::string("table1.hint_mquips.") + row.key, h.mquips,
+               bench::Band::relative(row.paper_mquips, 0.30), "paper Table 1",
+               "MQUIPS");
   }
   for (auto& row : rows) {
     Comparator machine(row.spec);
@@ -62,6 +66,9 @@ int main() {
                format_fixed(row.paper_mflops, 1),
                format_fixed(r.equiv_mflops, 1),
                format_fixed(r.equiv_mflops / row.paper_mflops, 2)});
+    rep.expect(std::string("table1.radabs_mflops.") + row.key, r.equiv_mflops,
+               bench::Band::relative(row.paper_mflops, 0.30), "paper Table 1",
+               "Mflops");
   }
   t.print(std::cout);
 
@@ -72,10 +79,16 @@ int main() {
   const bool radabs_prefers_vector =
       model_mflops[3] > 5 * model_mflops[0] &&
       model_mflops[2] > 2 * model_mflops[0];
+  rep.expect_true("table1.hint_bounds_verified", hint_ok,
+                  "HINT internal bounds checks");
+  rep.expect_true("table1.hint_ranks_workstations_above_j90",
+                  hint_prefers_scalar, "paper section 3.3");
+  rep.expect_true("table1.radabs_ranks_vector_above_workstations",
+                  radabs_prefers_vector, "paper section 3.3");
   std::printf("\nHINT ranks workstations above the J90%s (paper: yes)\n",
               hint_prefers_scalar ? "" : " -- NOT REPRODUCED");
   std::printf("RADABS ranks vector machines far above workstations%s "
               "(paper: yes)\n",
               radabs_prefers_vector ? "" : " -- NOT REPRODUCED");
-  return (hint_prefers_scalar && radabs_prefers_vector) ? 0 : 1;
+  return rep.finish(std::cout);
 }

@@ -2,19 +2,19 @@
 //
 // Purely descriptive: prints the benchmarked machine's configuration in the
 // paper's format alongside the model parameters derived from it, so every
-// other bench can be cross-checked against this table.
+// other bench can be cross-checked against this table. The expectations
+// pin the model configuration to the published numbers exactly.
 
 #include <iostream>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sxs/execution_policy.hpp"
+#include "harness/reporter.hpp"
 #include "sxs/machine_config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("table2_system_spec", argc, argv);
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
 
   print_banner(std::cout, "Table 2: NEC SX-4/32 system specification");
@@ -40,7 +40,31 @@ int main() {
   t.add_row({"Cooling", "air cooled", "air cooled (CMOS model)"});
   t.print(std::cout);
 
+  rep.expect("table2.clock_ns", cfg.clock_ns,
+             bench::Band::absolute(9.2, 1e-9), "paper Table 2", "ns");
+  rep.expect("table2.peak_gflops_per_cpu", to_gflops(cfg.peak_flops_per_cpu()),
+             bench::Band::relative(1.74, 0.01),
+             "paper Table 2: 2 GFLOPS at 8 ns == 1.74 at 9.2 ns", "Gflops");
+  rep.expect("table2.port_gb_per_s",
+             cfg.port_bytes_per_clock * cfg.clock_hz() / 1e9,
+             bench::Band::relative(16.0 * 8.0 / 9.2, 0.01),
+             "paper Table 2: 16 GB/s at 8 ns == 13.9 at 9.2 ns", "GB/s");
+  rep.expect("table2.cpus", cfg.total_cpus(), bench::Band::absolute(32, 0),
+             "paper Table 2");
+  rep.expect("table2.memory_banks", cfg.memory_banks,
+             bench::Band::absolute(1024, 0), "paper Table 2");
+  rep.expect("table2.vector_length", cfg.vector_length,
+             bench::Band::absolute(256, 0), "paper Table 2");
+  rep.expect("table2.xmu_gb", cfg.xmu_capacity_bytes / (1024.0 * 1024 * 1024),
+             bench::Band::absolute(4.0, 1e-9), "paper Table 2", "GB");
+  rep.expect("table2.iops", cfg.iops, bench::Band::absolute(4, 0),
+             "paper Table 2");
+  rep.expect("table2.iop_gb_per_s", cfg.iop_bytes_per_s / 1e9,
+             bench::Band::relative(1.6, 0.01), "paper Table 2", "GB/s");
+
   const auto product = sxs::MachineConfig::sx4_product();
+  rep.metric("table2.product.peak_gflops_per_cpu",
+             to_gflops(product.peak_flops_per_cpu()), "Gflops");
   std::cout << "\nProduction part: " << product.name << ", peak "
             << format_fixed(to_gflops(product.peak_flops_per_cpu()), 1)
             << " GFLOPS/CPU, node peak "
@@ -48,5 +72,5 @@ int main() {
                    to_gflops(product.peak_flops_per_cpu()) * product.cpus_per_node,
                    0)
             << " GFLOPS\n";
-  return 0;
+  return rep.finish(std::cout);
 }

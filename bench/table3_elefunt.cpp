@@ -15,13 +15,12 @@
 #include "common/units.hpp"
 #include "fpt/elefunt.hpp"
 #include "fpt/paranoia.hpp"
+#include "harness/reporter.hpp"
 #include "machines/comparator.hpp"
-#include "sxs/execution_policy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("table3_elefunt", argc, argv);
 
   // PARANOIA first: no performance number matters on broken arithmetic.
   const auto paranoia = fpt::run_paranoia();
@@ -33,6 +32,8 @@ int main() {
   pt.print(std::cout);
   std::printf("\nPARANOIA verdict: %s (paper: SX-4 passed)\n",
               paranoia.all_passed() ? "PASS" : "FAIL");
+  rep.expect_true("table3.paranoia_passed", paranoia.all_passed(),
+                  "paper section 4.1: the SX-4 passed these tests");
 
   print_banner(std::cout, "ELEFUNT accuracy (64-bit, identity tests)");
   Table at({"Function", "Max ulp", "RMS ulp", "Threshold", "Result"});
@@ -45,15 +46,25 @@ int main() {
     acc_ok = acc_ok && r.passed;
   }
   at.print(std::cout);
+  rep.expect_true("table3.elefunt_accuracy_passed", acc_ok,
+                  "paper section 4.1: every accuracy identity within bound");
 
   print_banner(std::cout,
                "Table 3: intrinsic performance, SX-4/1, Mcalls/second");
   machines::Comparator sx4(machines::Comparator::nec_sx4_single());
   Table t({"Function", "Mcalls/s (model)"});
+  bool rates_in_prose_band = true;
   for (const auto& r : fpt::run_elefunt_performance(sx4)) {
     t.add_row({sxs::intrinsic_name(r.func), format_fixed(r.mcalls_per_s, 1)});
+    rep.metric(std::string("table3.mcalls_per_s.") + sxs::intrinsic_name(r.func),
+               r.mcalls_per_s, "Mcalls/s");
+    rates_in_prose_band =
+        rates_in_prose_band && r.mcalls_per_s > 10 && r.mcalls_per_s < 1000;
   }
   t.print(std::cout);
+  rep.expect_true(
+      "table3.rates_tens_to_hundreds_mcalls", rates_in_prose_band,
+      "paper prose: vectorised intrinsics at tens-to-hundreds of Mcalls/s");
 
-  return (paranoia.all_passed() && acc_ok) ? 0 : 1;
+  return rep.finish(std::cout);
 }

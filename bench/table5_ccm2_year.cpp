@@ -16,15 +16,14 @@
 #include "ccm2/model.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "harness/reporter.hpp"
 #include "iosim/disk.hpp"
-#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("table5_ccm2_year", argc, argv);
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
   iosim::DiskSystem disk;
@@ -53,10 +52,19 @@ int main() {
     t.add_row({res.name, format_fixed(paper, 2), format_fixed(year, 2),
                format_fixed(year / paper, 3), format_fixed(gb, 1)});
     ok = ok && year / paper > 0.75 && year / paper < 1.25;
+    rep.expect("table5.year_seconds." + res.name, year,
+               bench::Band::relative(paper, 0.25), "paper Table 5", "s");
+    if (res.name == "T63L18") {
+      rep.expect("table5.history_gb_per_year." + res.name, gb,
+                 bench::Band::relative(15.0, 0.25),
+                 "paper: the T63 run wrote approximately 15 GB", "GB");
+    } else {
+      rep.metric("table5.history_gb_per_year." + res.name, gb, "GB");
+    }
   }
   t.print(std::cout);
 
   std::printf("\nT63L18 run wrote ~15 GB in the paper; both times within 25%%: %s\n",
               ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+  return rep.finish(std::cout);
 }

@@ -10,14 +10,13 @@
 #include "ccm2/model.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sxs/execution_policy.hpp"
+#include "harness/reporter.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("table6_ensemble", argc, argv);
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
 
@@ -50,8 +49,14 @@ int main() {
              format_fixed(degradation, 2) + "%"});
   t.print(std::cout);
 
+  rep.metric("table6.single_instance_seconds", single, "s");
+  rep.metric("table6.eight_instance_seconds", multi, "s");
+  rep.expect("table6.degradation_percent", degradation,
+             bench::Band::relative(1.89, 0.25),
+             "paper Table 6: the relative degradation is only 1.89%", "%");
+
   std::printf("\ndegradation: %.2f%% (paper: 1.89%%)\n", degradation);
-  const bool ok = degradation > 0.5 && degradation < 4.0;
-  std::printf("small-percent degradation reproduced: %s\n", ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+  std::printf("small-percent degradation reproduced: %s\n",
+              degradation > 0.5 && degradation < 4.0 ? "yes" : "NO");
+  return rep.finish(std::cout);
 }

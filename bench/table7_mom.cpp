@@ -16,15 +16,14 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "harness/reporter.hpp"
 #include "ocean/mom.hpp"
-#include "sxs/execution_policy.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncar;
-  std::cout << "host execution: " << sxs::host_execution_summary()
-            << "\n\n";
+  bench::BenchReporter rep("table7_mom", argc, argv);
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
   ocean::Mom mom(ocean::MomConfig::high_resolution(), node);
@@ -55,13 +54,21 @@ int main() {
                format_fixed(t1 / time350, 2),
                format_fixed(1861.25 / row.paper_s, 2)});
     ok = ok && ratio > 0.8 && ratio < 1.25;
+    rep.expect("table7.mom.seconds@cpus=" + std::to_string(row.cpus), time350,
+               bench::Band::relative(row.paper_s, 0.25), "paper Table 7", "s");
+    rep.metric("table7.mom.speedup@cpus=" + std::to_string(row.cpus),
+               t1 / time350);
   }
   t.print(std::cout);
+
+  rep.metric("table7.mom.sor_residual", mom.last_sor_residual());
+  rep.expect("table7.mom.mean_temperature_c", mom.mean_temperature(),
+             bench::Band::range(-2.0, 30.0), "physical ocean range", "C");
 
   std::printf("\nSOR residual after the rigid-lid solve: %.2e\n",
               mom.last_sor_residual());
   std::printf("mean ocean temperature: %.3f C (physical range)\n",
               mom.mean_temperature());
   std::printf("all times within 25%% of the paper: %s\n", ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+  return rep.finish(std::cout);
 }

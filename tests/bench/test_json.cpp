@@ -1,0 +1,113 @@
+// The harness JSON value: deterministic writer, strict parser, round-trip.
+
+#include "harness/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ncar::bench {
+namespace {
+
+TEST(JsonNumber, IntegralValuesRenderWithoutDecimalPoint) {
+  EXPECT_EQ(Json::number_to_string(0.0), "0");
+  EXPECT_EQ(Json::number_to_string(32.0), "32");
+  EXPECT_EQ(Json::number_to_string(-7.0), "-7");
+  EXPECT_EQ(Json::number_to_string(1024.0), "1024");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  // The writer must emit enough digits that parsing gives back the same
+  // bit pattern — the determinism tests diff files byte-for-byte.
+  for (double v : {0.1, 1.0 / 3.0, 9.2, 1371.25, 6954.185132925772,
+                   std::numeric_limits<double>::min(), 1e300, -2.5e-7}) {
+    const std::string s = Json::number_to_string(v);
+    EXPECT_EQ(Json::parse(s).as_number(), v) << s;
+  }
+}
+
+TEST(JsonObject, InsertionOrderPreserved) {
+  Json j = Json::object();
+  j.set("zebra", 1);
+  j.set("alpha", 2);
+  j.set("mid", 3);
+  EXPECT_EQ(j.dump(0), R"({"zebra": 1, "alpha": 2, "mid": 3})");
+}
+
+TEST(JsonObject, SetOverwritesInPlace) {
+  Json j = Json::object();
+  j.set("a", 1);
+  j.set("b", 2);
+  j.set("a", 9);
+  EXPECT_EQ(j.dump(0), R"({"a": 9, "b": 2})");
+}
+
+TEST(JsonObject, FindAndAt) {
+  Json j = Json::object();
+  j.set("x", 4.5);
+  ASSERT_NE(j.find("x"), nullptr);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(j.at("x").as_number(), 4.5);
+  EXPECT_THROW(j.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParse, RoundTripsEveryKind) {
+  const std::string doc = R"({
+  "null": null,
+  "t": true,
+  "f": false,
+  "num": -12.25,
+  "str": "hi \"there\" \\ \n",
+  "arr": [1, 2, [3]],
+  "obj": {"nested": "yes"}
+})";
+  const Json j = Json::parse(doc);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(Json::parse(j.dump(0)), j);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(Json::parse(R"({"a": 1, "a": 2})"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} x"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse(R"({"a"})"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+}
+
+TEST(JsonParse, ErrorCarriesByteOffset) {
+  try {
+    Json::parse("[1, ?]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+TEST(JsonEquality, NumbersComparedByValue) {
+  EXPECT_EQ(Json(2), Json(2.0));
+  EXPECT_NE(Json(2), Json(3));
+  EXPECT_NE(Json(2), Json("2"));
+}
+
+TEST(JsonDump, PrettyPrintIsStable) {
+  Json j = Json::object();
+  j.set("bench", "demo");
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2);
+  j.set("values", std::move(arr));
+  EXPECT_EQ(j.dump(2),
+            "{\n  \"bench\": \"demo\",\n  \"values\": [\n    1,\n    2\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace ncar::bench
