@@ -57,9 +57,11 @@ int main(int argc, char** argv) {
     mcfg.clock_ns = cfg.clock_ns;
     sxs::Ixs ixs(mcfg);
     const double ixs_s =
-        nodes == 1 ? 0.0
-                   : 2.0 * ixs.all_to_all_seconds(nodes, grid_bytes / nodes) +
-                         8.0 * ixs.global_barrier_seconds(nodes);
+        nodes == 1
+            ? 0.0
+            : 2.0 * ixs.all_to_all_seconds(nodes, Bytes(grid_bytes / nodes))
+                      .value() +
+                  8.0 * ixs.global_barrier_seconds(nodes).value();
     const double step = serial + parallel / nodes + ixs_s;
     const double g = flops_per_step / step / 1e9;
     if (nodes == 1) g1 = g;

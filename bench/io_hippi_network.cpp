@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   bool writers_scale = true;
   for (const auto& res : ccm2::table4()) {
     iosim::HistoryShape shape{res.nlon, res.nlat, res.nlev, 16};
-    const double bytes = iosim::history_write_bytes(shape);
-    const double t1 = iosim::write_history_seconds(disk, shape, 1);
-    const double t32 = iosim::write_history_seconds(disk, shape, 32);
+    const double bytes = iosim::history_write_bytes(shape).value();
+    const double t1 = iosim::write_history_seconds(disk, shape, 1).value();
+    const double t32 = iosim::write_history_seconds(disk, shape, 32).value();
     io.add_row({res.name, format_fixed(bytes / 1e6, 1), format_fixed(t1, 2),
                 format_fixed(t32, 2), format_fixed(bytes / t32 / 1e6, 1)});
     writers_scale = writers_scale && t32 <= t1;
@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
   }
   io.print(std::cout);
   std::printf("streaming ceiling: %.0f MB/s\n",
-              disk.streaming_bytes_per_s() / 1e6);
-  rep.metric("io.disk_streaming_mb_per_s", disk.streaming_bytes_per_s() / 1e6,
-             "MB/s");
+              to_mb_per_s(disk.streaming_bytes_per_s()));
+  rep.metric("io.disk_streaming_mb_per_s",
+             to_mb_per_s(disk.streaming_bytes_per_s()), "MB/s");
   rep.expect_true("io.concurrent_writers_not_slower", writers_scale,
                   "concurrent history-record writers never slower than one");
 
@@ -56,20 +56,21 @@ int main(int argc, char** argv) {
   double prev = 0;
   bool monotone = true;
   for (double kb : {4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
-    const double bytes = kb * 1024;
-    h.add_row({format_fixed(kb, 0),
-               format_fixed(hippi.effective_bytes_per_s(bytes) / 1e6, 1),
-               format_fixed(hippi.concurrent_bytes_per_s(2, bytes) / 1e6, 1),
-               format_fixed(hippi.concurrent_bytes_per_s(4, bytes) / 1e6, 1),
-               format_fixed(hippi.concurrent_bytes_per_s(8, bytes) / 1e6, 1)});
-    const double eff = hippi.effective_bytes_per_s(bytes);
+    const Bytes bytes(kb * 1024);
+    h.add_row(
+        {format_fixed(kb, 0),
+         format_fixed(to_mb_per_s(hippi.effective_bytes_per_s(bytes)), 1),
+         format_fixed(to_mb_per_s(hippi.concurrent_bytes_per_s(2, bytes)), 1),
+         format_fixed(to_mb_per_s(hippi.concurrent_bytes_per_s(4, bytes)), 1),
+         format_fixed(to_mb_per_s(hippi.concurrent_bytes_per_s(8, bytes)), 1)});
+    const double eff = hippi.effective_bytes_per_s(bytes).value();
     monotone = monotone && eff >= prev;
     prev = eff;
     rep.metric("hippi.mb_per_s@packet_kb=" + std::to_string(long(kb)),
                eff / 1e6, "MB/s");
   }
   h.print(std::cout);
-  const double big = hippi.effective_bytes_per_s(4096 * 1024);
+  const double big = hippi.effective_bytes_per_s(Bytes(4096 * 1024)).value();
   std::printf("large-packet rate approaches the HIPPI-800 payload: %.1f MB/s\n",
               big / 1e6);
   rep.expect_true("hippi.rate_monotone_in_packet_size", monotone,
@@ -80,26 +81,29 @@ int main(int argc, char** argv) {
              "approaches the HIPPI-800 100 MB/s payload limit", "MB/s");
   rep.expect_true(
       "hippi.concurrency_capped_by_iops",
-      hippi.concurrent_bytes_per_s(8, 1 << 20) <=
-          hippi.concurrent_bytes_per_s(4, 1 << 20) * 1.001,
+      hippi.concurrent_bytes_per_s(8, Bytes(1 << 20)) <=
+          hippi.concurrent_bytes_per_s(4, Bytes(1 << 20)) * 1.001,
       "beyond the 4 IOP channels, concurrency cannot add bandwidth");
 
   // --- NETWORK: FDDI/IP data-transfer and command tests -------------------
   print_banner(std::cout, "NETWORK benchmark: FDDI/IP");
   iosim::Network net;
   Table n({"Test", "Result"});
-  n.add_row({"throughput ceiling",
-             format_fixed(net.throughput_bytes_per_s() / 1e6, 2) + " MB/s"});
+  n.add_row(
+      {"throughput ceiling",
+       format_fixed(to_mb_per_s(net.throughput_bytes_per_s()), 2) + " MB/s"});
   n.add_row({"100 MB ftp-style transfer",
-             format_duration(net.data_transfer_seconds(100e6))});
-  n.add_row({"1 MB transfer", format_duration(net.data_transfer_seconds(1e6))});
+             format_duration(net.data_transfer_seconds(Bytes(100e6)))});
+  n.add_row({"1 MB transfer",
+             format_duration(net.data_transfer_seconds(Bytes(1e6)))});
   n.add_row({"non-data command", format_duration(net.command_seconds())});
   n.print(std::cout);
-  rep.metric("network.throughput_mb_per_s", net.throughput_bytes_per_s() / 1e6,
-             "MB/s");
-  rep.metric("network.command_seconds", net.command_seconds(), "s");
+  rep.metric("network.throughput_mb_per_s",
+             to_mb_per_s(net.throughput_bytes_per_s()), "MB/s");
+  rep.metric("network.command_seconds", net.command_seconds().value(), "s");
   rep.expect_true("network.bounded_by_fddi_line_rate",
-                  net.throughput_bytes_per_s() <= 100e6 / 8.0 + 1,
+                  net.throughput_bytes_per_s() <=
+                      BytesPerSec(100e6 / 8.0 + 1),
                   "FDDI line rate bounds the ceiling");
 
   const bool ok = writers_scale && monotone;

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   const double t170_2d = ccm2_days(node, ccm2::t170l18(), 16, 2.0);
 
   iosim::HippiChannel hippi(cfg);
-  const double hippi_test = hippi.transfer_seconds(10e9, 1 << 20);
+  const double hippi_test =
+      hippi.transfer_seconds(Bytes(10e9), Bytes(1 << 20)).value();
 
   prodload::Job job;
   job.name = "job";

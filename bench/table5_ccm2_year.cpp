@@ -46,9 +46,9 @@ int main(int argc, char** argv) {
     model.reset();
     const double per_step = model.measure_step_seconds(32, 3);
     const long steps = res.steps_per_day() * 365;
-    const double hist = model.write_history(disk, 32);
+    const double hist = model.write_history(disk, 32).value();
     const double year = per_step * steps + hist * 365;
-    const double gb = model.history_bytes() * 365 / 1e9;
+    const double gb = model.history_bytes().value() * 365 / 1e9;
     t.add_row({res.name, format_fixed(paper, 2), format_fixed(year, 2),
                format_fixed(year / paper, 3), format_fixed(gb, 1)});
     ok = ok && year / paper > 0.75 && year / paper < 1.25;

@@ -41,7 +41,7 @@ int main() {
     for (long s = 0; s < cfg.res.steps_per_day(); ++s) {
       compute_s += model.step(ncpu).total;
     }
-    io_s += model.write_history(disk, ncpu);
+    io_s += model.write_history(disk, ncpu).value();
     std::printf("day %d: energy %.4e, moisture %.6f, simulated so far %s\n",
                 day, model.energy(), model.moisture_mass(0),
                 format_duration(compute_s + io_s).c_str());
@@ -51,7 +51,7 @@ int main() {
   std::printf("compute time (simulated): %s\n",
               format_duration(compute_s).c_str());
   std::printf("history I/O  (simulated): %s for %.1f MB/day\n",
-              format_duration(io_s).c_str(), model.history_bytes() / 1e6);
+              format_duration(io_s).c_str(), model.history_bytes().value() / 1e6);
   double flops = 0;
   for (int r = 0; r < node.cpu_count(); ++r) {
     flops += node.cpu(r).equiv_flops();

@@ -214,7 +214,7 @@ StepTiming Ccm2::step(int ncpu) {
 
   // Serial step-management section (see Ccm2Config::serial_overhead_s).
   timing.serial = node_->serial([&](sxs::Cpu& cpu) {
-    cpu.charge_seconds(cfg_.serial_overhead_s);
+    cpu.charge_seconds(Seconds(cfg_.serial_overhead_s));
   });
 
   // Region 1 (m-parallel): spectral-local work — inverse Laplacian, time
@@ -474,11 +474,11 @@ iosim::HistoryShape Ccm2::history_shape() const {
   return s;
 }
 
-double Ccm2::history_bytes() const {
+Bytes Ccm2::history_bytes() const {
   return iosim::history_write_bytes(history_shape());
 }
 
-double Ccm2::write_history(iosim::DiskSystem& disk, int writers) const {
+Seconds Ccm2::write_history(iosim::DiskSystem& disk, int writers) const {
   return iosim::write_history_seconds(disk, history_shape(), writers);
 }
 

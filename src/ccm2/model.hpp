@@ -126,9 +126,9 @@ public:
 
   // --- history I/O ------------------------------------------------------------
   iosim::HistoryShape history_shape() const;
-  double history_bytes() const;
+  Bytes history_bytes() const;
   /// Simulated seconds to write one (daily) history volume.
-  double write_history(iosim::DiskSystem& disk, int writers) const;
+  Seconds write_history(iosim::DiskSystem& disk, int writers) const;
 
 private:
   void charge_transform_pass(sxs::Cpu& cpu, int passes, long repeats) const;

@@ -1,0 +1,135 @@
+#pragma once
+// Compile-time dimensional safety for the performance model.
+//
+// Every number the paper reports (Table 2 bandwidths, Figure 5 MB/s curves,
+// Table 7 MOM minutes) flows through model code that used to pass raw
+// `double`s — cycles, seconds, bytes and bytes/s were all the same type, so
+// a cycles-vs-seconds or decimal-MB-vs-bytes mix-up silently corrupted a
+// "reproduced" figure instead of failing the build. Quantity<Dim> is a
+// zero-cost phantom-typed wrapper: same-dimension arithmetic works, mixing
+// dimensions is a compile error, and cycles<->seconds conversion only
+// exists through a MachineConfig clock (sxs::MachineConfig::to_seconds /
+// to_cycles), so there is no way to cross that boundary without saying
+// which clock you mean.
+//
+// Design rules:
+//  * construction from double is explicit — `Seconds(3.5)` at the boundary,
+//    never an accidental promotion;
+//  * `value()` is the only way back out — call sites that print or feed the
+//    bench reporter unwrap deliberately;
+//  * ratios of like quantities are dimensionless doubles (speedups,
+//    fractions), so `a / b` of two Seconds is a plain double;
+//  * the few physically meaningful cross-dimension products are defined
+//    below (Bytes / Seconds = BytesPerSec and friends); everything else
+//    does not compile.
+
+#include <compare>
+
+namespace ncar {
+
+template <class Dim>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// The raw magnitude, in this dimension's base unit (see Dim::unit).
+  constexpr double value() const { return value_; }
+
+  // --- same-dimension arithmetic -----------------------------------------
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+
+  // --- scaling by dimensionless factors ----------------------------------
+  friend constexpr Quantity operator*(Quantity q, double s) {
+    return Quantity(q.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity q) {
+    return Quantity(s * q.value_);
+  }
+  friend constexpr Quantity operator/(Quantity q, double s) {
+    return Quantity(q.value_ / s);
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  /// Ratio of like quantities is dimensionless (speedup, utilisation, ...).
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+namespace dim {
+struct Cycles {
+  static constexpr const char* unit = "cycles";
+};
+struct Seconds {
+  static constexpr const char* unit = "s";
+};
+struct Bytes {
+  static constexpr const char* unit = "B";
+};
+struct Words {
+  static constexpr const char* unit = "words";
+};
+struct BytesPerSec {
+  static constexpr const char* unit = "B/s";
+};
+struct FlopsPerSec {
+  static constexpr const char* unit = "flop/s";
+};
+}  // namespace dim
+
+using Cycles = Quantity<dim::Cycles>;
+using Seconds = Quantity<dim::Seconds>;
+using Bytes = Quantity<dim::Bytes>;
+using Words = Quantity<dim::Words>;
+using BytesPerSec = Quantity<dim::BytesPerSec>;
+using FlopsPerSec = Quantity<dim::FlopsPerSec>;
+
+// --- physically meaningful cross-dimension relations -----------------------
+
+constexpr BytesPerSec operator/(Bytes b, Seconds s) {
+  return BytesPerSec(b.value() / s.value());
+}
+constexpr Seconds operator/(Bytes b, BytesPerSec r) {
+  return Seconds(b.value() / r.value());
+}
+constexpr Bytes operator*(BytesPerSec r, Seconds s) {
+  return Bytes(r.value() * s.value());
+}
+constexpr Bytes operator*(Seconds s, BytesPerSec r) {
+  return Bytes(s.value() * r.value());
+}
+
+/// An SX-4 word is 64 bits (section 2.2: 64-bit-wide SSRAM banks).
+inline constexpr double kBytesPerWord = 8.0;
+
+constexpr Bytes to_bytes(Words w) { return Bytes(w.value() * kBytesPerWord); }
+constexpr Words to_words(Bytes b) { return Words(b.value() / kBytesPerWord); }
+
+}  // namespace ncar

@@ -8,16 +8,22 @@ namespace ncar {
 std::string format_duration(double seconds) {
   char buf[64];
   if (seconds < 0) seconds = 0;
-  const long total = static_cast<long>(seconds);
+  // Decide the layout from the value *rounded at display precision*, so
+  // 59.996 renders as "1m 00.0s" rather than snprintf carrying it past the
+  // unit boundary into "60.00s".
+  if (std::round(seconds * 100.0) / 100.0 < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+    return buf;
+  }
+  const double rounded = std::round(seconds * 10.0) / 10.0;
+  const long total = static_cast<long>(rounded);
   const long h = total / 3600;
   const long m = (total % 3600) / 60;
-  const double s = seconds - static_cast<double>(h * 3600 + m * 60);
+  const double s = rounded - static_cast<double>(h * 3600 + m * 60);
   if (h > 0) {
     std::snprintf(buf, sizeof buf, "%ldh %02ldm %04.1fs", h, m, s);
-  } else if (m > 0) {
-    std::snprintf(buf, sizeof buf, "%ldm %04.1fs", m, s);
   } else {
-    std::snprintf(buf, sizeof buf, "%.2fs", s);
+    std::snprintf(buf, sizeof buf, "%ldm %04.1fs", m, s);
   }
   return buf;
 }

@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "common/quantity.hpp"
+
 namespace ncar {
 
 inline constexpr double kKilo = 1e3;
@@ -14,15 +16,21 @@ inline constexpr double kGiga = 1e9;
 
 /// Bytes/second -> MB/s (decimal megabytes, as the paper uses).
 inline double to_mb_per_s(double bytes_per_s) { return bytes_per_s / kMega; }
+inline double to_mb_per_s(BytesPerSec rate) { return rate.value() / kMega; }
 
 /// Flops/second -> Mflops.
 inline double to_mflops(double flops_per_s) { return flops_per_s / kMega; }
+inline double to_mflops(FlopsPerSec rate) { return rate.value() / kMega; }
 
 /// Flops/second -> Gflops.
 inline double to_gflops(double flops_per_s) { return flops_per_s / kGiga; }
+inline double to_gflops(FlopsPerSec rate) { return rate.value() / kGiga; }
 
 /// Format seconds as "Hh MMm SS.Ss" / "MMm SS.Ss" / "SS.Ss".
 std::string format_duration(double seconds);
+inline std::string format_duration(Seconds s) {
+  return format_duration(s.value());
+}
 
 /// Format a double with `digits` significant decimals, fixed notation.
 std::string format_fixed(double value, int digits);

@@ -38,11 +38,12 @@ void real_inverse(const Plan& plan, std::span<const cd> in,
     full[static_cast<std::size_t>(k)] =
         std::conj(in[static_cast<std::size_t>(n - k)]);
   }
-  std::vector<cd> time(static_cast<std::size_t>(n));
-  plan.inverse(full, time);
+  std::vector<cd> time_domain(static_cast<std::size_t>(n));
+  plan.inverse(full, time_domain);
   const double scale = 1.0 / static_cast<double>(n);
   for (long j = 0; j < n; ++j) {
-    out[static_cast<std::size_t>(j)] = time[static_cast<std::size_t>(j)].real() * scale;
+    out[static_cast<std::size_t>(j)] =
+        time_domain[static_cast<std::size_t>(j)].real() * scale;
   }
 }
 

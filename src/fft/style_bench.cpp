@@ -69,7 +69,7 @@ FftPoint run_rfft(sxs::Cpu& cpu, long n, long m, int ktries) {
   NCAR_REQUIRE(Plan::supported(n), "length must factor into 2, 3, 5");
   NCAR_REQUIRE(ktries >= 1, "KTRIES");
 
-  const bool ok = verify_numerics(n, std::min<long>(m, 2));
+  const bool ok = verify_numerics(n, static_cast<int>(std::min<long>(m, 2)));
 
   // Charging: FFTPACK processes one sequence at a time. At the stage with
   // factor f, l1 = product of factors already done and ido = n/(l1*f); the

@@ -160,7 +160,7 @@ PerformanceResult measure_performance(machines::Comparator& machine,
   PerformanceResult r;
   r.func = f;
   r.calls = calls;
-  r.mcalls_per_s = static_cast<double>(calls) / machine.seconds() / 1e6;
+  r.mcalls_per_s = static_cast<double>(calls) / machine.seconds().value() / 1e6;
   return r;
 }
 

@@ -80,7 +80,7 @@ HintResult run_hint(machines::Comparator& machine, long splits) {
   r.lower = lower;
   r.upper = lower + gap;
   r.quality = 1.0 / gap;
-  r.seconds = machine.seconds();
+  r.seconds = machine.seconds().value();
   r.mquips = r.quality / r.seconds / 1e6;
   const double area = analytic_area();
   r.verified = (r.lower <= area && area <= r.upper) &&

@@ -12,28 +12,29 @@ DiskSystem::DiskSystem(DiskConfig cfg) : cfg_(cfg) {
   NCAR_REQUIRE(cfg_.stripe_bytes > 0, "stripe unit must be positive");
 }
 
-double DiskSystem::streaming_bytes_per_s() const {
-  return std::min(cfg_.controller_bytes_per_s,
-                  cfg_.media_bytes_per_s * cfg_.spindles);
+BytesPerSec DiskSystem::streaming_bytes_per_s() const {
+  return BytesPerSec(std::min(cfg_.controller_bytes_per_s,
+                              cfg_.media_bytes_per_s * cfg_.spindles));
 }
 
-double DiskSystem::sequential_seconds(double bytes) const {
-  NCAR_REQUIRE(bytes >= 0, "negative transfer size");
-  if (bytes == 0) return 0.0;
+Seconds DiskSystem::sequential_seconds(Bytes bytes) const {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
+  if (bytes.value() == 0) return Seconds(0.0);
   // Striping engages one spindle per stripe unit, up to all spindles.
-  const double stripes = std::ceil(bytes / static_cast<double>(cfg_.stripe_bytes));
+  const double stripes =
+      std::ceil(bytes.value() / static_cast<double>(cfg_.stripe_bytes));
   const int active = static_cast<int>(
       std::min<double>(cfg_.spindles, std::max(1.0, stripes)));
   const double rate =
       std::min(cfg_.controller_bytes_per_s, cfg_.media_bytes_per_s * active);
-  return cfg_.seek_s + cfg_.rotational_s + bytes / rate;
+  return Seconds(cfg_.seek_s + cfg_.rotational_s + bytes.value() / rate);
 }
 
-double DiskSystem::direct_access_seconds(long records, double record_bytes,
-                                         int writers) const {
-  NCAR_REQUIRE(records >= 0 && record_bytes >= 0, "record shape");
+Seconds DiskSystem::direct_access_seconds(long records, Bytes record_bytes,
+                                          int writers) const {
+  NCAR_REQUIRE(records >= 0 && record_bytes.value() >= 0, "record shape");
   NCAR_REQUIRE(writers >= 1, "need at least one writer");
-  if (records == 0) return 0.0;
+  if (records == 0) return Seconds(0.0);
   // Each record pays positioning on the spindle it lands on; positioning
   // overlaps across spindles and across concurrent writers, but no more
   // than `spindles` positioning streams exist.
@@ -41,18 +42,20 @@ double DiskSystem::direct_access_seconds(long records, double record_bytes,
   const double position_total =
       static_cast<double>(records) * (cfg_.seek_s + cfg_.rotational_s) /
       static_cast<double>(streams);
-  const double media_total =
-      static_cast<double>(records) * record_bytes / streaming_bytes_per_s();
+  const double media_total = static_cast<double>(records) *
+                             record_bytes.value() /
+                             streaming_bytes_per_s().value();
   // Positioning and media overlap imperfectly: the slower one dominates,
   // the other contributes its non-overlapped tail.
-  return std::max(position_total, media_total) +
-         0.1 * std::min(position_total, media_total);
+  return Seconds(std::max(position_total, media_total) +
+                 0.1 * std::min(position_total, media_total));
 }
 
-void DiskSystem::record_transfer(double bytes, double seconds) {
-  NCAR_REQUIRE(bytes >= 0 && seconds >= 0, "accounting values");
-  total_bytes_ += bytes;
-  busy_seconds_ += seconds;
+void DiskSystem::record_transfer(Bytes bytes, Seconds seconds) {
+  NCAR_REQUIRE(bytes.value() >= 0 && seconds.value() >= 0,
+               "accounting values");
+  total_bytes_ += bytes.value();
+  busy_seconds_ += seconds.value();
 }
 
 void DiskSystem::reset_accounting() {

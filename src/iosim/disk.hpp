@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "common/quantity.hpp"
 
 namespace ncar::iosim {
 
@@ -31,21 +32,21 @@ public:
 
   /// Seconds for one sequential transfer of `bytes` (read or write — the
   /// model is symmetric), including one positioning delay.
-  double sequential_seconds(double bytes) const;
+  Seconds sequential_seconds(Bytes bytes) const;
 
   /// Seconds for `records` direct-access record writes of `record_bytes`
   /// each, issued from `writers` concurrent processors. Positioning costs
   /// overlap across spindles; media time shares the controller.
-  double direct_access_seconds(long records, double record_bytes,
-                               int writers = 1) const;
+  Seconds direct_access_seconds(long records, Bytes record_bytes,
+                                int writers = 1) const;
 
-  /// Effective streaming bandwidth (bytes/s) for very large transfers.
-  double streaming_bytes_per_s() const;
+  /// Effective streaming bandwidth for very large transfers.
+  BytesPerSec streaming_bytes_per_s() const;
 
   // --- accounting ---------------------------------------------------------
-  void record_transfer(double bytes, double seconds);
-  double total_bytes() const { return total_bytes_; }
-  double busy_seconds() const { return busy_seconds_; }
+  void record_transfer(Bytes bytes, Seconds seconds);
+  Bytes total_bytes() const { return Bytes(total_bytes_); }
+  Seconds busy_seconds() const { return Seconds(busy_seconds_); }
   void reset_accounting();
 
 private:

@@ -11,32 +11,33 @@ HippiChannel::HippiChannel(const sxs::MachineConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
 }
 
-double HippiChannel::packet_seconds(double bytes) const {
-  NCAR_REQUIRE(bytes >= 0, "negative packet size");
-  return cfg_.hippi_setup_s + bytes / cfg_.hippi_bytes_per_s;
+Seconds HippiChannel::packet_seconds(Bytes bytes) const {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative packet size");
+  return Seconds(cfg_.hippi_setup_s + bytes.value() / cfg_.hippi_bytes_per_s);
 }
 
-double HippiChannel::transfer_seconds(double total_bytes,
-                                      double packet_bytes) const {
-  NCAR_REQUIRE(total_bytes >= 0, "negative transfer size");
-  NCAR_REQUIRE(packet_bytes > 0, "packet size must be positive");
+Seconds HippiChannel::transfer_seconds(Bytes total_bytes,
+                                       Bytes packet_bytes) const {
+  NCAR_REQUIRE(total_bytes.value() >= 0, "negative transfer size");
+  NCAR_REQUIRE(packet_bytes.value() > 0, "packet size must be positive");
   const double packets = std::ceil(total_bytes / packet_bytes);
-  const double payload_time = total_bytes / cfg_.hippi_bytes_per_s;
-  return packets * cfg_.hippi_setup_s + payload_time;
+  const double payload_time = total_bytes.value() / cfg_.hippi_bytes_per_s;
+  return Seconds(packets * cfg_.hippi_setup_s + payload_time);
 }
 
-double HippiChannel::effective_bytes_per_s(double packet_bytes) const {
-  NCAR_REQUIRE(packet_bytes > 0, "packet size must be positive");
-  return packet_bytes / packet_seconds(packet_bytes);
+BytesPerSec HippiChannel::effective_bytes_per_s(Bytes packet_bytes) const {
+  NCAR_REQUIRE(packet_bytes.value() > 0, "packet size must be positive");
+  return BytesPerSec(packet_bytes.value() /
+                     packet_seconds(packet_bytes).value());
 }
 
-double HippiChannel::concurrent_bytes_per_s(int transfers,
-                                            double packet_bytes) const {
+BytesPerSec HippiChannel::concurrent_bytes_per_s(int transfers,
+                                                 Bytes packet_bytes) const {
   NCAR_REQUIRE(transfers >= 1, "need at least one transfer");
-  const double per_stream = effective_bytes_per_s(packet_bytes);
+  const BytesPerSec per_stream = effective_bytes_per_s(packet_bytes);
   const int channels = cfg_.iops;  // one HIPPI channel per IOP
   const int parallel = std::min(transfers, channels);
-  return per_stream * parallel;
+  return per_stream * static_cast<double>(parallel);
 }
 
 }  // namespace ncar::iosim

@@ -18,18 +18,18 @@ public:
   explicit HippiChannel(const sxs::MachineConfig& cfg);
 
   /// Seconds to move one packet of `bytes` payload.
-  double packet_seconds(double bytes) const;
+  Seconds packet_seconds(Bytes bytes) const;
 
   /// Seconds to move `total_bytes` as packets of `packet_bytes`.
-  double transfer_seconds(double total_bytes, double packet_bytes) const;
+  Seconds transfer_seconds(Bytes total_bytes, Bytes packet_bytes) const;
 
-  /// Effective rate (bytes/s) for a stream of `packet_bytes` packets.
-  double effective_bytes_per_s(double packet_bytes) const;
+  /// Effective rate for a stream of `packet_bytes` packets.
+  BytesPerSec effective_bytes_per_s(Bytes packet_bytes) const;
 
-  /// Aggregate rate (bytes/s) of `transfers` concurrent streams of
-  /// `packet_bytes` packets across the machine's HIPPI channels (one per
-  /// IOP); beyond that the streams time-share.
-  double concurrent_bytes_per_s(int transfers, double packet_bytes) const;
+  /// Aggregate rate of `transfers` concurrent streams of `packet_bytes`
+  /// packets across the machine's HIPPI channels (one per IOP); beyond
+  /// that the streams time-share.
+  BytesPerSec concurrent_bytes_per_s(int transfers, Bytes packet_bytes) const;
 
 private:
   sxs::MachineConfig cfg_;

@@ -8,28 +8,29 @@ namespace {
 constexpr double kHeaderBytes = 64 * 1024;
 }
 
-double history_record_bytes(const HistoryShape& s) {
+Bytes history_record_bytes(const HistoryShape& s) {
   NCAR_REQUIRE(s.nlon > 0 && s.nlat > 0 && s.nlev > 0 && s.fields > 0,
                "history shape");
-  return 8.0 * s.nlon * s.nlev * s.fields;
+  return Bytes(8.0 * s.nlon * s.nlev * s.fields);
 }
 
-double history_write_bytes(const HistoryShape& s) {
-  return kHeaderBytes + history_record_bytes(s) * s.nlat;
+Bytes history_write_bytes(const HistoryShape& s) {
+  return Bytes(kHeaderBytes) +
+         history_record_bytes(s) * static_cast<double>(s.nlat);
 }
 
-double write_history_seconds(DiskSystem& disk, const HistoryShape& s,
-                             int writers) {
-  const double header = disk.sequential_seconds(kHeaderBytes);
-  const double records =
+Seconds write_history_seconds(DiskSystem& disk, const HistoryShape& s,
+                              int writers) {
+  const Seconds header = disk.sequential_seconds(Bytes(kHeaderBytes));
+  const Seconds records =
       disk.direct_access_seconds(s.nlat, history_record_bytes(s), writers);
-  const double total = header + records;
+  const Seconds total = header + records;
   disk.record_transfer(history_write_bytes(s), total);
   return total;
 }
 
-double read_initial_seconds(DiskSystem& disk, const HistoryShape& s) {
-  const double t = disk.sequential_seconds(history_write_bytes(s));
+Seconds read_initial_seconds(DiskSystem& disk, const HistoryShape& s) {
+  const Seconds t = disk.sequential_seconds(history_write_bytes(s));
   disk.record_transfer(history_write_bytes(s), t);
   return t;
 }

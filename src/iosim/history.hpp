@@ -6,6 +6,7 @@
 // latitude, so different processors can write different records. A header
 // file precedes it. write volumes follow directly from the model grid.
 
+#include "common/quantity.hpp"
 #include "iosim/disk.hpp"
 
 namespace ncar::iosim {
@@ -18,18 +19,18 @@ struct HistoryShape {
 };
 
 /// Bytes of one latitude record: nlon * nlev * fields doubles.
-double history_record_bytes(const HistoryShape& s);
+Bytes history_record_bytes(const HistoryShape& s);
 
 /// Bytes of one full history write (header + all latitude records).
-double history_write_bytes(const HistoryShape& s);
+Bytes history_write_bytes(const HistoryShape& s);
 
 /// Seconds to write one history volume with `writers` concurrent
 /// processors writing records (paper: "different processors could write
 /// different records"). Accounting is recorded on the disk system.
-double write_history_seconds(DiskSystem& disk, const HistoryShape& s,
-                             int writers = 1);
+Seconds write_history_seconds(DiskSystem& disk, const HistoryShape& s,
+                              int writers = 1);
 
 /// Seconds to read initial-condition data of the same shape.
-double read_initial_seconds(DiskSystem& disk, const HistoryShape& s);
+Seconds read_initial_seconds(DiskSystem& disk, const HistoryShape& s);
 
 }  // namespace ncar::iosim

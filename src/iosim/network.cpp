@@ -11,21 +11,21 @@ Network::Network(NetworkConfig cfg) : cfg_(cfg) {
                "TCP parameters must be positive");
 }
 
-double Network::throughput_bytes_per_s() const {
+BytesPerSec Network::throughput_bytes_per_s() const {
   const double line = cfg_.line_bits_per_s / 8.0;
   const double host = cfg_.mtu_bytes / cfg_.per_packet_host_s;
   const double window = cfg_.tcp_window_bytes / cfg_.rtt_s;
-  return std::min({line, host, window});
+  return BytesPerSec(std::min({line, host, window}));
 }
 
-double Network::data_transfer_seconds(double bytes) const {
-  NCAR_REQUIRE(bytes >= 0, "negative transfer size");
-  return cfg_.command_overhead_s + cfg_.rtt_s +
-         bytes / throughput_bytes_per_s();
+Seconds Network::data_transfer_seconds(Bytes bytes) const {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
+  return Seconds(cfg_.command_overhead_s + cfg_.rtt_s +
+                 bytes.value() / throughput_bytes_per_s().value());
 }
 
-double Network::command_seconds() const {
-  return cfg_.command_overhead_s + 2.0 * cfg_.rtt_s;
+Seconds Network::command_seconds() const {
+  return Seconds(cfg_.command_overhead_s + 2.0 * cfg_.rtt_s);
 }
 
 }  // namespace ncar::iosim

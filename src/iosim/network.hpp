@@ -7,6 +7,7 @@
 // per-packet host overhead and a window-limited throughput ceiling.
 
 #include "common/error.hpp"
+#include "common/quantity.hpp"
 
 namespace ncar::iosim {
 
@@ -25,15 +26,15 @@ public:
 
   const NetworkConfig& config() const { return cfg_; }
 
-  /// Throughput ceiling (bytes/s): min of line rate, host packet
-  /// processing, and the TCP window/RTT bound.
-  double throughput_bytes_per_s() const;
+  /// Throughput ceiling: min of line rate, host packet processing, and
+  /// the TCP window/RTT bound.
+  BytesPerSec throughput_bytes_per_s() const;
 
   /// Seconds for an ftp-like transfer of `bytes`.
-  double data_transfer_seconds(double bytes) const;
+  Seconds data_transfer_seconds(Bytes bytes) const;
 
   /// Seconds for a non-data command (rsh/rlogin round trip).
-  double command_seconds() const;
+  Seconds command_seconds() const;
 
 private:
   NetworkConfig cfg_;

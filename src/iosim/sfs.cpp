@@ -24,32 +24,34 @@ double Sfs::xmu_seconds(double bytes) const {
 void Sfs::drain_until(double t) {
   if (t <= now_) return;
   const double window = t - now_;
-  const double drained =
-      std::min(dirty_, disk_->streaming_bytes_per_s() * window);
+  const double stream_rate = disk_->streaming_bytes_per_s().value();
+  const double drained = std::min(dirty_, stream_rate * window);
   if (drained > 0) {
-    disk_->record_transfer(drained, drained / disk_->streaming_bytes_per_s());
+    disk_->record_transfer(Bytes(drained), Seconds(drained / stream_rate));
     dirty_ -= drained;
     resident_ = std::min(cfg_.cache_bytes, resident_ + drained);
   }
   now_ = t;
 }
 
-void Sfs::advance(double seconds) {
-  NCAR_REQUIRE(seconds >= 0, "negative advance");
-  drain_until(now_ + seconds);
+void Sfs::advance(Seconds seconds) {
+  NCAR_REQUIRE(seconds.value() >= 0, "negative advance");
+  drain_until(now_ + seconds.value());
 }
 
-double Sfs::write(double bytes) {
+Seconds Sfs::write(Bytes bytes_q) {
+  const double bytes = bytes_q.value();
   NCAR_REQUIRE(bytes >= 0, "negative write size");
-  if (bytes == 0) return 0.0;
+  if (bytes == 0) return Seconds(0.0);
   written_ += bytes;
   double wait = 0;
 
   if (cfg_.method == WriteBackMethod::WriteThrough) {
-    const double t = xmu_seconds(bytes) + disk_->sequential_seconds(bytes);
-    disk_->record_transfer(bytes, disk_->sequential_seconds(bytes));
+    const double t =
+        xmu_seconds(bytes) + disk_->sequential_seconds(bytes_q).value();
+    disk_->record_transfer(bytes_q, disk_->sequential_seconds(bytes_q));
     drain_until(now_ + t);
-    return t;
+    return Seconds(t);
   }
 
   // Write-back in staging units: each unit lands at XMU speed once there
@@ -61,7 +63,7 @@ double Sfs::write(double bytes) {
     if (unit > free_space) {
       // Wait for the drain to make room for this staging unit.
       const double need = unit - free_space;
-      const double stall = need / disk_->streaming_bytes_per_s();
+      const double stall = need / disk_->streaming_bytes_per_s().value();
       drain_until(now_ + stall);
       wait += stall;
     }
@@ -71,30 +73,32 @@ double Sfs::write(double bytes) {
     dirty_ += unit;
     remaining -= unit;
   }
-  return wait;
+  return Seconds(wait);
 }
 
-double Sfs::read(double bytes) {
+Seconds Sfs::read(Bytes bytes_q) {
+  const double bytes = bytes_q.value();
   NCAR_REQUIRE(bytes >= 0, "negative read size");
-  if (bytes == 0) return 0.0;
+  if (bytes == 0) return Seconds(0.0);
   const double cached = std::min(bytes, resident_ + dirty_);
   const double from_disk = bytes - cached;
   double t = xmu_seconds(cached);
   if (from_disk > 0) {
-    t += disk_->sequential_seconds(from_disk);
-    disk_->record_transfer(from_disk, disk_->sequential_seconds(from_disk));
+    t += disk_->sequential_seconds(Bytes(from_disk)).value();
+    disk_->record_transfer(Bytes(from_disk),
+                           disk_->sequential_seconds(Bytes(from_disk)));
   }
   drain_until(now_ + t);
-  return t;
+  return Seconds(t);
 }
 
-double Sfs::drain_seconds() const {
-  return dirty_ / disk_->streaming_bytes_per_s();
+Seconds Sfs::drain_seconds() const {
+  return Seconds(dirty_ / disk_->streaming_bytes_per_s().value());
 }
 
-double Sfs::flush() {
-  const double wait = drain_seconds();
-  drain_until(now_ + wait);
+Seconds Sfs::flush() {
+  const Seconds wait = drain_seconds();
+  drain_until(now_ + wait.value());
   return wait;
 }
 

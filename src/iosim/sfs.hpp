@@ -39,28 +39,28 @@ public:
   const SfsConfig& config() const { return cfg_; }
 
   /// Current simulated time of the file system clock.
-  double now() const { return now_; }
+  Seconds now() const { return Seconds(now_); }
   /// Advance the clock (compute happening elsewhere); the drain proceeds.
-  void advance(double seconds);
+  void advance(Seconds seconds);
 
   /// Write `bytes`; returns the simulated seconds the *caller* waits.
   /// Write-back: XMU transfer time, unless the cache is full and the call
   /// must first wait for the drain. Write-through: XMU + full disk time.
-  double write(double bytes);
+  Seconds write(Bytes bytes);
 
   /// Read `bytes`; cache-resident fraction at XMU speed, rest from disk.
-  double read(double bytes);
+  Seconds read(Bytes bytes);
 
   /// Bytes currently dirty in the XMU cache awaiting drain.
-  double dirty_bytes() const { return dirty_; }
+  Bytes dirty_bytes() const { return Bytes(dirty_); }
   /// Seconds until the cache is fully drained at disk speed.
-  double drain_seconds() const;
+  Seconds drain_seconds() const;
   /// Wait for the drain to finish (e.g. before a checkpoint); returns the
   /// wait and advances the clock.
-  double flush();
+  Seconds flush();
 
   /// Total bytes accepted.
-  double bytes_written() const { return written_; }
+  Bytes bytes_written() const { return Bytes(written_); }
 
 private:
   double xmu_seconds(double bytes) const;

@@ -33,7 +33,7 @@ public:
   void write(long index, double value);
 
   /// Simulated seconds spent staging blocks so far.
-  double staging_seconds() const { return staging_seconds_; }
+  Seconds staging_seconds() const { return Seconds(staging_seconds_); }
   long faults() const { return faults_; }
   /// Charge the accumulated staging time to a CPU and reset the meter.
   void charge(sxs::Cpu& cpu);

@@ -57,7 +57,7 @@ public:
   /// Charge `n` intrinsic calls via the machine's best path.
   void intrinsic(sxs::Intrinsic f, long n);
 
-  double seconds() const { return cpu_.seconds(); }
+  Seconds seconds() const { return Seconds(cpu_.seconds()); }
   double hw_flops() const { return cpu_.hw_flops(); }
   double equiv_flops() const { return cpu_.equiv_flops(); }
   /// Fraction of charged time spent in intrinsic evaluation.

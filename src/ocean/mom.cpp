@@ -387,7 +387,9 @@ void Mom::restore(const std::vector<double>& state) {
 }
 
 double Mom::checkpoint_bytes() const {
-  return 8.0 * (1 + 2 * temp_.size() + psi_.size() + u_.size() + v_.size());
+  const std::size_t doubles =
+      1 + 2 * temp_.size() + psi_.size() + u_.size() + v_.size();
+  return 8.0 * static_cast<double>(doubles);
 }
 
 double Mom::measure_step_seconds(int ncpu, int nsteps) {

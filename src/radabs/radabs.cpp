@@ -131,7 +131,7 @@ RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f) {
   }
 
   RadabsResult r;
-  r.seconds = machine.seconds();
+  r.seconds = machine.seconds().value();
   r.equiv_mflops = machine.equiv_flops() / r.seconds / 1e6;
   r.hw_mflops = machine.hw_flops() / r.seconds / 1e6;
   r.checksum = checksum;

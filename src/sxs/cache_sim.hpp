@@ -42,6 +42,15 @@ public:
   std::size_t line_bytes() const { return line_bytes_; }
   int ways() const { return ways_; }
 
+  /// Typed capacity / line size (common/quantity.hpp) for model code that
+  /// reasons about cache volume in the same dimension system as the rest of
+  /// the timing model.
+  Bytes capacity() const {
+    return Bytes(static_cast<double>(sets_ * static_cast<std::size_t>(ways_) *
+                                     line_bytes_));
+  }
+  Bytes line_size() const { return Bytes(static_cast<double>(line_bytes_)); }
+
 private:
   struct Line {
     std::uint64_t tag = 0;

@@ -8,7 +8,7 @@ void Cpu::vec(const VectorOp& op, long repeats) {
   NCAR_REQUIRE(repeats >= 0, "negative repeat count");
   if (repeats == 0) return;
   const double reps = static_cast<double>(repeats);
-  const double c = vu_.cycles(op) * contention_ * reps;
+  const double c = vu_.cycles(op).value() * contention_ * reps;
   cycles_ += c;
   vector_cycles_ += c;
   const double n = static_cast<double>(op.n) * reps;
@@ -18,7 +18,7 @@ void Cpu::vec(const VectorOp& op, long repeats) {
 }
 
 void Cpu::scalar(const ScalarOp& op) {
-  const double c = su_.cycles(op) * contention_;
+  const double c = su_.cycles(op).value() * contention_;
   cycles_ += c;
   scalar_cycles_ += c;
   const double flops =
@@ -43,7 +43,8 @@ void Cpu::intrinsic(Intrinsic f, long n, double extra_load_words,
   op.store_words = extra_store_words;
   op.pipe_groups = 2;
   const double reps = static_cast<double>(repeats);
-  const double c = vu_.cycles(op) * contention_ * cycle_multiplier * reps;
+  const double c =
+      vu_.cycles(op).value() * contention_ * cycle_multiplier * reps;
   cycles_ += c;
   intrinsic_cycles_ += c;
   const double total = static_cast<double>(n) * reps;
@@ -62,23 +63,23 @@ void Cpu::scalar_intrinsic(Intrinsic f, long n) {
   op.other_ops_per_iter = 6.0;  // call / branch / table indexing overhead
   op.working_set_bytes = 4096;  // coefficient tables stay resident
   op.reuse_fraction = 0.9;
-  const double c = su_.cycles(op) * contention_;
+  const double c = su_.cycles(op).value() * contention_;
   cycles_ += c;
   intrinsic_cycles_ += c;
   hw_flops_ += static_cast<double>(n) * (cost.hw_flops + cost.hw_div);
   equiv_flops_ += static_cast<double>(n) * cost.equiv_flops;
 }
 
-void Cpu::charge_cycles(double cycles) {
-  NCAR_REQUIRE(cycles >= 0, "negative cycle charge");
+void Cpu::charge_cycles(Cycles cycles) {
+  NCAR_REQUIRE(cycles.value() >= 0, "negative cycle charge");
   // Raw charges represent real work (memory-touching included), so the
   // node contention factor applies here as well.
-  cycles_ += cycles * contention_;
+  cycles_ += cycles.value() * contention_;
 }
 
-void Cpu::charge_seconds(double seconds) {
-  NCAR_REQUIRE(seconds >= 0, "negative time charge");
-  charge_cycles(seconds / cfg_->seconds_per_clock());
+void Cpu::charge_seconds(Seconds seconds) {
+  NCAR_REQUIRE(seconds.value() >= 0, "negative time charge");
+  charge_cycles(cfg_->to_cycles(seconds));
 }
 
 void Cpu::set_contention(double factor) {

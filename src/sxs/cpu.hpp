@@ -48,8 +48,10 @@ public:
   void scalar_intrinsic(Intrinsic f, long n);
 
   /// Charge raw cycles (synchronisation, I/O waits, fixed overheads).
-  void charge_cycles(double cycles);
-  void charge_seconds(double seconds);
+  /// Typed on purpose: a caller holding wall-clock time cannot charge it as
+  /// cycles (or vice versa) without converting through a MachineConfig.
+  void charge_cycles(Cycles cycles);
+  void charge_seconds(Seconds seconds);
 
   /// Adjust the equivalent-flop count without touching time (used when a
   /// kernel's Cray flop-count convention differs from the hardware count).

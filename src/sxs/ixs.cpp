@@ -8,32 +8,35 @@ namespace ncar::sxs {
 
 Ixs::Ixs(const MachineConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
 
-double Ixs::bisection_bytes_per_s() const {
+BytesPerSec Ixs::bisection_bytes_per_s() const {
   // 8 GB/s per node, 16 nodes -> 128 GB/s bisection for the full system.
-  return cfg_.ixs_channel_bytes_per_s * cfg_.ixs_max_nodes;
+  return BytesPerSec(cfg_.ixs_channel_bytes_per_s * cfg_.ixs_max_nodes);
 }
 
-double Ixs::transfer_seconds(double bytes) const {
-  NCAR_REQUIRE(bytes >= 0, "negative transfer size");
-  return cfg_.ixs_latency_s + bytes / cfg_.ixs_channel_bytes_per_s;
+Seconds Ixs::transfer_seconds(Bytes bytes) const {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
+  return Seconds(cfg_.ixs_latency_s) +
+         bytes / BytesPerSec(cfg_.ixs_channel_bytes_per_s);
 }
 
-double Ixs::all_to_all_seconds(int nodes, double bytes_per_node) const {
+Seconds Ixs::all_to_all_seconds(int nodes, Bytes bytes_per_node) const {
   NCAR_REQUIRE(nodes >= 1 && nodes <= cfg_.ixs_max_nodes, "node count");
-  NCAR_REQUIRE(bytes_per_node >= 0, "negative transfer size");
-  if (nodes == 1) return 0.0;
-  const double channel_time = bytes_per_node / cfg_.ixs_channel_bytes_per_s;
-  const double aggregate = bytes_per_node * nodes;
-  const double bisection_time = aggregate / bisection_bytes_per_s();
-  return cfg_.ixs_latency_s + std::max(channel_time, bisection_time);
+  NCAR_REQUIRE(bytes_per_node.value() >= 0, "negative transfer size");
+  if (nodes == 1) return Seconds(0.0);
+  const Seconds channel_time =
+      bytes_per_node / BytesPerSec(cfg_.ixs_channel_bytes_per_s);
+  const Bytes aggregate = bytes_per_node * static_cast<double>(nodes);
+  const Seconds bisection_time = aggregate / bisection_bytes_per_s();
+  return Seconds(cfg_.ixs_latency_s) + std::max(channel_time, bisection_time);
 }
 
-double Ixs::global_barrier_seconds(int nodes) const {
+Seconds Ixs::global_barrier_seconds(int nodes) const {
   NCAR_REQUIRE(nodes >= 1 && nodes <= cfg_.ixs_max_nodes, "node count");
-  if (nodes == 1) return 0.0;
+  if (nodes == 1) return Seconds(0.0);
   // One communications-register round trip per node joining the barrier.
-  return cfg_.ixs_latency_s * 2.0 +
-         cfg_.commreg_op_clocks * cfg_.seconds_per_clock() * nodes;
+  return Seconds(cfg_.ixs_latency_s * 2.0) +
+         cfg_.to_seconds(Cycles(cfg_.commreg_op_clocks)) *
+             static_cast<double>(nodes);
 }
 
 }  // namespace ncar::sxs

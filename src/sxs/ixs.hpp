@@ -16,19 +16,19 @@ public:
 
   /// Seconds for a point-to-point transfer of `bytes` from one node to
   /// another (latency plus channel-rate-limited payload).
-  double transfer_seconds(double bytes) const;
+  Seconds transfer_seconds(Bytes bytes) const;
 
   /// Seconds for every node simultaneously sending `bytes_per_node` across
   /// the bisection (all-to-all style). Limited by the per-node channel or
   /// the bisection bandwidth, whichever saturates first.
-  double all_to_all_seconds(int nodes, double bytes_per_node) const;
+  Seconds all_to_all_seconds(int nodes, Bytes bytes_per_node) const;
 
   /// Seconds for a global internode barrier using the IXS communications
   /// registers.
-  double global_barrier_seconds(int nodes) const;
+  Seconds global_barrier_seconds(int nodes) const;
 
-  /// The sustained bisection bandwidth of this configuration (bytes/s).
-  double bisection_bytes_per_s() const;
+  /// The sustained bisection bandwidth of this configuration.
+  BytesPerSec bisection_bytes_per_s() const;
 
 private:
   MachineConfig cfg_;

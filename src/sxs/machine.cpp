@@ -66,38 +66,37 @@ double Machine::parallel(int nodes_used, int cpus_per_node_used,
   for (const double t : times) slowest = std::max(slowest, t);
 
   const double barrier =
-      nodes_used > 1 ? ixs_.global_barrier_seconds(nodes_used) : 0.0;
+      nodes_used > 1 ? ixs_.global_barrier_seconds(nodes_used).value() : 0.0;
   // Synchronise every participating node's clock to the region end.
   const double region_end = start + slowest + barrier;
   for (int n = 0; n < nodes_used; ++n) {
     Node& nd = node(n);
     if (nd.elapsed_seconds() < region_end) {
-      nd.advance_seconds(region_end - nd.elapsed_seconds());
+      nd.advance_seconds(Seconds(region_end - nd.elapsed_seconds()));
     }
   }
   return slowest + barrier;
 }
 
-double Machine::exchange(int nodes_used, double bytes_per_node) {
+double Machine::exchange(int nodes_used, Bytes bytes_per_node) {
   NCAR_REQUIRE(nodes_used >= 1 && nodes_used <= node_count(),
                "node count for the exchange");
-  const double t = ixs_.all_to_all_seconds(nodes_used, bytes_per_node);
+  const double t = ixs_.all_to_all_seconds(nodes_used, bytes_per_node).value();
   for (int n = 0; n < nodes_used; ++n) {
-    node(n).advance_seconds(t);
+    node(n).advance_seconds(Seconds(t));
   }
   return t;
 }
 
-double Machine::xmu_transfer_seconds(double bytes) const {
-  NCAR_REQUIRE(bytes >= 0, "negative transfer size");
-  const double bytes_per_s =
-      cfg_.xmu_bytes_per_clock * cfg_.clock_hz();
-  return bytes / bytes_per_s;
+Seconds Machine::xmu_transfer_seconds(Bytes bytes) const {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
+  const BytesPerSec rate(cfg_.xmu_bytes_per_clock * cfg_.clock_hz());
+  return bytes / rate;
 }
 
-double Machine::iop_transfer_seconds(double bytes) const {
-  NCAR_REQUIRE(bytes >= 0, "negative transfer size");
-  return bytes / cfg_.iop_bytes_per_s;
+Seconds Machine::iop_transfer_seconds(Bytes bytes) const {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
+  return bytes / BytesPerSec(cfg_.iop_bytes_per_s);
 }
 
 double Machine::elapsed_seconds() const {

@@ -46,13 +46,13 @@ public:
 
   /// All-to-all exchange of `bytes_per_node` across the first `nodes_used`
   /// nodes (spectral transposition and the like); advances their clocks.
-  double exchange(int nodes_used, double bytes_per_node);
+  double exchange(int nodes_used, Bytes bytes_per_node);
 
   /// Seconds to move `bytes` between main memory and the XMU (section 2.3).
-  double xmu_transfer_seconds(double bytes) const;
+  Seconds xmu_transfer_seconds(Bytes bytes) const;
 
   /// Seconds to move `bytes` through one IOP channel (section 2.4).
-  double iop_transfer_seconds(double bytes) const;
+  Seconds iop_transfer_seconds(Bytes bytes) const;
 
   /// Set the host execution policy for this machine and all its nodes.
   void set_execution_policy(ExecutionPolicy p);

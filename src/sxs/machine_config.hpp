@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/quantity.hpp"
+
 namespace ncar::sxs {
 
 struct MachineConfig {
@@ -87,6 +89,25 @@ struct MachineConfig {
     return 2.0 * pipes_per_group * clock_hz();
   }
   int total_cpus() const { return cpus_per_node * nodes; }
+
+  // --- checked dimension conversions ---------------------------------------
+  // Cycles and Seconds are distinct types (common/quantity.hpp); the ONLY
+  // bridge between them is this machine's clock, so a conversion always
+  // states which clock period it means.
+  Seconds to_seconds(Cycles c) const {
+    return Seconds(c.value() * seconds_per_clock());
+  }
+  Cycles to_cycles(Seconds s) const {
+    return Cycles(s.value() / seconds_per_clock());
+  }
+  /// Per-CPU contiguous memory port bandwidth as a typed rate.
+  BytesPerSec port_bandwidth() const {
+    return BytesPerSec(port_bytes_per_clock / seconds_per_clock());
+  }
+  /// Peak vector flop rate per CPU as a typed rate.
+  FlopsPerSec peak_rate_per_cpu() const {
+    return FlopsPerSec(peak_flops_per_cpu());
+  }
 
   /// The SX-4/32 of Table 2: 9.2 ns clock, 32 CPUs, 8 GB memory, 4 GB XMU.
   static MachineConfig sx4_benchmarked();

@@ -23,28 +23,28 @@ double MemoryModel::stride_conflict_factor(long stride) const {
   return std::max(cfg_.strided_port_divisor, demand / capacity);
 }
 
-double MemoryModel::stream_cycles(long n_words, long stride) const {
+Cycles MemoryModel::stream_cycles(long n_words, long stride) const {
   NCAR_REQUIRE(n_words >= 0, "negative word count");
-  if (n_words == 0) return 0.0;
+  if (n_words == 0) return Cycles(0.0);
   const double words_per_clock =
       port_words_per_clock() / stride_conflict_factor(stride);
-  return static_cast<double>(n_words) / words_per_clock;
+  return Cycles(static_cast<double>(n_words) / words_per_clock);
 }
 
-double MemoryModel::gather_cycles(long n_words) const {
+Cycles MemoryModel::gather_cycles(long n_words) const {
   NCAR_REQUIRE(n_words >= 0, "negative word count");
-  if (n_words == 0) return 0.0;
+  if (n_words == 0) return Cycles(0.0);
   const double words_per_clock =
       port_words_per_clock() / cfg_.gather_port_divisor;
-  return static_cast<double>(n_words) / words_per_clock;
+  return Cycles(static_cast<double>(n_words) / words_per_clock);
 }
 
-double MemoryModel::scatter_cycles(long n_words) const {
+Cycles MemoryModel::scatter_cycles(long n_words) const {
   NCAR_REQUIRE(n_words >= 0, "negative word count");
-  if (n_words == 0) return 0.0;
+  if (n_words == 0) return Cycles(0.0);
   const double words_per_clock =
       port_words_per_clock() / cfg_.scatter_port_divisor;
-  return static_cast<double>(n_words) / words_per_clock;
+  return Cycles(static_cast<double>(n_words) / words_per_clock);
 }
 
 }  // namespace ncar::sxs

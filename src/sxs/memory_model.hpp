@@ -19,15 +19,15 @@ public:
   /// Unit stride and stride 2 run at full port width; larger strides pay a
   /// bank-conflict factor that grows when the stride folds the request
   /// stream onto few banks (power-of-two strides are the worst case).
-  double stream_cycles(long n_words, long stride) const;
+  Cycles stream_cycles(long n_words, long stride) const;
 
   /// Cycles for a gather (list-vector load) of `n` words: one generated
   /// address per element at reduced port width, plus a stochastic
   /// bank-conflict allowance.
-  double gather_cycles(long n_words) const;
+  Cycles gather_cycles(long n_words) const;
 
   /// Cycles for a scatter (list-vector store) of `n` words.
-  double scatter_cycles(long n_words) const;
+  Cycles scatter_cycles(long n_words) const;
 
   /// Conflict multiplier for a constant-stride stream (>= 1).
   double stride_conflict_factor(long stride) const;

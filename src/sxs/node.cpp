@@ -117,9 +117,9 @@ void Node::set_external_active_cpus(int n) {
   external_active_ = n;
 }
 
-void Node::advance_seconds(double s) {
-  NCAR_REQUIRE(s >= 0, "negative advance");
-  elapsed_ += s;
+void Node::advance_seconds(Seconds s) {
+  NCAR_REQUIRE(s.value() >= 0, "negative advance");
+  elapsed_ += s.value();
 }
 
 void Node::reset() {

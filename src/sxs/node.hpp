@@ -76,7 +76,7 @@ public:
   /// Node wall clock (simulated seconds since construction / reset).
   double elapsed_seconds() const { return elapsed_; }
   /// Advance the node wall clock without CPU work (I/O waits etc.).
-  void advance_seconds(double s);
+  void advance_seconds(Seconds s);
 
   /// Reset wall clock and all CPU counters.
   void reset();

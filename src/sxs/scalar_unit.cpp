@@ -31,9 +31,9 @@ double ScalarUnit::miss_rate(const ScalarOp& op) const {
          (1.0 - op.reuse_fraction) * streaming_miss;
 }
 
-double ScalarUnit::cycles(const ScalarOp& op) const {
+Cycles ScalarUnit::cycles(const ScalarOp& op) const {
   NCAR_REQUIRE(op.iters >= 0, "negative iteration count");
-  if (op.iters == 0) return 0.0;
+  if (op.iters == 0) return Cycles(0.0);
   const double n = static_cast<double>(op.iters);
 
   const double instr_per_iter =
@@ -44,7 +44,7 @@ double ScalarUnit::cycles(const ScalarOp& op) const {
   const double misses = n * op.mem_words_per_iter * miss_rate(op);
   const double miss_cycles = misses * cfg_.cache_miss_clocks;
 
-  return issue_cycles + miss_cycles;
+  return Cycles(issue_cycles + miss_cycles);
 }
 
 }  // namespace ncar::sxs

@@ -25,7 +25,7 @@ public:
   ///                    a working set; it misses only to the extent the
   ///                    working set exceeds the cache;
   ///   streaming part — the remaining references miss once per cache line.
-  double cycles(const ScalarOp& op) const;
+  Cycles cycles(const ScalarOp& op) const;
 
   /// The analytic miss rate used by `cycles` (exposed for tests, which
   /// compare it against the CacheSim reference on synthetic streams).

@@ -7,9 +7,9 @@
 
 namespace ncar::sxs {
 
-double VectorUnit::cycles(const VectorOp& op) const {
+Cycles VectorUnit::cycles(const VectorOp& op) const {
   NCAR_REQUIRE(op.n >= 0, "vector op with negative length");
-  if (op.n == 0) return 0.0;
+  if (op.n == 0) return Cycles(0.0);
   NCAR_REQUIRE(op.pipe_groups >= 1 && op.pipe_groups <= 3,
                "pipe_groups must be 1..3");
 
@@ -33,7 +33,7 @@ double VectorUnit::cycles(const VectorOp& op) const {
   }
 
   // Memory bound: contiguous/strided streams plus list-vector traffic.
-  double mem_cycles =
+  Cycles mem_cycles =
       mem_.stream_cycles(static_cast<long>(n * op.load_words),
                          op.load_stride) +
       mem_.stream_cycles(static_cast<long>(n * op.store_words),
@@ -57,8 +57,9 @@ double VectorUnit::cycles(const VectorOp& op) const {
   // The scalar unit issues ahead of the pipes, so instruction issue overlaps
   // execution of the previous strip; a loop is issue-bound only when issue is
   // the slowest stage.
-  return cfg_.vector_startup_clocks +
-         std::max({arith_cycles, div_cycles, mem_cycles, issue_cycles});
+  return Cycles(cfg_.vector_startup_clocks +
+                std::max({arith_cycles, div_cycles, mem_cycles.value(),
+                          issue_cycles}));
 }
 
 }  // namespace ncar::sxs

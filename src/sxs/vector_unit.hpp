@@ -27,7 +27,7 @@ public:
   /// groups, the divide pipes, and the memory port streams. Arithmetic and
   /// memory overlap (loads are chained into the pipes), so the bound is a
   /// max, not a sum.
-  double cycles(const VectorOp& op) const;
+  Cycles cycles(const VectorOp& op) const;
 
   /// Steady-state flops per clock for a loop keeping `pipe_groups` busy.
   double flops_per_clock(int pipe_groups) const {

@@ -84,7 +84,8 @@ TEST(Ccm2Checkpoint, CheckpointWriteThroughSfsIsFast) {
   ccm2::Ccm2 model(c, node);
   iosim::DiskSystem disk;
   iosim::Sfs fs(sxs::MachineConfig::sx4_benchmarked(), disk);
-  const double wait = fs.write(model.checkpoint_bytes());
+  const double wait =
+      fs.write(ncar::Bytes(model.checkpoint_bytes())).value();
   EXPECT_LT(wait, 0.1);
 }
 

@@ -154,7 +154,7 @@ TEST_F(Ccm2Test, HistoryVolumeMatchesShape) {
   c.res = ccm2::t63l18();
   ccm2::Ccm2 model(c, node);
   // Paper: ~15 GB over a year at T63L18.
-  const double year_gb = model.history_bytes() * 365 / 1e9;
+  const double year_gb = model.history_bytes().value() * 365 / 1e9;
   EXPECT_GT(year_gb, 12.0);
   EXPECT_LT(year_gb, 18.0);
 }

@@ -1,0 +1,137 @@
+#include "common/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using ncar::Bytes;
+using ncar::BytesPerSec;
+using ncar::Cycles;
+using ncar::FlopsPerSec;
+using ncar::Seconds;
+using ncar::Words;
+
+// --- compile-time dimension safety ----------------------------------------
+// Templated probes keep the tested expression dependent, so an ill-formed
+// combination makes the requires-expression false instead of a hard error.
+// If someone adds an implicit conversion or a cross-dimension operator by
+// accident, these static_asserts fail right here (and the dedicated
+// compile-fail CTest target catches the same thing from the outside).
+template <class A, class B>
+constexpr bool addable = requires(A a, B b) { a + b; };
+template <class A, class B>
+constexpr bool subtractable = requires(A a, B b) { a - b; };
+template <class A, class B>
+constexpr bool multipliable = requires(A a, B b) { a * b; };
+template <class A, class B>
+constexpr bool dividable = requires(A a, B b) { a / b; };
+template <class A, class B>
+constexpr bool less_comparable = requires(A a, B b) { a < b; };
+
+static_assert(!addable<Cycles, Seconds>, "cycles + seconds must not compile");
+static_assert(!subtractable<Cycles, Seconds>,
+              "cycles - seconds must not compile");
+static_assert(!addable<Bytes, Words>, "bytes + words must not compile");
+static_assert(!less_comparable<Cycles, Seconds>,
+              "cross-dimension comparison must not compile");
+static_assert(!std::is_convertible_v<Seconds, double>,
+              "quantities must not implicitly convert to double");
+static_assert(!std::is_convertible_v<double, Seconds>,
+              "doubles must not implicitly convert to quantities");
+static_assert(!multipliable<Bytes, Seconds>,
+              "bytes * seconds has no physical meaning here");
+static_assert(!dividable<Seconds, BytesPerSec>,
+              "seconds / (bytes/s) has no physical meaning here");
+
+// The sanctioned cross-dimension relations do exist:
+static_assert(dividable<Bytes, Seconds>);
+static_assert(dividable<Bytes, BytesPerSec>);
+static_assert(multipliable<BytesPerSec, Seconds>);
+
+// And quantities stay trivially cheap: same size as the double they wrap.
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Cycles>);
+
+TEST(Quantity, SameDimensionArithmetic) {
+  const Seconds a(1.5);
+  const Seconds b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -1.5);
+  Seconds acc(0.0);
+  acc += a;
+  acc -= b;
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+TEST(Quantity, ScalingByDimensionlessFactors) {
+  const Bytes b(100.0);
+  EXPECT_DOUBLE_EQ((b * 3.0).value(), 300.0);
+  EXPECT_DOUBLE_EQ((3.0 * b).value(), 300.0);
+  EXPECT_DOUBLE_EQ((b / 4.0).value(), 25.0);
+  Bytes c = b;
+  c *= 2.0;
+  c /= 8.0;
+  EXPECT_DOUBLE_EQ(c.value(), 25.0);
+}
+
+TEST(Quantity, LikeRatioIsDimensionless) {
+  const double speedup = Seconds(10.0) / Seconds(2.5);
+  EXPECT_DOUBLE_EQ(speedup, 4.0);
+}
+
+TEST(Quantity, ComparisonsWork) {
+  EXPECT_LT(Cycles(1.0), Cycles(2.0));
+  EXPECT_EQ(Bytes(8.0), Bytes(8.0));
+  EXPECT_GE(Seconds(3.0), Seconds(3.0));
+}
+
+TEST(Quantity, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Cycles().value(), 0.0);
+}
+
+TEST(Quantity, BandwidthRelations) {
+  const Bytes bytes(8e9);
+  const Seconds secs(2.0);
+  const BytesPerSec rate = bytes / secs;
+  EXPECT_DOUBLE_EQ(rate.value(), 4e9);
+  EXPECT_DOUBLE_EQ((bytes / rate).value(), 2.0);
+  EXPECT_DOUBLE_EQ((rate * secs).value(), 8e9);
+  EXPECT_DOUBLE_EQ((secs * rate).value(), 8e9);
+}
+
+TEST(Quantity, WordsAreEightBytes) {
+  EXPECT_DOUBLE_EQ(ncar::to_bytes(Words(2.0)).value(), 16.0);
+  EXPECT_DOUBLE_EQ(ncar::to_words(Bytes(16.0)).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ncar::to_words(ncar::to_bytes(Words(7.0))).value(), 7.0);
+}
+
+TEST(Quantity, ClockConversionRoundTrips) {
+  const auto cfg = ncar::sxs::MachineConfig::sx4_benchmarked();
+  const Cycles c(1e6);
+  const Seconds s = cfg.to_seconds(c);
+  EXPECT_DOUBLE_EQ(s.value(), 1e6 * cfg.seconds_per_clock());
+  EXPECT_DOUBLE_EQ(cfg.to_cycles(s).value(), c.value());
+}
+
+TEST(Quantity, ClockConversionUsesTheGivenClock) {
+  // The same cycle count means different wall time on different clocks —
+  // the whole reason the conversion lives on MachineConfig.
+  auto fast = ncar::sxs::MachineConfig::sx4_product();      // 8.0 ns
+  auto slow = ncar::sxs::MachineConfig::sx4_benchmarked();  // 9.2 ns
+  const Cycles c(1e9);
+  EXPECT_LT(fast.to_seconds(c).value(), slow.to_seconds(c).value());
+}
+
+TEST(Quantity, ConstexprUsable) {
+  constexpr Bytes b = Bytes(16.0) + Bytes(8.0);
+  static_assert(b.value() == 24.0);
+  constexpr double ratio = Bytes(24.0) / Bytes(8.0);
+  static_assert(ratio == 3.0);
+}
+
+}  // namespace

@@ -29,11 +29,52 @@ TEST(Units, DurationHours) {
 
 TEST(Units, NegativeClampedToZero) {
   EXPECT_EQ(ncar::format_duration(-5), "0.00s");
+  EXPECT_EQ(ncar::format_duration(-0.001), "0.00s");
+}
+
+TEST(Units, DurationSubSecond) {
+  EXPECT_EQ(ncar::format_duration(0.25), "0.25s");
+  EXPECT_EQ(ncar::format_duration(0.004), "0.00s");
+}
+
+TEST(Units, DurationCarriesPastMinuteBoundary) {
+  // 59.996 rounds to 60.00 at display precision; it must carry into the
+  // minute field, never render as "60.00s".
+  EXPECT_EQ(ncar::format_duration(59.996), "1m 00.0s");
+  EXPECT_EQ(ncar::format_duration(59.99), "59.99s");
+}
+
+TEST(Units, DurationCarriesPastHourBoundary) {
+  EXPECT_EQ(ncar::format_duration(3599.96), "1h 00m 00.0s");
+  EXPECT_EQ(ncar::format_duration(3599.0), "59m 59.0s");
+}
+
+TEST(Units, DurationTypedOverloadMatches) {
+  EXPECT_EQ(ncar::format_duration(ncar::Seconds(93 * 60 + 28)),
+            "1h 33m 28.0s");
 }
 
 TEST(Units, FormatFixedDigits) {
   EXPECT_EQ(ncar::format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(ncar::format_fixed(1327.53, 2), "1327.53");
+}
+
+TEST(Units, FormatFixedRoundsAtDigitBoundary) {
+  // Carry must propagate across every displayed digit.
+  EXPECT_EQ(ncar::format_fixed(0.999, 2), "1.00");
+  EXPECT_EQ(ncar::format_fixed(9.999, 2), "10.00");
+  EXPECT_EQ(ncar::format_fixed(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Units, FormatFixedZeroDigits) {
+  EXPECT_EQ(ncar::format_fixed(7.2, 0), "7");
+  EXPECT_EQ(ncar::format_fixed(-7.2, 0), "-7");
+}
+
+TEST(Units, TypedRateOverloads) {
+  EXPECT_DOUBLE_EQ(ncar::to_mb_per_s(ncar::BytesPerSec(2.5e6)), 2.5);
+  EXPECT_DOUBLE_EQ(ncar::to_mflops(ncar::FlopsPerSec(865.9e6)), 865.9);
+  EXPECT_DOUBLE_EQ(ncar::to_gflops(ncar::FlopsPerSec(24e9)), 24.0);
 }
 
 }  // namespace

@@ -1,0 +1,11 @@
+// Negative-compilation probe: adding cycles to seconds must be a build
+// error. CTest builds this target expecting failure (WILL_FAIL); if it ever
+// compiles, the dimension system has sprung a leak.
+#include "common/quantity.hpp"
+
+int main() {
+  const ncar::Cycles c(100.0);
+  const ncar::Seconds s(1.0);
+  const auto mixed = c + s;  // must not compile
+  return static_cast<int>(mixed.value());
+}

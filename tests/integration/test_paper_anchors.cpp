@@ -54,7 +54,8 @@ TEST(PaperAnchors, Ccm2YearAtT42Near1327Seconds) {
   c.active_levels = 1;
   ccm2::Ccm2 model(c, node);
   const double per_step = model.measure_step_seconds(32, 2);
-  const double year = per_step * 72 * 365 + model.write_history(disk, 32) * 365;
+  const double year =
+      per_step * 72 * 365 + model.write_history(disk, 32).value() * 365;
   EXPECT_NEAR(year, 1327.53, 0.2 * 1327.53);
 }
 

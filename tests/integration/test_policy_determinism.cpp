@@ -103,7 +103,8 @@ TEST(PolicyDeterminism, MachineParallelAndExchangeBitIdentical) {
   };
   for (int rep = 0; rep < 10; ++rep) {
     EXPECT_EQ(seq.parallel(4, 8, body), thr.parallel(4, 8, body));
-    EXPECT_EQ(seq.exchange(4, 3.2e8), thr.exchange(4, 3.2e8));
+    EXPECT_EQ(seq.exchange(4, ncar::Bytes(3.2e8)),
+              thr.exchange(4, ncar::Bytes(3.2e8)));
   }
   EXPECT_EQ(seq.elapsed_seconds(), thr.elapsed_seconds());
   for (int n = 0; n < 4; ++n) {

@@ -47,13 +47,15 @@ TEST(SuiteIntegration, CampaignDayWithSfsHistory) {
 
   double compute = 0;
   for (int s = 0; s < 12; ++s) compute += model.step(32).total;
-  const double io_wait = fs.write(model.history_bytes());
-  fs.advance(compute);  // next day's compute overlaps the drain
+  const double io_wait = fs.write(model.history_bytes()).value();
+  fs.advance(ncar::Seconds(compute));  // next day overlaps the drain
 
   // The SFS wait is tiny next to raw disk time.
-  EXPECT_LT(io_wait, 0.1 * model.history_bytes() / disk.streaming_bytes_per_s());
+  EXPECT_LT(io_wait, 0.1 * (model.history_bytes() /
+                            disk.streaming_bytes_per_s())
+                             .value());
   // And the drain made progress during compute.
-  EXPECT_LT(fs.dirty_bytes(), model.history_bytes());
+  EXPECT_LT(fs.dirty_bytes().value(), model.history_bytes().value());
 }
 
 // Resource blocks host the PRODLOAD mix: the batch block takes the CCM2

@@ -11,13 +11,14 @@ using namespace ncar::iosim;
 TEST(DiskSystem, StreamingRateBoundedByControllerAndSpindles) {
   DiskSystem d;
   const auto& c = d.config();
-  EXPECT_LE(d.streaming_bytes_per_s(), c.controller_bytes_per_s);
-  EXPECT_LE(d.streaming_bytes_per_s(), c.media_bytes_per_s * c.spindles);
+  EXPECT_LE(d.streaming_bytes_per_s().value(), c.controller_bytes_per_s);
+  EXPECT_LE(d.streaming_bytes_per_s().value(),
+            c.media_bytes_per_s * c.spindles);
 }
 
 TEST(DiskSystem, SmallTransferDominatedByPositioning) {
   DiskSystem d;
-  const double t = d.sequential_seconds(512);
+  const double t = d.sequential_seconds(ncar::Bytes(512)).value();
   EXPECT_GT(t, d.config().seek_s);
   EXPECT_LT(t, d.config().seek_s + d.config().rotational_s + 1e-3);
 }
@@ -25,54 +26,62 @@ TEST(DiskSystem, SmallTransferDominatedByPositioning) {
 TEST(DiskSystem, LargeTransferApproachesStreamingRate) {
   DiskSystem d;
   const double bytes = 1e9;
-  const double t = d.sequential_seconds(bytes);
-  EXPECT_NEAR(bytes / t, d.streaming_bytes_per_s(), 0.02 * d.streaming_bytes_per_s());
+  const double t = d.sequential_seconds(ncar::Bytes(bytes)).value();
+  EXPECT_NEAR(bytes / t, d.streaming_bytes_per_s().value(),
+              0.02 * d.streaming_bytes_per_s().value());
 }
 
 TEST(DiskSystem, StripingEngagesWithSize) {
   DiskSystem d;
   // A one-stripe transfer runs at single-spindle speed.
   const double small = 256.0 * 1024;
-  const double t_small = d.sequential_seconds(small) - d.config().seek_s -
-                         d.config().rotational_s;
+  const double t_small = d.sequential_seconds(ncar::Bytes(small)).value() -
+                         d.config().seek_s - d.config().rotational_s;
   EXPECT_NEAR(small / t_small, d.config().media_bytes_per_s,
               0.01 * d.config().media_bytes_per_s);
 }
 
 TEST(DiskSystem, ConcurrentWritersOverlapPositioning) {
   DiskSystem d;
-  const double t1 = d.direct_access_seconds(1000, 64 * 1024, 1);
-  const double t16 = d.direct_access_seconds(1000, 64 * 1024, 16);
+  const double t1 =
+      d.direct_access_seconds(1000, ncar::Bytes(64 * 1024), 1).value();
+  const double t16 =
+      d.direct_access_seconds(1000, ncar::Bytes(64 * 1024), 16).value();
   EXPECT_LT(t16, t1);
 }
 
 TEST(DiskSystem, WritersBeyondSpindlesDoNotHelp) {
   DiskSystem d;
-  const double t16 = d.direct_access_seconds(1000, 64 * 1024, 16);
-  const double t64 = d.direct_access_seconds(1000, 64 * 1024, 64);
+  const double t16 =
+      d.direct_access_seconds(1000, ncar::Bytes(64 * 1024), 16).value();
+  const double t64 =
+      d.direct_access_seconds(1000, ncar::Bytes(64 * 1024), 64).value();
   EXPECT_DOUBLE_EQ(t16, t64);
 }
 
 TEST(DiskSystem, ZeroRecordsFree) {
   DiskSystem d;
-  EXPECT_DOUBLE_EQ(d.direct_access_seconds(0, 1024, 4), 0.0);
-  EXPECT_DOUBLE_EQ(d.sequential_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.direct_access_seconds(0, ncar::Bytes(1024), 4).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(d.sequential_seconds(ncar::Bytes(0)).value(), 0.0);
 }
 
 TEST(DiskSystem, AccountingAccumulates) {
   DiskSystem d;
-  d.record_transfer(100, 1.0);
-  d.record_transfer(50, 0.5);
-  EXPECT_DOUBLE_EQ(d.total_bytes(), 150);
-  EXPECT_DOUBLE_EQ(d.busy_seconds(), 1.5);
+  d.record_transfer(ncar::Bytes(100), ncar::Seconds(1.0));
+  d.record_transfer(ncar::Bytes(50), ncar::Seconds(0.5));
+  EXPECT_DOUBLE_EQ(d.total_bytes().value(), 150);
+  EXPECT_DOUBLE_EQ(d.busy_seconds().value(), 1.5);
   d.reset_accounting();
-  EXPECT_DOUBLE_EQ(d.total_bytes(), 0);
+  EXPECT_DOUBLE_EQ(d.total_bytes().value(), 0);
 }
 
 TEST(DiskSystem, InvalidInputsThrow) {
   DiskSystem d;
-  EXPECT_THROW(d.sequential_seconds(-1), ncar::precondition_error);
-  EXPECT_THROW(d.direct_access_seconds(10, 1024, 0), ncar::precondition_error);
+  EXPECT_THROW(d.sequential_seconds(ncar::Bytes(-1)),
+               ncar::precondition_error);
+  EXPECT_THROW(d.direct_access_seconds(10, ncar::Bytes(1024), 0),
+               ncar::precondition_error);
   DiskConfig bad;
   bad.spindles = 0;
   EXPECT_THROW(DiskSystem{bad}, ncar::precondition_error);

@@ -18,71 +18,77 @@ protected:
 };
 
 TEST_F(HippiTest, LargePacketsApproachLineRate) {
-  const double rate = hippi.effective_bytes_per_s(16.0 * 1024 * 1024);
+  const double rate =
+      hippi.effective_bytes_per_s(Bytes(16.0 * 1024 * 1024)).value();
   EXPECT_GT(rate, 0.95 * cfg.hippi_bytes_per_s);
   EXPECT_LE(rate, cfg.hippi_bytes_per_s);
 }
 
 TEST_F(HippiTest, SmallPacketsSetupDominated) {
-  const double rate = hippi.effective_bytes_per_s(1024);
+  const double rate = hippi.effective_bytes_per_s(Bytes(1024)).value();
   EXPECT_LT(rate, 0.3 * cfg.hippi_bytes_per_s);
 }
 
 TEST_F(HippiTest, EffectiveRateMonotoneInPacketSize) {
   double prev = 0;
   for (double kb = 1; kb <= 4096; kb *= 4) {
-    const double r = hippi.effective_bytes_per_s(kb * 1024);
+    const double r = hippi.effective_bytes_per_s(Bytes(kb * 1024)).value();
     EXPECT_GT(r, prev);
     prev = r;
   }
 }
 
 TEST_F(HippiTest, TransferTimeIncludesPerPacketSetup) {
-  const double packet = 1 << 20;
-  const double one = hippi.transfer_seconds(packet, packet);
-  const double ten = hippi.transfer_seconds(10 * packet, packet);
+  const Bytes packet(1 << 20);
+  const double one = hippi.transfer_seconds(packet, packet).value();
+  const double ten = hippi.transfer_seconds(packet * 10.0, packet).value();
   EXPECT_NEAR(ten, 10 * one, 1e-9);
 }
 
 TEST_F(HippiTest, ConcurrencyScalesToIopCountOnly) {
-  const double p = 1 << 20;
-  EXPECT_NEAR(hippi.concurrent_bytes_per_s(2, p),
-              2 * hippi.effective_bytes_per_s(p), 1e-6);
-  EXPECT_DOUBLE_EQ(hippi.concurrent_bytes_per_s(4, p),
-                   hippi.concurrent_bytes_per_s(9, p));
+  const Bytes p(1 << 20);
+  EXPECT_NEAR(hippi.concurrent_bytes_per_s(2, p).value(),
+              2 * hippi.effective_bytes_per_s(p).value(), 1e-6);
+  EXPECT_DOUBLE_EQ(hippi.concurrent_bytes_per_s(4, p).value(),
+                   hippi.concurrent_bytes_per_s(9, p).value());
 }
 
 TEST_F(HippiTest, InvalidInputsThrow) {
-  EXPECT_THROW(hippi.transfer_seconds(-1, 1024), ncar::precondition_error);
-  EXPECT_THROW(hippi.transfer_seconds(1024, 0), ncar::precondition_error);
-  EXPECT_THROW(hippi.concurrent_bytes_per_s(0, 1024), ncar::precondition_error);
+  EXPECT_THROW(hippi.transfer_seconds(Bytes(-1), Bytes(1024)),
+               ncar::precondition_error);
+  EXPECT_THROW(hippi.transfer_seconds(Bytes(1024), Bytes(0)),
+               ncar::precondition_error);
+  EXPECT_THROW(hippi.concurrent_bytes_per_s(0, Bytes(1024)),
+               ncar::precondition_error);
 }
 
 TEST(NetworkTest, ThroughputBoundedByFddiLineRate) {
   Network net;
-  EXPECT_LE(net.throughput_bytes_per_s(), 100e6 / 8.0);
-  EXPECT_GT(net.throughput_bytes_per_s(), 1e6);
+  EXPECT_LE(net.throughput_bytes_per_s().value(), 100e6 / 8.0);
+  EXPECT_GT(net.throughput_bytes_per_s().value(), 1e6);
 }
 
 TEST(NetworkTest, BigTransfersScaleLinearly) {
   Network net;
-  const double t1 = net.data_transfer_seconds(10e6);
-  const double t2 = net.data_transfer_seconds(20e6);
+  const double t1 = net.data_transfer_seconds(Bytes(10e6)).value();
+  const double t2 = net.data_transfer_seconds(Bytes(20e6)).value();
   // Fixed overheads subtract out.
-  EXPECT_NEAR(t2 - t1, 10e6 / net.throughput_bytes_per_s(), 1e-9);
+  EXPECT_NEAR(t2 - t1, (Bytes(10e6) / net.throughput_bytes_per_s()).value(),
+              1e-9);
 }
 
 TEST(NetworkTest, CommandsAreMilliseconds) {
   Network net;
-  EXPECT_GT(net.command_seconds(), 1e-3);
-  EXPECT_LT(net.command_seconds(), 1.0);
+  EXPECT_GT(net.command_seconds().value(), 1e-3);
+  EXPECT_LT(net.command_seconds().value(), 1.0);
 }
 
 TEST(NetworkTest, WindowLimitCanBind) {
   ncar::iosim::NetworkConfig c;
   c.rtt_s = 50e-3;  // WAN round trip
   Network net(c);
-  EXPECT_NEAR(net.throughput_bytes_per_s(), c.tcp_window_bytes / c.rtt_s, 1.0);
+  EXPECT_NEAR(net.throughput_bytes_per_s().value(),
+              c.tcp_window_bytes / c.rtt_s, 1.0);
 }
 
 TEST(NetworkTest, InvalidConfigThrows) {

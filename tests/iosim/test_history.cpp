@@ -10,18 +10,19 @@ using namespace ncar::iosim;
 
 TEST(History, RecordBytesMatchShape) {
   HistoryShape s{128, 64, 18, 16};
-  EXPECT_DOUBLE_EQ(history_record_bytes(s), 8.0 * 128 * 18 * 16);
+  EXPECT_DOUBLE_EQ(history_record_bytes(s).value(), 8.0 * 128 * 18 * 16);
 }
 
 TEST(History, WriteBytesIncludeHeaderAndAllLatitudes) {
   HistoryShape s{128, 64, 18, 16};
-  EXPECT_GT(history_write_bytes(s), history_record_bytes(s) * 64);
+  EXPECT_GT(history_write_bytes(s).value(),
+            history_record_bytes(s).value() * 64);
 }
 
 TEST(History, T63YearIsRoughly15GB) {
   // Paper: ~15 GB of data + restart written during the one-year T63 test.
   HistoryShape s{192, 96, 18, 16};
-  const double year = history_write_bytes(s) * 365;
+  const double year = history_write_bytes(s).value() * 365;
   EXPECT_GT(year, 12e9);
   EXPECT_LT(year, 18e9);
 }
@@ -29,8 +30,8 @@ TEST(History, T63YearIsRoughly15GB) {
 TEST(History, ConcurrentWritersFaster) {
   DiskSystem disk;
   HistoryShape s{320, 160, 18, 16};
-  const double t1 = write_history_seconds(disk, s, 1);
-  const double t32 = write_history_seconds(disk, s, 32);
+  const double t1 = write_history_seconds(disk, s, 1).value();
+  const double t32 = write_history_seconds(disk, s, 32).value();
   EXPECT_LT(t32, t1);
 }
 
@@ -38,15 +39,16 @@ TEST(History, AccountingRecordsBytes) {
   DiskSystem disk;
   HistoryShape s{128, 64, 18, 16};
   write_history_seconds(disk, s, 8);
-  EXPECT_DOUBLE_EQ(disk.total_bytes(), history_write_bytes(s));
+  EXPECT_DOUBLE_EQ(disk.total_bytes().value(),
+                   history_write_bytes(s).value());
 }
 
 TEST(History, ReadInitialPositiveAndRecorded) {
   DiskSystem disk;
   HistoryShape s{128, 64, 18, 16};
-  const double t = read_initial_seconds(disk, s);
+  const double t = read_initial_seconds(disk, s).value();
   EXPECT_GT(t, 0.0);
-  EXPECT_GT(disk.busy_seconds(), 0.0);
+  EXPECT_GT(disk.busy_seconds().value(), 0.0);
 }
 
 TEST(History, InvalidShapeThrows) {

@@ -21,37 +21,39 @@ protected:
 
 TEST_F(SfsTest, WriteBackCompletesAtXmuSpeed) {
   Sfs fs(machine, disk);
-  const double bytes = 256e6;
-  const double wait = fs.write(bytes);
+  const Bytes bytes(256e6);
+  const Seconds wait = fs.write(bytes);
   // XMU carries 16 GB/s at 8 ns (less at 9.2 ns); a cached write is far
   // faster than the disk's ~80 MB/s ceiling.
-  EXPECT_LT(wait, 0.1 * bytes / disk.streaming_bytes_per_s());
-  EXPECT_GT(fs.dirty_bytes(), 0.0);
+  EXPECT_LT(wait.value(),
+            0.1 * (bytes / disk.streaming_bytes_per_s()).value());
+  EXPECT_GT(fs.dirty_bytes().value(), 0.0);
 }
 
 TEST_F(SfsTest, WriteThroughWaitsForDisk) {
   SfsConfig cfg;
   cfg.method = WriteBackMethod::WriteThrough;
   Sfs fs(machine, disk, cfg);
-  const double bytes = 64e6;
-  const double wait = fs.write(bytes);
-  EXPECT_GT(wait, 0.9 * bytes / disk.streaming_bytes_per_s());
+  const Bytes bytes(64e6);
+  const Seconds wait = fs.write(bytes);
+  EXPECT_GT(wait.value(),
+            0.9 * (bytes / disk.streaming_bytes_per_s()).value());
 }
 
 TEST_F(SfsTest, DrainProceedsWhileComputing) {
   Sfs fs(machine, disk);
-  fs.write(100e6);
-  const double dirty0 = fs.dirty_bytes();
-  fs.advance(0.5);
-  EXPECT_LT(fs.dirty_bytes(), dirty0);
+  fs.write(Bytes(100e6));
+  const double dirty0 = fs.dirty_bytes().value();
+  fs.advance(Seconds(0.5));
+  EXPECT_LT(fs.dirty_bytes().value(), dirty0);
 }
 
 TEST_F(SfsTest, FlushEmptiesTheCache) {
   Sfs fs(machine, disk);
-  fs.write(100e6);
-  const double wait = fs.flush();
+  fs.write(Bytes(100e6));
+  const double wait = fs.flush().value();
   EXPECT_GT(wait, 0.0);
-  EXPECT_NEAR(fs.dirty_bytes(), 0.0, 1.0);
+  EXPECT_NEAR(fs.dirty_bytes().value(), 0.0, 1.0);
 }
 
 TEST_F(SfsTest, FullCacheStallsTheWriter) {
@@ -60,29 +62,31 @@ TEST_F(SfsTest, FullCacheStallsTheWriter) {
   Sfs fast(machine, disk, cfg);
   // First fill the cache, then write more: the second write must wait on
   // the drain, so its per-byte cost approaches disk speed.
-  fast.write(64e6);
-  const double stalled = fast.write(256e6);
-  EXPECT_GT(stalled, 0.8 * 256e6 / disk.streaming_bytes_per_s());
+  fast.write(Bytes(64e6));
+  const double stalled = fast.write(Bytes(256e6)).value();
+  EXPECT_GT(stalled,
+            0.8 * (Bytes(256e6) / disk.streaming_bytes_per_s()).value());
 }
 
 TEST_F(SfsTest, CachedReadIsFast) {
   Sfs fs(machine, disk);
-  fs.write(50e6);
-  const double t = fs.read(50e6);  // resident (dirty counts as cached)
-  EXPECT_LT(t, 0.05 * 50e6 / disk.streaming_bytes_per_s());
+  fs.write(Bytes(50e6));
+  // Resident (dirty counts as cached).
+  const double t = fs.read(Bytes(50e6)).value();
+  EXPECT_LT(t, 0.05 * (Bytes(50e6) / disk.streaming_bytes_per_s()).value());
 }
 
 TEST_F(SfsTest, UncachedReadGoesToDisk) {
   Sfs fs(machine, disk);
-  const double t = fs.read(50e6);
-  EXPECT_GT(t, 0.9 * 50e6 / disk.streaming_bytes_per_s());
+  const double t = fs.read(Bytes(50e6)).value();
+  EXPECT_GT(t, 0.9 * (Bytes(50e6) / disk.streaming_bytes_per_s()).value());
 }
 
 TEST_F(SfsTest, DrainedBytesLandOnDiskAccounting) {
   Sfs fs(machine, disk);
-  fs.write(100e6);
+  fs.write(Bytes(100e6));
   fs.flush();
-  EXPECT_NEAR(disk.total_bytes(), 100e6, 1e6);
+  EXPECT_NEAR(disk.total_bytes().value(), 100e6, 1e6);
 }
 
 TEST_F(SfsTest, InvalidConfigThrows) {
@@ -93,8 +97,8 @@ TEST_F(SfsTest, InvalidConfigThrows) {
   bad2.staging_unit_bytes = bad2.cache_bytes * 2;
   EXPECT_THROW(Sfs(machine, disk, bad2), ncar::precondition_error);
   Sfs fs(machine, disk);
-  EXPECT_THROW(fs.write(-1), ncar::precondition_error);
-  EXPECT_THROW(fs.advance(-1), ncar::precondition_error);
+  EXPECT_THROW(fs.write(Bytes(-1)), ncar::precondition_error);
+  EXPECT_THROW(fs.advance(Seconds(-1)), ncar::precondition_error);
 }
 
 }  // namespace

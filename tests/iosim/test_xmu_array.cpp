@@ -49,7 +49,7 @@ TEST_F(XmuArrayTest, ThrashingPatternPaysStaging) {
     a.read(8 * block);
   }
   EXPECT_GE(a.faults(), 19);
-  EXPECT_GT(a.staging_seconds(), 0.0);
+  EXPECT_GT(a.staging_seconds().value(), 0.0);
 }
 
 TEST_F(XmuArrayTest, StagingTimeMatchesXmuBandwidth) {
@@ -59,17 +59,17 @@ TEST_F(XmuArrayTest, StagingTimeMatchesXmuBandwidth) {
   // First fault stages in only; the rest stage in + out.
   const double rate = machine.xmu_bytes_per_clock * machine.clock_hz();
   const double want = (8.0 * block * 1 + 9 * 8.0 * block * 2) / rate;
-  EXPECT_NEAR(a.staging_seconds(), want, 1e-12);
+  EXPECT_NEAR(a.staging_seconds().value(), want, 1e-12);
 }
 
 TEST_F(XmuArrayTest, ChargeMovesTimeToCpu) {
   sxs::Node node(machine);
   XmuArray a(machine, 1'000'000, 65536, 65536);
   for (long i = 0; i < 1'000'000; i += 65536) a.read(i);
-  const double staged = a.staging_seconds();
+  const double staged = a.staging_seconds().value();
   EXPECT_GT(staged, 0.0);
   a.charge(node.cpu(0));
-  EXPECT_DOUBLE_EQ(a.staging_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(a.staging_seconds().value(), 0.0);
   EXPECT_NEAR(node.cpu(0).seconds(), staged, 1e-12);
 }
 

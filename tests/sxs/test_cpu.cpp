@@ -39,12 +39,12 @@ TEST_F(CpuTest, VectorOpAccumulatesCyclesAndFlops) {
 }
 
 TEST_F(CpuTest, SecondsAreCyclesTimesClock) {
-  cpu.charge_cycles(1000.0);
+  cpu.charge_cycles(ncar::Cycles(1000.0));
   EXPECT_NEAR(cpu.seconds(), 1000.0 * 9.2e-9, 1e-15);
 }
 
 TEST_F(CpuTest, ChargeSecondsRoundTrips) {
-  cpu.charge_seconds(1e-3);
+  cpu.charge_seconds(ncar::Seconds(1e-3));
   EXPECT_NEAR(cpu.seconds(), 1e-3, 1e-12);
 }
 
@@ -90,7 +90,7 @@ TEST_F(CpuTest, ContentionBelowOneThrows) {
 }
 
 TEST_F(CpuTest, ResetClearsEverything) {
-  cpu.charge_cycles(10);
+  cpu.charge_cycles(ncar::Cycles(10));
   cpu.add_equiv_flops(5);
   cpu.set_contention(1.5);
   cpu.reset();
@@ -100,8 +100,9 @@ TEST_F(CpuTest, ResetClearsEverything) {
 }
 
 TEST_F(CpuTest, NegativeChargesThrow) {
-  EXPECT_THROW(cpu.charge_cycles(-1), ncar::precondition_error);
-  EXPECT_THROW(cpu.charge_seconds(-1), ncar::precondition_error);
+  EXPECT_THROW(cpu.charge_cycles(ncar::Cycles(-1)), ncar::precondition_error);
+  EXPECT_THROW(cpu.charge_seconds(ncar::Seconds(-1)),
+               ncar::precondition_error);
   EXPECT_THROW(cpu.intrinsic(Intrinsic::Exp, -1), ncar::precondition_error);
 }
 

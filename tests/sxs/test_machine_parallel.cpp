@@ -73,12 +73,12 @@ TEST(MachineParallel, GlobalBarrierOnlyForMultipleNodes) {
   // Same critical path plus the IXS barrier.
   EXPECT_GT(t_two_node, t_one_node);
   EXPECT_NEAR(t_two_node - t_one_node,
-              m2.ixs().global_barrier_seconds(2), 1e-9);
+              m2.ixs().global_barrier_seconds(2).value(), 1e-9);
 }
 
 TEST(MachineParallel, ExchangeAdvancesAllClocks) {
   Machine m(MachineConfig::sx4_multinode(4));
-  const double t = m.exchange(4, 1e9);
+  const double t = m.exchange(4, ncar::Bytes(1e9));
   EXPECT_GT(t, 0.0);
   for (int n = 0; n < 4; ++n) {
     EXPECT_DOUBLE_EQ(m.node(n).elapsed_seconds(), t);
@@ -91,7 +91,7 @@ TEST(MachineParallel, InvalidNodeCountsThrow) {
                ncar::precondition_error);
   EXPECT_THROW(m.parallel(0, 8, [](int, int, Cpu&) {}),
                ncar::precondition_error);
-  EXPECT_THROW(m.exchange(5, 1.0), ncar::precondition_error);
+  EXPECT_THROW(m.exchange(5, ncar::Bytes(1.0)), ncar::precondition_error);
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ protected:
 TEST_F(MemoryModelTest, UnitStrideRunsAtFullPortWidth) {
   // 16 words per clock at the 16 GB/s port (128 bytes / 8-byte words).
   EXPECT_DOUBLE_EQ(mem.port_words_per_clock(), 16.0);
-  EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 1), 100.0);
+  EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 1).value(), 100.0);
 }
 
 TEST_F(MemoryModelTest, StrideTwoIsConflictFree) {
@@ -27,7 +27,8 @@ TEST_F(MemoryModelTest, StrideTwoIsConflictFree) {
   // access is guaranteed".
   EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(1), 1.0);
   EXPECT_DOUBLE_EQ(mem.stride_conflict_factor(2), 1.0);
-  EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 2), mem.stream_cycles(1600, 1));
+  EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 2).value(),
+                   mem.stream_cycles(1600, 1).value());
 }
 
 TEST_F(MemoryModelTest, SmallOddStridesBenefitFromShortBankCycle) {
@@ -64,20 +65,20 @@ TEST_F(MemoryModelTest, NegativeStrideTreatedAsPositive) {
 TEST_F(MemoryModelTest, GatherSlowerThanStream) {
   const long n = 100000;
   EXPECT_GT(mem.gather_cycles(n), mem.stream_cycles(n, 1));
-  EXPECT_DOUBLE_EQ(mem.gather_cycles(n),
-                   mem.stream_cycles(n, 1) * cfg.gather_port_divisor);
+  EXPECT_DOUBLE_EQ(mem.gather_cycles(n).value(),
+                   (mem.stream_cycles(n, 1) * cfg.gather_port_divisor).value());
 }
 
 TEST_F(MemoryModelTest, ScatterSlowerThanStream) {
   const long n = 100000;
-  EXPECT_DOUBLE_EQ(mem.scatter_cycles(n),
-                   mem.stream_cycles(n, 1) * cfg.scatter_port_divisor);
+  EXPECT_DOUBLE_EQ(mem.scatter_cycles(n).value(),
+                   (mem.stream_cycles(n, 1) * cfg.scatter_port_divisor).value());
 }
 
 TEST_F(MemoryModelTest, ZeroWordsIsFree) {
-  EXPECT_DOUBLE_EQ(mem.stream_cycles(0, 1), 0.0);
-  EXPECT_DOUBLE_EQ(mem.gather_cycles(0), 0.0);
-  EXPECT_DOUBLE_EQ(mem.scatter_cycles(0), 0.0);
+  EXPECT_DOUBLE_EQ(mem.stream_cycles(0, 1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(mem.gather_cycles(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(mem.scatter_cycles(0).value(), 0.0);
 }
 
 TEST_F(MemoryModelTest, NegativeWordCountThrows) {

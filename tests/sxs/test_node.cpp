@@ -86,9 +86,10 @@ TEST_F(NodeTest, ParallelWidthBeyondNodeThrows) {
 }
 
 TEST_F(NodeTest, AdvanceAddsIdleTime) {
-  node.advance_seconds(1.5);
+  node.advance_seconds(ncar::Seconds(1.5));
   EXPECT_DOUBLE_EQ(node.elapsed_seconds(), 1.5);
-  EXPECT_THROW(node.advance_seconds(-1), ncar::precondition_error);
+  EXPECT_THROW(node.advance_seconds(ncar::Seconds(-1)),
+               ncar::precondition_error);
 }
 
 TEST_F(NodeTest, ResetRestoresPristineState) {

@@ -25,7 +25,7 @@ TEST_F(ScalarUnitTest, IssueWidthBoundsInstructionThroughput) {
   op.flops_per_iter = 2;
   op.other_ops_per_iter = 2;
   op.mem_words_per_iter = 0;
-  const double cycles = su.cycles(op);
+  const double cycles = su.cycles(op).value();
   // 4 instructions/iter at width 2 = 2 cycles/iter.
   EXPECT_DOUBLE_EQ(cycles, 2000.0);
 }
@@ -87,7 +87,7 @@ TEST_F(ScalarUnitTest, MissesAddLatencyCycles) {
 
 TEST_F(ScalarUnitTest, ZeroItersFree) {
   ScalarOp op;
-  EXPECT_DOUBLE_EQ(su.cycles(op), 0.0);
+  EXPECT_DOUBLE_EQ(su.cycles(op).value(), 0.0);
 }
 
 TEST_F(ScalarUnitTest, BadReuseFractionThrows) {

@@ -29,7 +29,7 @@ TEST_F(VectorUnitTest, LongComputeBoundLoopApproachesPeak) {
   op.store_words = 0;
   op.pipe_groups = 2;
   op.instructions = 1;
-  const double cycles = vu.cycles(op);
+  const double cycles = vu.cycles(op).value();
   const double flops_per_cycle = 2.0 * op.n / cycles;
   // Within 5% of the 16 flops/clock peak once startup is amortised.
   EXPECT_GT(flops_per_cycle, 0.95 * 16.0);
@@ -42,7 +42,7 @@ TEST_F(VectorUnitTest, ShortVectorsPayStartup) {
   op.flops_per_elem = 2;
   op.pipe_groups = 2;
   op.instructions = 1;
-  const double cycles = vu.cycles(op);
+  const double cycles = vu.cycles(op).value();
   // Startup dominates: far more cycles than the n/16 steady-state work.
   EXPECT_GT(cycles, cfg.vector_startup_clocks);
   EXPECT_LT(2.0 * op.n / cycles, 4.0);
@@ -56,7 +56,7 @@ TEST_F(VectorUnitTest, EfficiencyGrowsMonotonicallyWithLength) {
     op.flops_per_elem = 2;
     op.pipe_groups = 2;
     op.instructions = 1;
-    const double rate = 2.0 * n / vu.cycles(op);
+    const double rate = 2.0 * n / vu.cycles(op).value();
     EXPECT_GT(rate, prev) << "n=" << n;
     prev = rate;
   }
@@ -69,7 +69,7 @@ TEST_F(VectorUnitTest, MemoryBoundLoopLimitedByPort) {
   op.load_words = 1;
   op.store_words = 1;
   op.instructions = 2;
-  const double cycles = vu.cycles(op);
+  const double cycles = vu.cycles(op).value();
   const double words_per_cycle = 2.0 * op.n / cycles;
   EXPECT_NEAR(words_per_cycle, 16.0, 1.0);  // full port width
 }
@@ -85,8 +85,8 @@ TEST_F(VectorUnitTest, ComputeAndMemoryOverlapAsMax) {
   with_flops.flops_per_elem = 2;  // cheap relative to 3 words of traffic
   with_flops.instructions = 4;
 
-  const double t_mem = vu.cycles(mem_only);
-  const double t_both = vu.cycles(with_flops);
+  const double t_mem = vu.cycles(mem_only).value();
+  const double t_both = vu.cycles(with_flops).value();
   // Chained arithmetic hides behind the memory streams (within issue cost).
   EXPECT_NEAR(t_both / t_mem, 1.0, 0.05);
 }
@@ -105,7 +105,8 @@ TEST_F(VectorUnitTest, DividePipesAreSlower) {
   div.instructions = 1;
 
   EXPECT_GT(vu.cycles(div), vu.cycles(add));
-  EXPECT_NEAR(vu.cycles(div) / vu.cycles(add), cfg.divide_cycles_per_result,
+  EXPECT_NEAR(vu.cycles(div) / vu.cycles(add),
+              cfg.divide_cycles_per_result,
               0.2);
 }
 
@@ -118,7 +119,7 @@ TEST_F(VectorUnitTest, ConcurrentDivideCanExceedNominalPeak) {
   op.div_per_elem = 0.2;   // divide group under its throughput bound
   op.pipe_groups = 2;
   op.instructions = 1;
-  const double cycles = vu.cycles(op);
+  const double cycles = vu.cycles(op).value();
   const double results_per_cycle = (2.0 + 0.2) * op.n / cycles;
   EXPECT_GT(results_per_cycle, 16.0);
 }
@@ -141,7 +142,7 @@ TEST_F(VectorUnitTest, ZeroLengthIsFree) {
   VectorOp op;
   op.n = 0;
   op.flops_per_elem = 10;
-  EXPECT_DOUBLE_EQ(vu.cycles(op), 0.0);
+  EXPECT_DOUBLE_EQ(vu.cycles(op).value(), 0.0);
 }
 
 TEST_F(VectorUnitTest, NegativeLengthThrows) {
@@ -174,7 +175,7 @@ TEST_P(VectorLengthParam, ShorterRegistersLowerShortLoopEfficiency) {
   op.flops_per_elem = 2;
   op.pipe_groups = 2;
   op.instructions = 4;
-  const double rate = 2.0 * op.n / vu.cycles(op);
+  const double rate = 2.0 * op.n / vu.cycles(op).value();
   EXPECT_GT(rate, 4.0);
   EXPECT_LE(rate, 16.0);
 }

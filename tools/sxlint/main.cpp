@@ -1,0 +1,28 @@
+// sxlint driver: `sxlint <repo-root>` prints findings and exits non-zero
+// when any rule fires. Run from CI and CTest over the repository itself.
+#include <cstdio>
+#include <filesystem>
+
+#include "sxlint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: sxlint <repo-root>\n");
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  if (!std::filesystem::is_directory(root)) {
+    std::fprintf(stderr, "sxlint: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+  const auto findings = ncar::sxlint::lint_tree(root);
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.string().c_str(), f.line,
+                f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("sxlint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

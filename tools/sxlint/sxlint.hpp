@@ -1,0 +1,56 @@
+#pragma once
+// sxlint: project-specific static analysis for the SX-4 model codebase.
+//
+// A deliberately small, dependency-free analyzer (no libclang): it strips
+// comments and string literals, then applies exact-token and paren-depth
+// heuristics. That is enough to enforce the handful of project invariants
+// that generic tools cannot know about:
+//
+//   bench-reporter      every bench/ main must route its numbers through the
+//                       BenchReporter harness (so the regression gate sees
+//                       them); a stray printf-style bench silently escapes
+//                       baseline checking.
+//   no-nondeterminism   model code (src/) must not read wall clocks or
+//                       global RNG state: std::rand, srand, time(),
+//                       gettimeofday, clock_gettime, std::random_device.
+//                       Simulated time must come from the model itself.
+//   no-stdout           model code must not print; presentation lives in
+//                       bench/ and examples/.
+//   pragma-once         every header uses #pragma once.
+//   typed-units         public sxs:: headers must not take naked
+//                       `double seconds` / `double bytes` parameters — use
+//                       ncar::Seconds / ncar::Bytes (common/quantity.hpp).
+//
+// Each finding carries the rule name, file, line, and message. main() prints
+// them `file:line: [rule] message` and exits non-zero on any finding.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace ncar::sxlint {
+
+struct Finding {
+  std::string rule;
+  std::filesystem::path file;
+  int line = 0;
+  std::string message;
+};
+
+/// Replace comments and string/char literal contents with spaces, keeping
+/// newlines so line numbers survive. Exposed for tests.
+std::string strip_comments_and_strings(const std::string& source);
+
+/// Run every rule over the repository rooted at `root` (the directory that
+/// contains src/, bench/, tests/). Paths that do not exist are skipped, so
+/// the linter also works on partial fixture trees.
+std::vector<Finding> lint_tree(const std::filesystem::path& root);
+
+/// Individual rules, each scanning the files it cares about under `root`.
+std::vector<Finding> check_bench_reporter(const std::filesystem::path& root);
+std::vector<Finding> check_nondeterminism(const std::filesystem::path& root);
+std::vector<Finding> check_stdout(const std::filesystem::path& root);
+std::vector<Finding> check_pragma_once(const std::filesystem::path& root);
+std::vector<Finding> check_typed_units(const std::filesystem::path& root);
+
+}  // namespace ncar::sxlint

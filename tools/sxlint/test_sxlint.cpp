@@ -1,0 +1,118 @@
+#include "sxlint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+// SXLINT_TESTDATA_DIR is provided by CMake and points at
+// tools/sxlint/testdata in the source tree.
+
+namespace {
+
+using ncar::sxlint::Finding;
+
+std::filesystem::path testdata(const char* which) {
+  return std::filesystem::path(SXLINT_TESTDATA_DIR) / which;
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool mentions_file(const std::vector<Finding>& findings,
+                   const std::string& filename) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.file.filename() == filename;
+  });
+}
+
+TEST(SxlintStrip, RemovesCommentsAndStringsKeepsLines) {
+  const std::string src =
+      "int a; // time(0)\n"
+      "/* std::rand()\n"
+      "   more */ int b;\n"
+      "const char* s = \"gettimeofday\";\n";
+  const std::string stripped = ncar::sxlint::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("gettimeofday"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(SxlintStrip, HandlesEscapedQuotes) {
+  const std::string src = "const char* s = \"a\\\"rand(\\\"b\"; int c;\n";
+  const std::string stripped = ncar::sxlint::strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int c;"), std::string::npos);
+}
+
+TEST(SxlintBad, BenchWithoutReporterIsFlagged) {
+  const auto findings = ncar::sxlint::check_bench_reporter(testdata("bad"));
+  EXPECT_EQ(count_rule(findings, "bench-reporter"), 1);
+  EXPECT_TRUE(mentions_file(findings, "rogue_bench.cpp"));
+}
+
+TEST(SxlintBad, NondeterministicCallsAreFlagged) {
+  const auto findings = ncar::sxlint::check_nondeterminism(testdata("bad"));
+  // srand, time(), rand() in model_nondet.cpp.
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 3);
+  EXPECT_TRUE(mentions_file(findings, "model_nondet.cpp"));
+}
+
+TEST(SxlintBad, PrintingModelCodeIsFlagged) {
+  const auto findings = ncar::sxlint::check_stdout(testdata("bad"));
+  EXPECT_EQ(count_rule(findings, "no-stdout"), 1);
+  EXPECT_TRUE(mentions_file(findings, "model_prints.cpp"));
+}
+
+TEST(SxlintBad, IncludeGuardHeaderIsFlagged) {
+  const auto findings = ncar::sxlint::check_pragma_once(testdata("bad"));
+  EXPECT_EQ(count_rule(findings, "pragma-once"), 1);
+  EXPECT_TRUE(mentions_file(findings, "legacy_guard.hpp"));
+}
+
+TEST(SxlintBad, NakedUnitParametersAreFlagged) {
+  const auto findings = ncar::sxlint::check_typed_units(testdata("bad"));
+  // `double bytes` and `double timeout_seconds` in naked_units.hpp.
+  EXPECT_EQ(count_rule(findings, "typed-units"), 2);
+  EXPECT_TRUE(mentions_file(findings, "naked_units.hpp"));
+}
+
+TEST(SxlintBad, WholeTreeAggregatesEveryRule) {
+  const auto findings = ncar::sxlint::lint_tree(testdata("bad"));
+  EXPECT_GE(count_rule(findings, "bench-reporter"), 1);
+  EXPECT_GE(count_rule(findings, "no-nondeterminism"), 1);
+  EXPECT_GE(count_rule(findings, "no-stdout"), 1);
+  EXPECT_GE(count_rule(findings, "pragma-once"), 1);
+  EXPECT_GE(count_rule(findings, "typed-units"), 1);
+}
+
+TEST(SxlintGood, CleanTreeHasNoFindings) {
+  const auto findings = ncar::sxlint::lint_tree(testdata("good"));
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(SxlintGood, MethodNamedSecondsAtDepthZeroIsAllowed) {
+  // good/src/sxs/typed.hpp declares `double seconds() const;` — a method
+  // *name*, not a parameter; the paren-depth heuristic must not fire.
+  const auto findings = ncar::sxlint::check_typed_units(testdata("good"));
+  EXPECT_EQ(count_rule(findings, "typed-units"), 0);
+}
+
+TEST(SxlintGood, MissingSubtreesAreSkipped) {
+  // A tree with no bench/ or tests/ lints clean rather than erroring.
+  const auto findings =
+      ncar::sxlint::lint_tree(testdata("good") / "src" / "sxs");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace

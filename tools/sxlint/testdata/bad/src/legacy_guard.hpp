@@ -1,0 +1,8 @@
+#ifndef BAD_LEGACY_GUARD_HPP
+#define BAD_LEGACY_GUARD_HPP
+
+namespace bad {
+struct Legacy {};
+}  // namespace bad
+
+#endif

@@ -1,0 +1,12 @@
+#include <cstdlib>
+#include <ctime>
+
+namespace bad {
+
+double wall_seed() {
+  // Both calls are banned in model code.
+  std::srand(42);
+  return static_cast<double>(std::time(nullptr)) + std::rand();
+}
+
+}  // namespace bad

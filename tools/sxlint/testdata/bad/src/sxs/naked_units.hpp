@@ -1,0 +1,11 @@
+#pragma once
+
+namespace bad::sxs {
+
+class Channel {
+ public:
+  // Both parameters defeat the dimension system.
+  double transfer(double bytes, double timeout_seconds) const;
+};
+
+}  // namespace bad::sxs

@@ -1,0 +1,10 @@
+// Minimal well-behaved bench: results go through the reporter.
+struct BenchReporter {
+  void metric(const char*, double, const char*) {}
+};
+
+int main() {
+  BenchReporter reporter;
+  reporter.metric("membw.mb_per_s", 123.4, "MB/s");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "clean_model.hpp"
+
+#include <cstdio>
+
+namespace good {
+
+// "time(" in a comment and "std::rand()" in a string must not fire; nor
+// may identifiers that merely contain banned names.
+double runtime(double uptime_seconds_total) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s", "calls std::rand() and time(0)");
+  double timer = uptime_seconds_total;  // local named around 'time'
+  return timer + static_cast<double>(buf[0] != '\0');
+}
+
+}  // namespace good

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace good {
+double runtime(double uptime_seconds_total);
+}  // namespace good

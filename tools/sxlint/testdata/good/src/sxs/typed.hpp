@@ -1,0 +1,17 @@
+#pragma once
+// Typed interface: quantities carry their dimension; `double seconds()` as
+// a *method name* (depth 0) is allowed, parameters must be typed.
+
+namespace good::sxs {
+
+struct Seconds {
+  double v;
+};
+
+class Clock {
+ public:
+  double seconds() const;
+  void advance(Seconds by);
+};
+
+}  // namespace good::sxs
