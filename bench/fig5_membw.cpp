@@ -96,5 +96,7 @@ int main(int argc, char** argv) {
               grows ? "yes" : "NO");
   std::printf("peak COPY bandwidth: %.0f MB/s (one-way payload)\n",
               c_hi.mb_per_s);
+  rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
+                          static_cast<double>(node.cost_cache_misses()));
   return rep.finish(std::cout);
 }

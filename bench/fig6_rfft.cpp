@@ -51,5 +51,7 @@ int main(int argc, char** argv) {
   std::printf("peak RFFT rate: %.1f Mflops (paper: O(100) Mflops, an order "
               "below VFFT)\n",
               best);
+  rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
+                          static_cast<double>(node.cost_cache_misses()));
   return rep.finish(std::cout);
 }

@@ -77,5 +77,7 @@ int main(int argc, char** argv) {
   const bool order_of_magnitude = ratio > 5.0 && ratio < 20.0;
   std::printf("order-of-magnitude separation: %s\n",
               order_of_magnitude ? "yes" : "NO");
+  rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
+                          static_cast<double>(node.cost_cache_misses()));
   return rep.finish(std::cout);
 }

@@ -107,6 +107,13 @@ bool BenchReporter::expect_true(const std::string& metric_name, bool ok,
   return expect(metric_name, ok ? 1.0 : 0.0, Band::boolean(true), source);
 }
 
+void BenchReporter::cost_cache_counters(double hits, double misses) {
+  metric(name_ + ".cost_cache.hits", hits);
+  metric(name_ + ".cost_cache.misses", misses);
+  const double total = hits + misses;
+  metric(name_ + ".cost_cache.hit_rate", total > 0 ? hits / total : 0.0);
+}
+
 Json BenchReporter::result_json() const {
   Json j = Json::object();
   j.set("schema", "sx4ncar-bench-result-v1");

@@ -64,6 +64,12 @@ public:
   bool expect_true(const std::string& metric_name, bool ok,
                    const std::string& source);
 
+  /// Record the simulator's op-cost cache counters under the standard names
+  /// `<bench>.cost_cache.{hits,misses,hit_rate}` (CI greps for the
+  /// hit_rate suffix). Plain doubles keep the harness decoupled from
+  /// sxs::Cpu; counters are deterministic, so the metrics are gate-safe.
+  void cost_cache_counters(double hits, double misses);
+
   /// True when SX4NCAR_BENCH_FULL is set — recorded in the JSON so the
   /// gate can refuse to compare quick-mode results to full-mode baselines.
   bool full_mode() const { return full_mode_; }

@@ -49,5 +49,7 @@ int main(int argc, char** argv) {
              "paper: the CSHIFT intrinsic did not vectorize (dominant cost)");
   rep.expect_true("pop.volume_conserved", volume_ok,
                   "free-surface volume conservation to rounding");
+  rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
+                          static_cast<double>(node.cost_cache_misses()));
   return rep.finish(std::cout);
 }

@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
     c.res = res;
     ccm2::Ccm2 model(c, node);
     node.reset();
-    model.reset();
-    const double per_step = model.measure_step_seconds(32, 3);
+    // Timing only — replay the charge sequence instead of integrating the
+    // dycore (bit-identical per-step seconds, see Ccm2::charge_step).
+    const double per_step = model.measure_charge_seconds(32, 3);
     const long steps = res.steps_per_day() * 365;
     const double hist = model.write_history(disk, 32).value();
     const double year = per_step * steps + hist * 365;
@@ -66,5 +67,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nT63L18 run wrote ~15 GB in the paper; both times within 25%%: %s\n",
               ok ? "yes" : "NO");
+  rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
+                          static_cast<double>(node.cost_cache_misses()));
   return rep.finish(std::cout);
 }

@@ -45,8 +45,18 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (const auto& row : rows) {
     node.reset();
-    mom.reset();
-    const double time350 = mom.measure_step_seconds(row.cpus, 10) * 350.0;
+    // The ocean numerics don't depend on the CPU count, so only the first
+    // row runs them; the other rows replay the charge sequence against a
+    // fresh node (bit-identical timing, see Mom::charge_step) and leave the
+    // after-10-steps physical state from row 1 for the diagnostics below.
+    double per_step;
+    if (row.cpus == 1) {
+      mom.reset();
+      per_step = mom.measure_step_seconds(row.cpus, 10);
+    } else {
+      per_step = mom.measure_charge_seconds(row.cpus, 10);
+    }
+    const double time350 = per_step * 350.0;
     if (row.cpus == 1) t1 = time350;
     const double ratio = time350 / row.paper_s;
     t.add_row({std::to_string(row.cpus), format_fixed(row.paper_s, 2),
@@ -70,5 +80,7 @@ int main(int argc, char** argv) {
   std::printf("mean ocean temperature: %.3f C (physical range)\n",
               mom.mean_temperature());
   std::printf("all times within 25%% of the paper: %s\n", ok ? "yes" : "NO");
+  rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
+                          static_cast<double>(node.cost_cache_misses()));
   return rep.finish(std::cout);
 }

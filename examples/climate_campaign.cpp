@@ -54,7 +54,7 @@ int main() {
               format_duration(io_s).c_str(), model.history_bytes().value() / 1e6);
   double flops = 0;
   for (int r = 0; r < node.cpu_count(); ++r) {
-    flops += node.cpu(r).equiv_flops();
+    flops += node.cpu(r).equiv_flops().value();
   }
   std::printf("sustained: %.2f Cray-equivalent Gflops on %d CPUs\n",
               flops / compute_s / 1e9, ncpu);

@@ -66,7 +66,7 @@ int main() {
   for (auto& e : machines) {
     Comparator m(e.spec);
     run_workload(m, 2048, 18);
-    const double mflops = m.equiv_flops() / m.seconds().value() / 1e6;
+    const double mflops = m.equiv_flops().value() / m.seconds().value() / 1e6;
     Comparator h(e.spec);
     const double mquips = hint::run_hint(h, 50'000).mquips;
     scores.push_back({e.name, mflops, mquips});

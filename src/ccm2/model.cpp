@@ -114,21 +114,12 @@ void Ccm2::charge_fft_set(sxs::Cpu& cpu, int instances, long repeats) const {
 StepTiming Ccm2::step(int ncpu) {
   NCAR_REQUIRE(ncpu >= 1 && ncpu <= node_->cpu_count(), "processor count");
   const int L = cfg_.active_levels;
-  const int nlev = cfg_.res.nlev;
   const int nlat = cfg_.res.nlat;
   const int nlon = cfg_.res.nlon;
   const int t = sht_.truncation();
   const double a = cfg_.radius;
   const double dt = cfg_.res.dt_seconds;
   const bool first = (steps_ == 0);
-  StepTiming timing;
-
-  // Row/column decomposition for the charges.
-  auto rows_of = [&](int rank) {
-    const long lo = static_cast<long>(nlat) * rank / ncpu;
-    const long hi = static_cast<long>(nlat) * (rank + 1) / ncpu;
-    return hi - lo;
-  };
 
   // ---- numerics (host), per active level --------------------------------
   std::vector<std::vector<cd>> tendency(
@@ -209,6 +200,26 @@ StepTiming Ccm2::step(int ncpu) {
   }
 
   // ---- timing model: the macrotasked regions CCM2 runs per step ---------
+  const StepTiming timing = charge_step(ncpu);
+  ++steps_;
+  return timing;
+}
+
+StepTiming Ccm2::charge_step(int ncpu) const {
+  NCAR_REQUIRE(ncpu >= 1 && ncpu <= node_->cpu_count(), "processor count");
+  const int nlev = cfg_.res.nlev;
+  const int nlat = cfg_.res.nlat;
+  const int nlon = cfg_.res.nlon;
+  const int t = sht_.truncation();
+  StepTiming timing;
+
+  // Row/column decomposition for the charges.
+  auto rows_of = [&](int rank) {
+    const long lo = static_cast<long>(nlat) * rank / ncpu;
+    const long hi = static_cast<long>(nlat) * (rank + 1) / ncpu;
+    return hi - lo;
+  };
+
   const double f = static_cast<double>(nlev);
   const int fields = cfg_.dynamics_fields;
 
@@ -323,7 +334,6 @@ StepTiming Ccm2::step(int ncpu) {
   timing.total = timing.serial + timing.spectral_local + timing.synthesis +
                  timing.ffts + timing.grid + timing.analysis + timing.slt +
                  timing.physics;
-  ++steps_;
   return timing;
 }
 
@@ -392,13 +402,35 @@ double Ccm2::sustained_equiv_gflops(int ncpu, int nsteps) {
   NCAR_REQUIRE(nsteps >= 1, "step count");
   double flops_before = 0;
   for (int r = 0; r < node_->cpu_count(); ++r) {
-    flops_before += node_->cpu(r).equiv_flops();
+    flops_before += node_->cpu(r).equiv_flops().value();
   }
   double total = 0;
   for (int s = 0; s < nsteps; ++s) total += step(ncpu).total;
   double flops_after = 0;
   for (int r = 0; r < node_->cpu_count(); ++r) {
-    flops_after += node_->cpu(r).equiv_flops();
+    flops_after += node_->cpu(r).equiv_flops().value();
+  }
+  return (flops_after - flops_before) / total / 1e9;
+}
+
+double Ccm2::measure_charge_seconds(int ncpu, int nsteps) const {
+  NCAR_REQUIRE(nsteps >= 1, "step count");
+  double total = 0;
+  for (int s = 0; s < nsteps; ++s) total += charge_step(ncpu).total;
+  return total / nsteps;
+}
+
+double Ccm2::charge_sustained_equiv_gflops(int ncpu, int nsteps) const {
+  NCAR_REQUIRE(nsteps >= 1, "step count");
+  double flops_before = 0;
+  for (int r = 0; r < node_->cpu_count(); ++r) {
+    flops_before += node_->cpu(r).equiv_flops().value();
+  }
+  double total = 0;
+  for (int s = 0; s < nsteps; ++s) total += charge_step(ncpu).total;
+  double flops_after = 0;
+  for (int r = 0; r < node_->cpu_count(); ++r) {
+    flops_after += node_->cpu(r).equiv_flops().value();
   }
   return (flops_after - flops_before) / total / 1e9;
 }

@@ -95,6 +95,15 @@ public:
   /// simulated wall-clock of the step (also accumulated on the node).
   StepTiming step(int ncpu);
 
+  /// Charge one step's timing model against the node WITHOUT advancing the
+  /// numerical state. CCM2's per-step charges depend only on the
+  /// configuration and `ncpu` — never on the prognostic fields — so from
+  /// the same node state this issues the exact charge sequence step() would
+  /// and returns the bit-identical StepTiming. Performance harnesses that
+  /// only need timing (CPU-count sweeps, ensemble replays) use this to skip
+  /// the host-side numerics, which dominate real wall time.
+  StepTiming charge_step(int ncpu) const;
+
   long steps_taken() const { return steps_; }
 
   // --- diagnostics (level 0 unless noted) ---------------------------------
@@ -114,6 +123,10 @@ public:
   double measure_step_seconds(int ncpu, int nsteps);
   /// Sustained Cray-equivalent Gflops over `nsteps` fresh steps.
   double sustained_equiv_gflops(int ncpu, int nsteps);
+  /// Charge-replay variants: same simulated numbers as the step()-driven
+  /// measurements (see charge_step), without evolving the state.
+  double measure_charge_seconds(int ncpu, int nsteps) const;
+  double charge_sustained_equiv_gflops(int ncpu, int nsteps) const;
 
   // --- checkpoint / restart (paper section 2.6.2) ---------------------------
   /// Serialise the full prognostic state ("no special programming is

@@ -99,6 +99,9 @@ struct Words {
 struct BytesPerSec {
   static constexpr const char* unit = "B/s";
 };
+struct Flops {
+  static constexpr const char* unit = "flop";
+};
 struct FlopsPerSec {
   static constexpr const char* unit = "flop/s";
 };
@@ -109,6 +112,7 @@ using Seconds = Quantity<dim::Seconds>;
 using Bytes = Quantity<dim::Bytes>;
 using Words = Quantity<dim::Words>;
 using BytesPerSec = Quantity<dim::BytesPerSec>;
+using Flops = Quantity<dim::Flops>;
 using FlopsPerSec = Quantity<dim::FlopsPerSec>;
 
 // --- physically meaningful cross-dimension relations -----------------------
@@ -124,6 +128,19 @@ constexpr Bytes operator*(BytesPerSec r, Seconds s) {
 }
 constexpr Bytes operator*(Seconds s, BytesPerSec r) {
   return Bytes(s.value() * r.value());
+}
+
+constexpr FlopsPerSec operator/(Flops f, Seconds s) {
+  return FlopsPerSec(f.value() / s.value());
+}
+constexpr Seconds operator/(Flops f, FlopsPerSec r) {
+  return Seconds(f.value() / r.value());
+}
+constexpr Flops operator*(FlopsPerSec r, Seconds s) {
+  return Flops(r.value() * s.value());
+}
+constexpr Flops operator*(Seconds s, FlopsPerSec r) {
+  return Flops(s.value() * r.value());
 }
 
 /// An SX-4 word is 64 bits (section 2.2: 64-bit-wide SSRAM banks).

@@ -58,8 +58,8 @@ public:
   void intrinsic(sxs::Intrinsic f, long n);
 
   Seconds seconds() const { return Seconds(cpu_.seconds()); }
-  double hw_flops() const { return cpu_.hw_flops(); }
-  double equiv_flops() const { return cpu_.equiv_flops(); }
+  Flops hw_flops() const { return cpu_.hw_flops(); }
+  Flops equiv_flops() const { return cpu_.equiv_flops(); }
   /// Fraction of charged time spent in intrinsic evaluation.
   double intrinsic_time_fraction() const {
     return cpu_.cycles() > 0 ? cpu_.intrinsic_cycles() / cpu_.cycles() : 0.0;

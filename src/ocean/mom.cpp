@@ -215,12 +215,22 @@ void Mom::compute_diagnostics() {
 
 double Mom::step(int ncpu) {
   NCAR_REQUIRE(ncpu >= 1 && ncpu <= node_->cpu_count(), "processor count");
-  const int nlat = cfg_.nlat, nlev = cfg_.nlev;
-  double elapsed = 0;
 
   // ---- numerics -----------------------------------------------------------
   solve_barotropic();
   baroclinic_step();
+  if ((steps_ + 1) % cfg_.diag_every == 0) compute_diagnostics();
+
+  // ---- timing -------------------------------------------------------------
+  const double elapsed = charge_step(ncpu, steps_);
+  ++steps_;
+  return elapsed;
+}
+
+double Mom::charge_step(int ncpu, long step_index) const {
+  NCAR_REQUIRE(ncpu >= 1 && ncpu <= node_->cpu_count(), "processor count");
+  const int nlat = cfg_.nlat, nlev = cfg_.nlev;
+  double elapsed = 0;
 
   // ---- timing: rigid-lid SOR — one parallel sweep + barrier per iteration.
   for (int it = 0; it < cfg_.sor_iters; ++it) {
@@ -272,8 +282,7 @@ double Mom::step(int ncpu) {
   });
 
   // ---- timing: serial diagnostics every diag_every steps ----------------
-  if ((steps_ + 1) % cfg_.diag_every == 0) {
-    compute_diagnostics();
+  if ((step_index + 1) % cfg_.diag_every == 0) {
     elapsed += node_->serial([&](sxs::Cpu& cpu) {
       sxs::ScalarOp d;
       d.iters = mask_.ocean_total() * static_cast<long>(nlev) * cfg_.diag_passes;
@@ -285,7 +294,6 @@ double Mom::step(int ncpu) {
     });
   }
 
-  ++steps_;
   return elapsed;
 }
 
@@ -396,6 +404,13 @@ double Mom::measure_step_seconds(int ncpu, int nsteps) {
   NCAR_REQUIRE(nsteps >= 1, "step count");
   double total = 0;
   for (int s = 0; s < nsteps; ++s) total += step(ncpu);
+  return total / nsteps;
+}
+
+double Mom::measure_charge_seconds(int ncpu, int nsteps) const {
+  NCAR_REQUIRE(nsteps >= 1, "step count");
+  double total = 0;
+  for (int s = 0; s < nsteps; ++s) total += charge_step(ncpu, s);
   return total / nsteps;
 }
 

@@ -68,6 +68,14 @@ public:
   /// (diagnostics included on every diag_every-th step).
   double step(int ncpu);
 
+  /// Charge one step's timing model without advancing the ocean state.
+  /// MOM's charges depend only on the configuration, the (immutable) land
+  /// mask, `ncpu`, and the step index parity for the every-diag_every-steps
+  /// serial diagnostics — so from the same node state this issues exactly
+  /// the charge sequence step() at `step_index` would, returning the
+  /// bit-identical simulated seconds.
+  double charge_step(int ncpu, long step_index) const;
+
   long steps_taken() const { return steps_; }
 
   // --- physical diagnostics ------------------------------------------------
@@ -83,6 +91,9 @@ public:
   /// Average simulated seconds per step over `nsteps` fresh steps (the
   /// every-10-steps diagnostics pattern should divide nsteps).
   double measure_step_seconds(int ncpu, int nsteps = 10);
+  /// Charge-replay variant of measure_step_seconds: same simulated numbers
+  /// (see charge_step), without running the host-side numerics.
+  double measure_charge_seconds(int ncpu, int nsteps = 10) const;
 
   // --- checkpoint / restart (paper section 2.6.2) --------------------------
   std::vector<double> checkpoint() const;

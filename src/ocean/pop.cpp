@@ -221,10 +221,10 @@ double Pop::checksum() const {
 
 double Pop::measure_mflops(int nsteps) {
   NCAR_REQUIRE(nsteps >= 1, "step count");
-  const double f0 = node_->cpu(0).equiv_flops();
+  const double f0 = node_->cpu(0).equiv_flops().value();
   double t = 0;
   for (int s = 0; s < nsteps; ++s) t += step();
-  const double f1 = node_->cpu(0).equiv_flops();
+  const double f1 = node_->cpu(0).equiv_flops().value();
   return (f1 - f0) / t / 1e6;
 }
 

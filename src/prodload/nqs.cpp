@@ -34,7 +34,7 @@ void Nqs::submit(const std::string& queue, NqsJob job) {
   NCAR_REQUIRE(job.cpus >= 1, "job CPU request");
   NCAR_REQUIRE(job.cpus <= queues_[static_cast<std::size_t>(q)].max_cpus_per_job,
                "job exceeds the queue's per-job CPU ceiling");
-  NCAR_REQUIRE(job.service_seconds > 0, "job service time");
+  NCAR_REQUIRE(job.service > Seconds(0.0), "job service time");
   pending_[static_cast<std::size_t>(q)].push_back(std::move(job));
 }
 
@@ -65,7 +65,7 @@ std::vector<Sequence> Nqs::lower() const {
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       const auto& job = jobs[j];
       seqs[j % static_cast<std::size_t>(chains)].jobs.push_back(
-          Job{job.name, {Component{job.name, job.cpus, job.service_seconds}}});
+          Job{job.name, {Component{job.name, job.cpus, job.service}}});
     }
     for (auto& s : seqs) {
       if (!s.jobs.empty()) out.push_back(std::move(s));

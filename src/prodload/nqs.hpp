@@ -30,7 +30,7 @@ struct QueueSpec {
 struct NqsJob {
   std::string name;
   int cpus = 1;
-  double service_seconds = 0;
+  Seconds service{};
   int priority = 0;  ///< higher runs earlier within its queue
 };
 

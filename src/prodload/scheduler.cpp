@@ -41,7 +41,7 @@ RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
       for (const auto& c : j.components) {
         NCAR_REQUIRE(c.cpus >= 1 && c.cpus <= total_cpus_,
                      "component CPU demand must fit the node");
-        NCAR_REQUIRE(c.busy_seconds > 0, "component service time");
+        NCAR_REQUIRE(c.busy > Seconds(0.0), "component service time");
       }
     }
   }
@@ -68,7 +68,7 @@ RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
       waiting.push_back({seq,
                          static_cast<int>(next_job[static_cast<std::size_t>(seq)]),
                          static_cast<int>(c), job.components[c].cpus,
-                         job.components[c].busy_seconds, fifo_counter++});
+                         job.components[c].busy.value(), fifo_counter++});
     }
   };
 
@@ -111,7 +111,8 @@ RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
           result.jobs.push_back(
               {sequence.name + "/" +
                    sequence.jobs[next_job[static_cast<std::size_t>(seq)]].name,
-               job_start[static_cast<std::size_t>(seq)], now});
+               Seconds(job_start[static_cast<std::size_t>(seq)]),
+               Seconds(now)});
           if (++next_job[static_cast<std::size_t>(seq)] <
               sequence.jobs.size()) {
             admit_job(seq, now);
@@ -126,7 +127,7 @@ RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
                  "scheduler deadlock: waiting components cannot start");
   }
 
-  result.makespan = now;
+  result.makespan = Seconds(now);
   return result;
 }
 

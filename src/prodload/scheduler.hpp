@@ -17,14 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hpp"
+
 namespace ncar::prodload {
 
-/// One schedulable component: needs `cpus` processors for `busy_seconds`
+/// One schedulable component: needs `cpus` processors for `busy` seconds
 /// of quiet-machine service time.
 struct Component {
   std::string name;
   int cpus = 1;
-  double busy_seconds = 0;
+  Seconds busy{};
 };
 
 /// Components of a job run concurrently; the job ends when all end.
@@ -41,12 +43,12 @@ struct Sequence {
 
 struct JobRecord {
   std::string name;
-  double start = 0;
-  double end = 0;
+  Seconds start{};
+  Seconds end{};
 };
 
 struct RunResult {
-  double makespan = 0;           ///< first start to last completion
+  Seconds makespan{};            ///< first start to last completion
   std::vector<JobRecord> jobs;   ///< per-job start/stop times
 };
 

@@ -132,8 +132,8 @@ RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f) {
 
   RadabsResult r;
   r.seconds = machine.seconds().value();
-  r.equiv_mflops = machine.equiv_flops() / r.seconds / 1e6;
-  r.hw_mflops = machine.hw_flops() / r.seconds / 1e6;
+  r.equiv_mflops = machine.equiv_flops().value() / r.seconds / 1e6;
+  r.hw_mflops = machine.hw_flops().value() / r.seconds / 1e6;
   r.checksum = checksum;
   r.level_pairs = pairs;
   NCAR_REQUIRE(std::isfinite(checksum) && checksum > 0,

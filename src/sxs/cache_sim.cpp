@@ -1,5 +1,7 @@
 #include "sxs/cache_sim.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace ncar::sxs {
@@ -17,38 +19,95 @@ CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes, int ways)
   sets_ = size_bytes / (line_bytes * static_cast<std::size_t>(ways));
   NCAR_REQUIRE(power_of_two(sets_), "set count must be a power of two");
   lines_.resize(sets_ * static_cast<std::size_t>(ways_));
+  mru_way_.assign(sets_, 0);
 }
 
-bool CacheSim::access(std::uint64_t addr) {
-  ++tick_;
-  const std::uint64_t line_addr = addr / line_bytes_;
+bool CacheSim::touch_line(std::uint64_t line_addr, std::uint64_t run) {
+  tick_ += run;
   const std::size_t set = static_cast<std::size_t>(line_addr) & (sets_ - 1);
   const std::uint64_t tag = line_addr / sets_;
   Line* base = &lines_[set * static_cast<std::size_t>(ways_)];
 
+  // Hot-path shortcut: kernels replay long runs against the same line, so
+  // the most-recently-hit way almost always matches. Probe order cannot
+  // change hit/miss outcomes (a hit is a hit whichever way holds the tag),
+  // so this is purely a constant-factor win.
+  int& mru = mru_way_[set];
+  {
+    Line& line = base[mru];
+    if (line.valid && line.tag == tag) {
+      line.last_use = tick_;
+      hits_ += run;
+      return true;
+    }
+  }
+
   Line* lru = base;
+  int lru_way = 0;
   for (int w = 0; w < ways_; ++w) {
     Line& line = base[w];
     if (line.valid && line.tag == tag) {
       line.last_use = tick_;
-      ++hits_;
+      hits_ += run;
+      mru = w;
       return true;
     }
     if (!line.valid) {
       lru = &line;  // prefer an invalid way for the fill
+      lru_way = w;
     } else if (lru->valid && line.last_use < lru->last_use) {
       lru = &line;
+      lru_way = w;
     }
   }
+  // First byte of the run misses; the remaining run - 1 bytes hit the line
+  // just filled.
   ++misses_;
+  hits_ += run - 1;
   lru->valid = true;
   lru->tag = tag;
   lru->last_use = tick_;
+  mru = lru_way;
   return false;
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  return touch_line(addr / line_bytes_, 1);
+}
+
+void CacheSim::access_range(std::uint64_t addr, std::uint64_t bytes) {
+  while (bytes > 0) {
+    const std::uint64_t line_addr = addr / line_bytes_;
+    const std::uint64_t line_end = (line_addr + 1) * line_bytes_;
+    const std::uint64_t run = std::min<std::uint64_t>(bytes, line_end - addr);
+    touch_line(line_addr, run);
+    addr += run;
+    bytes -= run;
+  }
+}
+
+void CacheSim::access_stream(std::uint64_t base, std::uint64_t stride,
+                             std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t addr = base + static_cast<std::uint64_t>(i) * stride;
+    const std::uint64_t line_addr = addr / line_bytes_;
+    std::uint64_t run = 1;
+    if (stride == 0) {
+      run = n - i;
+    } else if (stride < line_bytes_) {
+      const std::uint64_t line_end = (line_addr + 1) * line_bytes_;
+      run = std::min<std::uint64_t>(
+          n - i, (line_end - addr + stride - 1) / stride);
+    }
+    touch_line(line_addr, run);
+    i += static_cast<std::size_t>(run);
+  }
 }
 
 void CacheSim::flush() {
   for (auto& line : lines_) line.valid = false;
+  std::fill(mru_way_.begin(), mru_way_.end(), 0);
   tick_ = hits_ = misses_ = 0;
 }
 

@@ -27,6 +27,17 @@ public:
   /// treated alike (write-allocate, write-back).
   bool access(std::uint64_t addr);
 
+  /// Access every byte in [addr, addr + bytes). Exactly equivalent — same
+  /// hit/miss counts, same tick and LRU state — to calling access() once per
+  /// byte, but charges whole line-runs with a single tag probe each.
+  void access_range(std::uint64_t addr, std::uint64_t bytes);
+
+  /// Access the `n` byte addresses base, base + stride, ..., in order
+  /// (stride is a forward byte distance). Exactly equivalent to the
+  /// corresponding access() sequence; sub-line strides collapse runs of
+  /// same-line accesses into one probe.
+  void access_stream(std::uint64_t base, std::uint64_t stride, std::size_t n);
+
   void flush();
 
   std::uint64_t hits() const { return hits_; }
@@ -58,10 +69,17 @@ private:
     bool valid = false;
   };
 
+  /// Charge `run` consecutive byte accesses that all land on line
+  /// `line_addr`. Only the final access's tick can matter for LRU state
+  /// (no other line in the set is touched in between), so one probe with
+  /// `tick_ += run` reproduces the per-byte bookkeeping exactly.
+  bool touch_line(std::uint64_t line_addr, std::uint64_t run);
+
   std::size_t line_bytes_;
   std::size_t sets_;
   int ways_;
   std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+  std::vector<int> mru_way_;  // per-set most-recently-hit way, probed first
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -4,11 +4,19 @@
 
 namespace ncar::sxs {
 
+double Cpu::vec_cost(const VectorOp& op) {
+  return vec_cost_.get(op, [&] { return vu_.cycles(op).value(); });
+}
+
+double Cpu::scalar_cost(const ScalarOp& op) {
+  return scalar_cost_.get(op, [&] { return su_.cycles(op).value(); });
+}
+
 void Cpu::vec(const VectorOp& op, long repeats) {
   NCAR_REQUIRE(repeats >= 0, "negative repeat count");
   if (repeats == 0) return;
   const double reps = static_cast<double>(repeats);
-  const double c = vu_.cycles(op).value() * contention_ * reps;
+  const double c = vec_cost(op) * contention_ * reps;
   cycles_ += c;
   vector_cycles_ += c;
   const double n = static_cast<double>(op.n) * reps;
@@ -18,7 +26,7 @@ void Cpu::vec(const VectorOp& op, long repeats) {
 }
 
 void Cpu::scalar(const ScalarOp& op) {
-  const double c = su_.cycles(op).value() * contention_;
+  const double c = scalar_cost(op) * contention_;
   cycles_ += c;
   scalar_cycles_ += c;
   const double flops =
@@ -43,8 +51,7 @@ void Cpu::intrinsic(Intrinsic f, long n, double extra_load_words,
   op.store_words = extra_store_words;
   op.pipe_groups = 2;
   const double reps = static_cast<double>(repeats);
-  const double c =
-      vu_.cycles(op).value() * contention_ * cycle_multiplier * reps;
+  const double c = vec_cost(op) * contention_ * cycle_multiplier * reps;
   cycles_ += c;
   intrinsic_cycles_ += c;
   const double total = static_cast<double>(n) * reps;
@@ -63,7 +70,7 @@ void Cpu::scalar_intrinsic(Intrinsic f, long n) {
   op.other_ops_per_iter = 6.0;  // call / branch / table indexing overhead
   op.working_set_bytes = 4096;  // coefficient tables stay resident
   op.reuse_fraction = 0.9;
-  const double c = su_.cycles(op).value() * contention_;
+  const double c = scalar_cost(op) * contention_;
   cycles_ += c;
   intrinsic_cycles_ += c;
   hw_flops_ += static_cast<double>(n) * (cost.hw_flops + cost.hw_div);

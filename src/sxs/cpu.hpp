@@ -5,7 +5,18 @@
 // scalar, and intrinsic operations against it, and tracks two flop
 // currencies: hardware flops (what our pipes executed) and Cray-Y-MP
 // equivalent flops (the unit the paper reports for RADABS and CCM2).
+//
+// Pricing is memoized: VectorUnit::cycles / ScalarUnit::cycles are pure
+// functions of (descriptor, MachineConfig), so each Cpu keeps an op-cost
+// cache (common/cost_cache.hpp) keyed by the full descriptor tuple.
+// Contention, cycle multipliers and repeat counts multiply the cached value
+// exactly as they multiplied the freshly computed one, so memoization is
+// bit-identical. cost_cache_hits()/misses() expose the counters for the
+// bench reporter.
 
+#include <cstdint>
+
+#include "common/cost_cache.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/memory_model.hpp"
 #include "sxs/ops.hpp"
@@ -55,7 +66,7 @@ public:
 
   /// Adjust the equivalent-flop count without touching time (used when a
   /// kernel's Cray flop-count convention differs from the hardware count).
-  void add_equiv_flops(double flops) { equiv_flops_ += flops; }
+  void add_equiv_flops(Flops flops) { equiv_flops_ += flops.value(); }
 
   // --- contention -------------------------------------------------------------
   /// Memory-bound cycle inflation applied while other CPUs are active;
@@ -66,8 +77,8 @@ public:
   // --- accounting -------------------------------------------------------------
   double cycles() const { return cycles_; }
   double seconds() const { return cycles_ * cfg_->seconds_per_clock(); }
-  double hw_flops() const { return hw_flops_; }
-  double equiv_flops() const { return equiv_flops_; }
+  Flops hw_flops() const { return Flops(hw_flops_); }
+  Flops equiv_flops() const { return Flops(equiv_flops_); }
 
   /// Cycle breakdown by execution class (vector loops / scalar loops /
   /// vectorised intrinsics / raw charges). Sums to cycles().
@@ -80,16 +91,33 @@ public:
 
   void reset();
 
+  // --- op-cost cache ----------------------------------------------------------
+  /// Cached-cost lookups that found (missed) an entry, summed over the
+  /// vector and scalar caches. reset() leaves both alone: the cache is an
+  /// evaluator detail, valid for the lifetime of the configuration.
+  std::uint64_t cost_cache_hits() const {
+    return vec_cost_.hits() + scalar_cost_.hits();
+  }
+  std::uint64_t cost_cache_misses() const {
+    return vec_cost_.misses() + scalar_cost_.misses();
+  }
+
   const MachineConfig& config() const { return *cfg_; }
   const MemoryModel& memory() const { return mem_; }
   const VectorUnit& vector_unit() const { return vu_; }
   const ScalarUnit& scalar_unit() const { return su_; }
 
 private:
+  /// Cycles for `op`, via the cache (pure in op given the fixed config).
+  double vec_cost(const VectorOp& op);
+  double scalar_cost(const ScalarOp& op);
+
   const MachineConfig* cfg_;
   MemoryModel mem_;
   VectorUnit vu_;
   ScalarUnit su_;
+  CostCache<VectorOp, VectorOpHash> vec_cost_;
+  CostCache<ScalarOp, ScalarOpHash> scalar_cost_;
   double cycles_ = 0;
   double vector_cycles_ = 0;
   double scalar_cycles_ = 0;

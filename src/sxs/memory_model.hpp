@@ -7,13 +7,19 @@
 // strides and list vector access benefit from the very short bank cycle
 // time" — i.e. they are slower, but not catastrophically so.
 
+#include <vector>
+
 #include "sxs/machine_config.hpp"
 
 namespace ncar::sxs {
 
 class MemoryModel {
 public:
-  explicit MemoryModel(const MachineConfig& cfg) : cfg_(cfg) {}
+  /// Precomputes the stride -> conflict-factor table for |stride| up to
+  /// `memory_banks` (gcd is periodic in the bank count, so that range
+  /// covers every distinct conflict geometry; larger strides fall back to
+  /// the analytic formula, which stays bit-identical to the table entries).
+  explicit MemoryModel(const MachineConfig& cfg);
 
   /// Cycles for a strided vector stream of `n` 8-byte words at `stride`.
   /// Unit stride and stride 2 run at full port width; larger strides pay a
@@ -38,7 +44,10 @@ public:
   }
 
 private:
+  double analytic_conflict_factor(long stride) const;
+
   const MachineConfig& cfg_;
+  std::vector<double> stride_factor_;  ///< index |stride| in [0, banks]
 };
 
 }  // namespace ncar::sxs

@@ -128,4 +128,16 @@ void Node::reset() {
   for (auto& c : cpus_) c->reset();
 }
 
+std::uint64_t Node::cost_cache_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cpus_) total += c->cost_cache_hits();
+  return total;
+}
+
+std::uint64_t Node::cost_cache_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cpus_) total += c->cost_cache_misses();
+  return total;
+}
+
 }  // namespace ncar::sxs

@@ -10,6 +10,7 @@
 // Cpu and the region time is a max-reduction, the simulated result is
 // deterministic and bit-identical under either policy.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -72,6 +73,12 @@ public:
   /// (dependency injection for tests); nullptr restores the global pool.
   /// The pool must outlive every region run on this node.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Op-cost cache traffic summed over this node's CPUs (the caches are
+  /// per-Cpu, see cpu.hpp). reset() leaves them running; they count the
+  /// whole process lifetime, which is what the bench reporter records.
+  std::uint64_t cost_cache_hits() const;
+  std::uint64_t cost_cache_misses() const;
 
   /// Node wall clock (simulated seconds since construction / reset).
   double elapsed_seconds() const { return elapsed_; }

@@ -9,6 +9,12 @@
 // keeps the numerical code clean while the timing model sees exactly the
 // architectural quantities the paper's results depend on.
 
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cost_cache.hpp"
+
 namespace ncar::sxs {
 
 /// A vector-mode loop (vectorised inner loop of length `n`).
@@ -30,6 +36,10 @@ struct VectorOp {
   /// Number of distinct vector instructions in the loop body (used for the
   /// per-chunk issue cost). Zero means "derive from the streams and flops".
   int instructions = 0;
+
+  /// Field-tuple equality: the cost model is a pure function of every field,
+  /// so two equal descriptors always price identically (cost-cache key).
+  friend bool operator==(const VectorOp&, const VectorOp&) = default;
 };
 
 /// A scalar-mode loop (runs on the superscalar unit through the caches).
@@ -43,6 +53,42 @@ struct ScalarOp {
   /// Fraction of memory references that are re-uses of the working set
   /// (1.0 = fully resident blocking, 0.0 = pure streaming).
   double reuse_fraction = 0.0;
+
+  friend bool operator==(const ScalarOp&, const ScalarOp&) = default;
+};
+
+/// Hash over the full VectorOp field tuple (doubles hashed by bit pattern;
+/// +0.0/-0.0 compare equal but hash apart, which only costs a duplicate
+/// cache slot, never a wrong value).
+struct VectorOpHash {
+  std::size_t operator()(const VectorOp& op) const {
+    std::size_t seed = 0;
+    hash_combine(seed, static_cast<std::size_t>(op.n));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.flops_per_elem));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.div_per_elem));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.load_words));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.store_words));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.gather_words));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.scatter_words));
+    hash_combine(seed, static_cast<std::size_t>(op.load_stride));
+    hash_combine(seed, static_cast<std::size_t>(op.store_stride));
+    hash_combine(seed, static_cast<std::size_t>(op.pipe_groups));
+    hash_combine(seed, static_cast<std::size_t>(op.instructions));
+    return seed;
+  }
+};
+
+struct ScalarOpHash {
+  std::size_t operator()(const ScalarOp& op) const {
+    std::size_t seed = 0;
+    hash_combine(seed, static_cast<std::size_t>(op.iters));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.flops_per_iter));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.mem_words_per_iter));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.other_ops_per_iter));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.working_set_bytes));
+    hash_combine(seed, std::bit_cast<std::uint64_t>(op.reuse_fraction));
+    return seed;
+  }
 };
 
 /// Vectorised intrinsic functions with hardware cost models (Table 3) and

@@ -172,6 +172,58 @@ TEST_F(Ccm2Test, InvalidConfigThrows) {
   EXPECT_THROW(ok.moisture(7), ncar::precondition_error);
 }
 
+// The memoized replay contract: timing charges depend only on (config,
+// ncpu), never on the prognostic fields, so charge_step() must reproduce
+// step()'s timing and per-CPU accumulator trajectory bit for bit.
+TEST_F(Ccm2Test, ChargeReplayBitIdenticalToFullStep) {
+  sxs::Node node_full(sxs::MachineConfig::sx4_benchmarked());
+  sxs::Node node_replay(sxs::MachineConfig::sx4_benchmarked());
+  ccm2::Ccm2 full(small_config(), node_full);
+  ccm2::Ccm2 replay(small_config(), node_replay);
+  for (int s = 0; s < 3; ++s) {
+    const auto a = full.step(4);
+    const auto b = replay.charge_step(4);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.serial, b.serial);
+    EXPECT_EQ(a.spectral_local, b.spectral_local);
+    EXPECT_EQ(a.synthesis, b.synthesis);
+    EXPECT_EQ(a.ffts, b.ffts);
+    EXPECT_EQ(a.grid, b.grid);
+    EXPECT_EQ(a.analysis, b.analysis);
+    EXPECT_EQ(a.slt, b.slt);
+    EXPECT_EQ(a.physics, b.physics);
+  }
+  EXPECT_EQ(node_full.elapsed_seconds(), node_replay.elapsed_seconds());
+  for (int r = 0; r < node_full.cpu_count(); ++r) {
+    EXPECT_EQ(node_full.cpu(r).cycles(), node_replay.cpu(r).cycles());
+    EXPECT_EQ(node_full.cpu(r).equiv_flops().value(),
+              node_replay.cpu(r).equiv_flops().value());
+  }
+}
+
+TEST_F(Ccm2Test, ChargeGflopsMatchFullVariantExactly) {
+  sxs::Node node_full(sxs::MachineConfig::sx4_benchmarked());
+  sxs::Node node_replay(sxs::MachineConfig::sx4_benchmarked());
+  ccm2::Ccm2 full(small_config(), node_full);
+  ccm2::Ccm2 replay(small_config(), node_replay);
+  EXPECT_EQ(full.sustained_equiv_gflops(8, 2),
+            replay.charge_sustained_equiv_gflops(8, 2));
+  EXPECT_EQ(full.measure_step_seconds(8, 2),
+            replay.measure_charge_seconds(8, 2));
+}
+
+// The op-cost cache's reason to exist: a CCM2 charge replay re-prices the
+// same per-row descriptors step after step, so the steady-state hit rate
+// must be high.
+TEST_F(Ccm2Test, ChargeReplayHitRateAbove90Percent) {
+  ccm2::Ccm2 model(small_config(), node);
+  for (int s = 0; s < 10; ++s) model.charge_step(4);
+  const double hits = static_cast<double>(node.cost_cache_hits());
+  const double misses = static_cast<double>(node.cost_cache_misses());
+  ASSERT_GT(hits + misses, 0.0);
+  EXPECT_GT(hits / (hits + misses), 0.90);
+}
+
 // The ensemble property (Table 6's mechanism): external load inflates a
 // job's time by a small percentage.
 TEST_F(Ccm2Test, ExternalLoadCausesPercentLevelDegradation) {

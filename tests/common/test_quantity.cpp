@@ -11,6 +11,7 @@ namespace {
 using ncar::Bytes;
 using ncar::BytesPerSec;
 using ncar::Cycles;
+using ncar::Flops;
 using ncar::FlopsPerSec;
 using ncar::Seconds;
 using ncar::Words;
@@ -47,10 +48,19 @@ static_assert(!multipliable<Bytes, Seconds>,
 static_assert(!dividable<Seconds, BytesPerSec>,
               "seconds / (bytes/s) has no physical meaning here");
 
+static_assert(!addable<Flops, Seconds>, "flops + seconds must not compile");
+static_assert(!addable<Flops, FlopsPerSec>,
+              "flop counts and flop rates are different dimensions");
+static_assert(!multipliable<Flops, Seconds>,
+              "flops * seconds has no physical meaning here");
+
 // The sanctioned cross-dimension relations do exist:
 static_assert(dividable<Bytes, Seconds>);
 static_assert(dividable<Bytes, BytesPerSec>);
 static_assert(multipliable<BytesPerSec, Seconds>);
+static_assert(dividable<Flops, Seconds>);
+static_assert(dividable<Flops, FlopsPerSec>);
+static_assert(multipliable<FlopsPerSec, Seconds>);
 
 // And quantities stay trivially cheap: same size as the double they wrap.
 static_assert(sizeof(Seconds) == sizeof(double));
@@ -102,6 +112,19 @@ TEST(Quantity, BandwidthRelations) {
   EXPECT_DOUBLE_EQ((bytes / rate).value(), 2.0);
   EXPECT_DOUBLE_EQ((rate * secs).value(), 8e9);
   EXPECT_DOUBLE_EQ((secs * rate).value(), 8e9);
+}
+
+TEST(Quantity, FlopRateRelations) {
+  // A sustained-Gflops computation end to end: flops / seconds is a rate,
+  // rate * time gives flops back, and work / rate gives the time.
+  const Flops work(4.8e9);
+  const Seconds t(2.0);
+  const FlopsPerSec rate = work / t;
+  EXPECT_DOUBLE_EQ(rate.value(), 2.4e9);
+  EXPECT_DOUBLE_EQ((work / rate).value(), 2.0);
+  EXPECT_DOUBLE_EQ((rate * t).value(), 4.8e9);
+  EXPECT_DOUBLE_EQ((t * rate).value(), 4.8e9);
+  EXPECT_EQ(Flops(5.0), Flops(5.0));
 }
 
 TEST(Quantity, WordsAreEightBytes) {

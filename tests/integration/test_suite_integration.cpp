@@ -124,11 +124,13 @@ TEST(SuiteIntegration, SchedulerConsumesModelServiceTimes) {
                             machine.bank_contention_per_cpu);
   prodload::Sequence seq{
       "seq",
-      {prodload::Job{"job", {{"ccm2-a", 2, t42_1day}, {"ccm2-b", 2, t42_1day}}}}};
+      {prodload::Job{"job",
+                     {{"ccm2-a", 2, Seconds(t42_1day)},
+                      {"ccm2-b", 2, Seconds(t42_1day)}}}}};
   const auto r = sched.run({seq});
   // Both components run concurrently; makespan ~ one job + contention.
-  EXPECT_GT(r.makespan, t42_1day);
-  EXPECT_LT(r.makespan, 1.05 * t42_1day);
+  EXPECT_GT(r.makespan.value(), t42_1day);
+  EXPECT_LT(r.makespan.value(), 1.05 * t42_1day);
 }
 
 }  // namespace

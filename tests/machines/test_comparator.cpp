@@ -84,7 +84,7 @@ TEST(Comparator, IntrinsicsVectoriseOnVectorMachines) {
 TEST(Comparator, EquivalentFlopsUseCrayCurrency) {
   Comparator ymp(Comparator::cray_ymp());
   ymp.intrinsic(Intrinsic::Exp, 1000);
-  EXPECT_DOUBLE_EQ(ymp.equiv_flops(), 11000.0);
+  EXPECT_DOUBLE_EQ(ymp.equiv_flops().value(), 11000.0);
 }
 
 TEST(Comparator, ResetClearsAccounting) {
@@ -92,14 +92,14 @@ TEST(Comparator, ResetClearsAccounting) {
   sx4.vec(triad(1000));
   sx4.reset();
   EXPECT_DOUBLE_EQ(sx4.seconds().value(), 0.0);
-  EXPECT_DOUBLE_EQ(sx4.equiv_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(sx4.equiv_flops().value(), 0.0);
 }
 
 TEST(Comparator, ScalarFallbackChargesVectorLoopAsScalar) {
   Comparator sparc(Comparator::sun_sparc20());
   sparc.vec(triad(10000));
   // 2 flops/elem accounted either way.
-  EXPECT_DOUBLE_EQ(sparc.hw_flops(), 20000.0);
+  EXPECT_DOUBLE_EQ(sparc.hw_flops().value(), 20000.0);
   EXPECT_GT(sparc.seconds().value(), 0.0);
 }
 

@@ -94,6 +94,29 @@ TEST_F(MomTest, SpeedupShapeMatchesTable7) {
   EXPECT_LT(speedup, 12.0);
 }
 
+// The memoized replay contract: MOM's charges depend only on the config,
+// the immutable land mask, ncpu, and the step index's diagnostics parity —
+// never on the prognostic fields — so replaying charges must reproduce the
+// full step's timing and per-CPU accumulators bit for bit.
+TEST_F(MomTest, ChargeReplayBitIdenticalToFullStep) {
+  sxs::Node node_full(sxs::MachineConfig::sx4_benchmarked());
+  sxs::Node node_replay(sxs::MachineConfig::sx4_benchmarked());
+  ocean::Mom full(ocean::MomConfig::low_resolution(), node_full);
+  ocean::Mom replay(ocean::MomConfig::low_resolution(), node_replay);
+  // Span a diagnostics step so the parity-dependent serial charge is hit.
+  const int nsteps = static_cast<int>(
+      ocean::MomConfig::low_resolution().diag_every) + 2;
+  for (int s = 0; s < nsteps; ++s) {
+    const double a = full.step(4);
+    const double b = replay.charge_step(4, s);
+    EXPECT_EQ(a, b) << "step " << s;
+  }
+  EXPECT_EQ(node_full.elapsed_seconds(), node_replay.elapsed_seconds());
+  for (int r = 0; r < node_full.cpu_count(); ++r) {
+    EXPECT_EQ(node_full.cpu(r).cycles(), node_replay.cpu(r).cycles());
+  }
+}
+
 TEST_F(MomTest, ResetRestoresState) {
   ocean::Mom mom(ocean::MomConfig::low_resolution(), node);
   const double c0 = mom.checksum();

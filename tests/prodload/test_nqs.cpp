@@ -22,16 +22,16 @@ TEST(Nqs, QueueLookup) {
 
 TEST(Nqs, PerJobCpuCeilingEnforced) {
   auto nqs = batch_and_interactive();
-  EXPECT_THROW(nqs.submit("express", {"big", 8, 100.0, 0}),
+  EXPECT_THROW(nqs.submit("express", {"big", 8, ncar::Seconds(100.0), 0}),
                ncar::precondition_error);
-  nqs.submit("express", {"ok", 4, 100.0, 0});
+  nqs.submit("express", {"ok", 4, ncar::Seconds(100.0), 0});
   EXPECT_EQ(nqs.backlog(1), 1);
 }
 
 TEST(Nqs, PriorityOrdersJobsWithinAQueue) {
   Nqs nqs({{"q", 8, 1}});  // run_limit 1: strictly serial
-  nqs.submit("q", {"low", 2, 10.0, 0});
-  nqs.submit("q", {"high", 2, 10.0, 9});
+  nqs.submit("q", {"low", 2, ncar::Seconds(10.0), 0});
+  nqs.submit("q", {"high", 2, ncar::Seconds(10.0), 9});
   const auto seqs = nqs.lower();
   ASSERT_EQ(seqs.size(), 1u);
   ASSERT_EQ(seqs[0].jobs.size(), 2u);
@@ -45,11 +45,11 @@ TEST(Nqs, RunLimitBoundsConcurrency) {
   // the makespan is two job lengths.
   Nqs nqs({{"q", 8, 2}});
   for (int j = 0; j < 4; ++j) {
-    nqs.submit("q", {"j" + std::to_string(j), 8, 100.0, 0});
+    nqs.submit("q", {"j" + std::to_string(j), 8, ncar::Seconds(100.0), 0});
   }
   Scheduler sched(32, 0.0);
   const auto r = nqs.run(sched);
-  EXPECT_NEAR(r.makespan, 200.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 200.0, 1e-9);
   EXPECT_EQ(r.jobs.size(), 4u);
 }
 
@@ -57,10 +57,10 @@ TEST(Nqs, HigherRunLimitShortensTheBacklog) {
   auto run_with_limit = [](int limit) {
     Nqs nqs({{"q", 8, limit}});
     for (int j = 0; j < 4; ++j) {
-      nqs.submit("q", {"j" + std::to_string(j), 8, 100.0, 0});
+      nqs.submit("q", {"j" + std::to_string(j), 8, ncar::Seconds(100.0), 0});
     }
     Scheduler sched(32, 0.0);
-    return nqs.run(sched).makespan;
+    return nqs.run(sched).makespan.value();
   };
   EXPECT_NEAR(run_with_limit(1), 400.0, 1e-9);
   EXPECT_NEAR(run_with_limit(4), 100.0, 1e-9);
@@ -70,24 +70,24 @@ TEST(Nqs, QueuesCompeteForTheNode) {
   // Two queues with unlimited run limits but a 8-CPU node: the scheduler's
   // FIFO gate serialises what the queues release.
   Nqs nqs({{"a", 8, 4}, {"b", 8, 4}});
-  nqs.submit("a", {"a1", 8, 50.0, 0});
-  nqs.submit("b", {"b1", 8, 50.0, 0});
+  nqs.submit("a", {"a1", 8, ncar::Seconds(50.0), 0});
+  nqs.submit("b", {"b1", 8, ncar::Seconds(50.0), 0});
   Scheduler sched(8, 0.0);
   const auto r = nqs.run(sched);
-  EXPECT_NEAR(r.makespan, 100.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 100.0, 1e-9);
 }
 
 TEST(Nqs, AccountingRecordsStartAndStop) {
   // The PRODLOAD benchmark "considers start and stop times of individual
   // jobs"; the run result carries them.
   Nqs nqs({{"q", 8, 1}});
-  nqs.submit("q", {"first", 4, 30.0, 1});
-  nqs.submit("q", {"second", 4, 20.0, 0});
+  nqs.submit("q", {"first", 4, ncar::Seconds(30.0), 1});
+  nqs.submit("q", {"second", 4, ncar::Seconds(20.0), 0});
   Scheduler sched(32, 0.0);
   const auto r = nqs.run(sched);
   ASSERT_EQ(r.jobs.size(), 2u);
-  EXPECT_NEAR(r.jobs[0].end - r.jobs[0].start, 30.0, 1e-9);
-  EXPECT_NEAR(r.jobs[1].start, 30.0, 1e-9);
+  EXPECT_NEAR((r.jobs[0].end - r.jobs[0].start).value(), 30.0, 1e-9);
+  EXPECT_NEAR(r.jobs[1].start.value(), 30.0, 1e-9);
 }
 
 TEST(Nqs, InvalidConfigurationsThrow) {
@@ -95,8 +95,8 @@ TEST(Nqs, InvalidConfigurationsThrow) {
   EXPECT_THROW(Nqs({{"", 8, 1}}), ncar::precondition_error);
   EXPECT_THROW(Nqs({{"q", 0, 1}}), ncar::precondition_error);
   auto nqs = batch_and_interactive();
-  EXPECT_THROW(nqs.submit("nope", {"x", 1, 1.0, 0}), ncar::precondition_error);
-  EXPECT_THROW(nqs.submit("batch", {"x", 1, 0.0, 0}), ncar::precondition_error);
+  EXPECT_THROW(nqs.submit("nope", {"x", 1, ncar::Seconds(1.0), 0}), ncar::precondition_error);
+  EXPECT_THROW(nqs.submit("batch", {"x", 1, ncar::Seconds(0.0), 0}), ncar::precondition_error);
   Scheduler sched(32, 0.0);
   EXPECT_THROW(nqs.run(sched), ncar::precondition_error);  // nothing queued
 }

@@ -9,55 +9,55 @@ namespace {
 using namespace ncar::prodload;
 
 Sequence one_job(const std::string& name, int cpus, double secs) {
-  return Sequence{name, {Job{"job", {Component{"c", cpus, secs}}}}};
+  return Sequence{name, {Job{"job", {Component{"c", cpus, ncar::Seconds(secs)}}}}};
 }
 
 TEST(Scheduler, SingleComponentRunsForItsServiceTime) {
   Scheduler s(32, 0.0);
   const auto r = s.run({one_job("a", 4, 100.0)});
-  EXPECT_NEAR(r.makespan, 100.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 100.0, 1e-9);
   ASSERT_EQ(r.jobs.size(), 1u);
-  EXPECT_NEAR(r.jobs[0].end - r.jobs[0].start, 100.0, 1e-9);
+  EXPECT_NEAR((r.jobs[0].end - r.jobs[0].start).value(), 100.0, 1e-9);
 }
 
 TEST(Scheduler, JobsInASequenceRunBackToBack) {
   Scheduler s(32, 0.0);
-  Sequence seq{"s", {Job{"j1", {{"c", 4, 50.0}}}, Job{"j2", {{"c", 4, 70.0}}}}};
+  Sequence seq{"s", {Job{"j1", {{"c", 4, ncar::Seconds(50.0)}}}, Job{"j2", {{"c", 4, ncar::Seconds(70.0)}}}}};
   const auto r = s.run({seq});
-  EXPECT_NEAR(r.makespan, 120.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 120.0, 1e-9);
   ASSERT_EQ(r.jobs.size(), 2u);
-  EXPECT_NEAR(r.jobs[1].start, 50.0, 1e-9);
+  EXPECT_NEAR(r.jobs[1].start.value(), 50.0, 1e-9);
 }
 
 TEST(Scheduler, JobEndsWhenSlowestComponentEnds) {
   Scheduler s(32, 0.0);
-  Sequence seq{"s", {Job{"j", {{"fast", 2, 10.0}, {"slow", 2, 90.0}}}}};
+  Sequence seq{"s", {Job{"j", {{"fast", 2, ncar::Seconds(10.0)}, {"slow", 2, ncar::Seconds(90.0)}}}}};
   const auto r = s.run({seq});
-  EXPECT_NEAR(r.makespan, 90.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 90.0, 1e-9);
 }
 
 TEST(Scheduler, ConcurrentSequencesOverlapWhenCpusSuffice) {
   Scheduler s(32, 0.0);
   const auto r = s.run({one_job("a", 8, 100.0), one_job("b", 8, 100.0)});
-  EXPECT_NEAR(r.makespan, 100.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 100.0, 1e-9);
 }
 
 TEST(Scheduler, QueueingWhenCpusExhausted) {
   Scheduler s(8, 0.0);
   // Two 8-CPU components cannot overlap on an 8-CPU node.
   const auto r = s.run({one_job("a", 8, 100.0), one_job("b", 8, 100.0)});
-  EXPECT_NEAR(r.makespan, 200.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 200.0, 1e-9);
 }
 
 TEST(Scheduler, FifoOrderPreserved) {
   Scheduler s(8, 0.0);
   // A big waiting component blocks later small ones (strict FIFO).
-  Sequence a{"a", {Job{"j", {{"c", 8, 100.0}}}}};
-  Sequence b{"b", {Job{"j", {{"c", 8, 10.0}}}}};
-  Sequence c{"c", {Job{"j", {{"c", 1, 1.0}}}}};
+  Sequence a{"a", {Job{"j", {{"c", 8, ncar::Seconds(100.0)}}}}};
+  Sequence b{"b", {Job{"j", {{"c", 8, ncar::Seconds(10.0)}}}}};
+  Sequence c{"c", {Job{"j", {{"c", 1, ncar::Seconds(1.0)}}}}};
   const auto r = s.run({a, b, c});
   // a runs first; b waits; c (admitted third) waits behind b.
-  EXPECT_NEAR(r.makespan, 111.0, 1e-9);
+  EXPECT_NEAR(r.makespan.value(), 111.0, 1e-9);
 }
 
 TEST(Scheduler, ContentionStretchesConcurrentWork) {
@@ -65,8 +65,8 @@ TEST(Scheduler, ContentionStretchesConcurrentWork) {
   Scheduler contended(32, 1e-3);
   const std::vector<Sequence> load = {one_job("a", 16, 100.0),
                                       one_job("b", 16, 100.0)};
-  const double t0 = quiet.run(load).makespan;
-  const double t1 = contended.run(load).makespan;
+  const double t0 = quiet.run(load).makespan.value();
+  const double t1 = contended.run(load).makespan.value();
   EXPECT_GT(t1, t0);
   EXPECT_NEAR(t1 / t0, 1.0 + 31e-3, 1e-6);
 }
@@ -77,15 +77,15 @@ TEST(Scheduler, ContentionDropsWhenLoadRetires) {
   Scheduler s(32, 1e-3);
   const auto r = s.run({one_job("long", 16, 100.0), one_job("short", 16, 10.0)});
   const double all_contended = 100.0 * (1.0 + 31e-3);
-  EXPECT_LT(r.makespan, all_contended);
-  EXPECT_GT(r.makespan, 100.0);
+  EXPECT_LT(r.makespan.value(), all_contended);
+  EXPECT_GT(r.makespan.value(), 100.0);
 }
 
 TEST(Scheduler, RecordsAllJobs) {
   Scheduler s(32, 0.0);
   Sequence seq{"s", {}};
   for (int j = 0; j < 4; ++j) {
-    seq.jobs.push_back(Job{"j" + std::to_string(j), {{"c", 2, 5.0}}});
+    seq.jobs.push_back(Job{"j" + std::to_string(j), {{"c", 2, ncar::Seconds(5.0)}}});
   }
   const auto r = s.run({seq, seq});
   EXPECT_EQ(r.jobs.size(), 8u);

@@ -22,8 +22,8 @@ protected:
 TEST_F(CpuTest, StartsAtZero) {
   EXPECT_DOUBLE_EQ(cpu.cycles(), 0.0);
   EXPECT_DOUBLE_EQ(cpu.seconds(), 0.0);
-  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 0.0);
-  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops().value(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops().value(), 0.0);
 }
 
 TEST_F(CpuTest, VectorOpAccumulatesCyclesAndFlops) {
@@ -34,8 +34,8 @@ TEST_F(CpuTest, VectorOpAccumulatesCyclesAndFlops) {
   op.store_words = 1;
   cpu.vec(op);
   EXPECT_GT(cpu.cycles(), 0.0);
-  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 2000.0);
-  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 2000.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops().value(), 2000.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops().value(), 2000.0);
 }
 
 TEST_F(CpuTest, SecondsAreCyclesTimesClock) {
@@ -51,8 +51,8 @@ TEST_F(CpuTest, ChargeSecondsRoundTrips) {
 TEST_F(CpuTest, IntrinsicUsesDifferentFlopCurrencies) {
   cpu.intrinsic(Intrinsic::Exp, 1000);
   // Hardware pipes executed 18 flops per EXP; Cray counting says 11.
-  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 18000.0);
-  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 11000.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops().value(), 18000.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops().value(), 11000.0);
 }
 
 TEST_F(CpuTest, VectorIntrinsicRateIsPaperShaped) {
@@ -91,11 +91,11 @@ TEST_F(CpuTest, ContentionBelowOneThrows) {
 
 TEST_F(CpuTest, ResetClearsEverything) {
   cpu.charge_cycles(ncar::Cycles(10));
-  cpu.add_equiv_flops(5);
+  cpu.add_equiv_flops(ncar::Flops(5));
   cpu.set_contention(1.5);
   cpu.reset();
   EXPECT_DOUBLE_EQ(cpu.cycles(), 0.0);
-  EXPECT_DOUBLE_EQ(cpu.equiv_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.equiv_flops().value(), 0.0);
   EXPECT_DOUBLE_EQ(cpu.contention(), 1.0);
 }
 
@@ -106,6 +106,53 @@ TEST_F(CpuTest, NegativeChargesThrow) {
   EXPECT_THROW(cpu.intrinsic(Intrinsic::Exp, -1), ncar::precondition_error);
 }
 
+TEST_F(CpuTest, CostCacheCountsHitsAndMisses) {
+  VectorOp op;
+  op.n = 1000;
+  op.flops_per_elem = 2;
+  op.load_words = 2;
+  op.store_words = 1;
+  EXPECT_EQ(cpu.cost_cache_hits(), 0u);
+  EXPECT_EQ(cpu.cost_cache_misses(), 0u);
+  cpu.vec(op);  // first sight: priced once
+  EXPECT_EQ(cpu.cost_cache_misses(), 1u);
+  cpu.vec(op);  // identical descriptor: replayed
+  cpu.vec(op);
+  EXPECT_EQ(cpu.cost_cache_hits(), 2u);
+  EXPECT_EQ(cpu.cost_cache_misses(), 1u);
+  op.n = 1001;  // any field change is a new key
+  cpu.vec(op);
+  EXPECT_EQ(cpu.cost_cache_misses(), 2u);
+}
+
+TEST_F(CpuTest, CachedChargesAreBitIdenticalToFirstSight) {
+  VectorOp op;
+  op.n = 12345;
+  op.load_words = 3;
+  op.store_words = 1;
+  op.load_stride = 7;
+  op.flops_per_elem = 4;
+  Cpu fresh{cfg};
+  fresh.vec(op);
+  const double first = fresh.cycles();
+  cpu.vec(op);
+  cpu.reset();  // reset clears counters but keeps the cache warm
+  cpu.vec(op);  // replayed from cache
+  EXPECT_EQ(cpu.cycles(), first);
+  EXPECT_GE(cpu.cost_cache_hits(), 1u);
+}
+
+TEST_F(CpuTest, ScalarCostCacheCountsSeparately) {
+  ScalarOp op;
+  op.iters = 100;
+  op.flops_per_iter = 1;
+  op.mem_words_per_iter = 1;
+  cpu.scalar(op);
+  cpu.scalar(op);
+  EXPECT_EQ(cpu.cost_cache_misses(), 1u);
+  EXPECT_EQ(cpu.cost_cache_hits(), 1u);
+}
+
 TEST_F(CpuTest, ScalarOpGoesThroughCacheModel) {
   ScalarOp op;
   op.iters = 10000;
@@ -114,7 +161,7 @@ TEST_F(CpuTest, ScalarOpGoesThroughCacheModel) {
   op.reuse_fraction = 0.0;
   cpu.scalar(op);
   EXPECT_GT(cpu.cycles(), 0.0);
-  EXPECT_DOUBLE_EQ(cpu.hw_flops(), 10000.0);
+  EXPECT_DOUBLE_EQ(cpu.hw_flops().value(), 10000.0);
 }
 
 // Property sweep: every intrinsic has positive cost and a vector rate below

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "common/error.hpp"
 #include "sxs/machine_config.hpp"
 
@@ -84,6 +88,38 @@ TEST_F(MemoryModelTest, ZeroWordsIsFree) {
 TEST_F(MemoryModelTest, NegativeWordCountThrows) {
   EXPECT_THROW(mem.stream_cycles(-1, 1), ncar::precondition_error);
   EXPECT_THROW(mem.gather_cycles(-1), ncar::precondition_error);
+}
+
+TEST_F(MemoryModelTest, StrideTableMatchesAnalyticFormulaEverywhere) {
+  // The constructor tabulates strides [0, banks]; anything larger falls
+  // back to the analytic formula. Both paths must agree bit-for-bit with
+  // the formula written out longhand (gcd folding, bank-cycle demand).
+  const auto longhand = [&](long stride) {
+    stride = std::labs(stride);
+    if (stride <= 2) return 1.0;
+    const long visited = cfg.memory_banks / std::gcd(stride, cfg.memory_banks);
+    const double demand =
+        mem.port_words_per_clock() * cfg.bank_cycle_clocks;
+    return std::max(cfg.strided_port_divisor,
+                    demand / static_cast<double>(visited));
+  };
+  for (long s : {0L, 1L, 2L, 3L, 5L, 64L, 512L, 1023L, 1024L,  // in table
+                 1025L, 1536L, 2048L, 3072L, 100000L}) {       // beyond it
+    EXPECT_EQ(mem.stride_conflict_factor(s), longhand(s)) << "stride " << s;
+    EXPECT_EQ(mem.stride_conflict_factor(-s), longhand(s)) << "stride " << -s;
+  }
+}
+
+TEST_F(MemoryModelTest, StridesBeyondTableFoldByGcdPeriodicity) {
+  // gcd(s, B) == gcd(s mod B, B): a stride past the table shares its
+  // conflict geometry with its in-table representative.
+  const long banks = cfg.memory_banks;
+  for (long s : {banks + 3, banks + 64, 3 * banks, 5 * banks + 512}) {
+    long rep = s % banks == 0 ? banks : s % banks;
+    if (rep <= 2) continue;  // representative is conflict-free by fiat
+    EXPECT_EQ(mem.stride_conflict_factor(s), mem.stride_conflict_factor(rep))
+        << "stride " << s;
+  }
 }
 
 TEST(MemoryModelBanks, FewerBanksConflictSooner) {

@@ -102,8 +102,7 @@ TEST_F(ScalarUnitTest, BadReuseFractionThrows) {
 TEST_F(ScalarUnitTest, AnalyticStreamingMissRateMatchesCacheSim) {
   auto sim = CacheSim::dcache(cfg);
   const int words = 1 << 18;  // 2 MB stream, far beyond the 64 KB cache
-  for (int i = 0; i < words; ++i)
-    sim.access(static_cast<std::uint64_t>(i) * 8);
+  sim.access_stream(0, 8, static_cast<std::size_t>(words));
 
   ScalarOp op;
   op.iters = words;
@@ -117,8 +116,7 @@ TEST_F(ScalarUnitTest, AnalyticResidentMissRateMatchesCacheSim) {
   auto sim = CacheSim::dcache(cfg);
   const int words = 1024;  // 8 KB working set
   for (int pass = 0; pass < 100; ++pass) {
-    for (int i = 0; i < words; ++i)
-      sim.access(static_cast<std::uint64_t>(i) * 8);
+    sim.access_stream(0, 8, static_cast<std::size_t>(words));
   }
   ScalarOp op;
   op.iters = words;

@@ -243,12 +243,13 @@ std::vector<Finding> check_pragma_once(const fs::path& root) {
 }
 
 std::vector<Finding> check_typed_units(const fs::path& root) {
-  // In sxs:: public headers a parameter `double seconds` / `double bytes`
-  // (or `..._seconds` / `..._bytes`) defeats the dimension system — it must
-  // be ncar::Seconds / ncar::Bytes. Parameters are recognised by paren
-  // depth > 0; struct fields and method *names* sit at depth 0.
+  // In sxs:: public headers a parameter `double seconds` / `double bytes` /
+  // `double flops` (or a `_seconds` / `_bytes` / `_flops` suffix) defeats
+  // the dimension system — it must be ncar::Seconds / ncar::Bytes /
+  // ncar::Flops. Parameters are recognised by paren depth > 0; struct
+  // fields and method *names* sit at depth 0.
   const auto is_banned_name = [](const std::string& name) {
-    for (const char* suffix : {"seconds", "bytes"}) {
+    for (const char* suffix : {"seconds", "bytes", "flops"}) {
       const std::string s(suffix);
       if (name == s) return true;
       if (name.size() > s.size() + 1 &&

@@ -79,8 +79,9 @@ TEST(SxlintBad, IncludeGuardHeaderIsFlagged) {
 
 TEST(SxlintBad, NakedUnitParametersAreFlagged) {
   const auto findings = ncar::sxlint::check_typed_units(testdata("bad"));
-  // `double bytes` and `double timeout_seconds` in naked_units.hpp.
-  EXPECT_EQ(count_rule(findings, "typed-units"), 2);
+  // `double bytes`, `double timeout_seconds` and `double flops` in
+  // naked_units.hpp.
+  EXPECT_EQ(count_rule(findings, "typed-units"), 3);
   EXPECT_TRUE(mentions_file(findings, "naked_units.hpp"));
 }
 

@@ -4,8 +4,9 @@ namespace bad::sxs {
 
 class Channel {
  public:
-  // Both parameters defeat the dimension system.
+  // All three parameters defeat the dimension system.
   double transfer(double bytes, double timeout_seconds) const;
+  double rate(double flops) const;
 };
 
 }  // namespace bad::sxs

@@ -8,10 +8,18 @@ struct Seconds {
   double v;
 };
 
+struct Flops {
+  double v;
+};
+
 class Clock {
  public:
   double seconds() const;
   void advance(Seconds by);
+  // Typed flop accounting, the cpu.hpp accessor pattern: `double flops()`
+  // is a method name at depth 0, the parameter carries its dimension.
+  double flops() const;
+  void add_flops(Flops f);
 };
 
 }  // namespace good::sxs
