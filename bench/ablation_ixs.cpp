@@ -16,6 +16,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "harness/reporter.hpp"
+#include "harness/trace_report.hpp"
 #include "sxs/ixs.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
@@ -87,5 +88,9 @@ int main(int argc, char** argv) {
               100 * eff16);
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+  // Attribution covers the two measured T170 steps on the single node.
+  bench::print_attribution(std::cout, node);
+  bench::report_attribution(rep, "ablation_ixs", node);
+  bench::write_chrome_trace_file(rep.trace_path(), node);
   return rep.finish(std::cout);
 }

@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "harness/reporter.hpp"
+#include "harness/trace_report.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
@@ -84,5 +85,12 @@ int main(int argc, char** argv) {
               anchor ? "yes" : "NO", shape ? "yes" : "NO");
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+  // Attribution covers the last sweep point (T170L18 on 32 CPUs): node.reset()
+  // clears the collectors with the cycle counters. No-op when tracing is off.
+  bench::print_attribution(std::cout, node);
+  bench::report_attribution(rep, "fig8", node);
+  if (bench::write_chrome_trace_file(rep.trace_path(), node)) {
+    std::printf("chrome trace: %s\n", rep.trace_path().c_str());
+  }
   return rep.finish(std::cout);
 }

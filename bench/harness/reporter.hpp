@@ -74,6 +74,12 @@ public:
   /// gate can refuse to compare quick-mode results to full-mode baselines.
   bool full_mode() const { return full_mode_; }
 
+  /// Default location for the Chrome trace a bench may emit in
+  /// SX4NCAR_TRACE=full mode: <results-dir>/<name>.trace.json.
+  std::string trace_path() const {
+    return results_dir_ + "/" + name_ + ".trace.json";
+  }
+
   const std::string& name() const { return name_; }
   const std::vector<Metric>& metrics() const { return metrics_; }
   const std::vector<Expectation>& expectations() const {

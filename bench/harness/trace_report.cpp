@@ -1,0 +1,169 @@
+#include "harness/trace_report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "harness/reporter.hpp"
+#include "sxs/machine.hpp"
+#include "sxs/node.hpp"
+#include "trace/attribution.hpp"
+#include "trace/category.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace ncar::bench {
+
+namespace {
+
+std::vector<const trace::Collector*> cpu_tracks(const sxs::Node& node) {
+  std::vector<const trace::Collector*> tracks;
+  tracks.reserve(static_cast<std::size_t>(node.cpu_count()));
+  for (int i = 0; i < node.cpu_count(); ++i) {
+    tracks.push_back(&node.cpu(i).trace());
+  }
+  return tracks;
+}
+
+void report_rows(BenchReporter& rep, const std::string& prefix,
+                 const trace::Attribution& attr, const std::string& unit,
+                 bool fractions) {
+  rep.metric(prefix + ".total." + unit, attr.total_ticks, unit);
+  for (const trace::AttributionRow& row : attr.rows) {
+    const std::string base = prefix + "." + trace::to_string(row.category);
+    rep.metric(base + "." + unit, row.ticks, unit);
+    if (fractions) rep.metric(base + ".fraction", row.fraction);
+  }
+}
+
+void report_cpu_and_runtime(BenchReporter& rep, const std::string& prefix,
+                            const std::vector<const trace::Collector*>& cpus,
+                            const std::vector<const trace::Collector*>& runtime) {
+  report_rows(rep, prefix + ".attribution",
+              trace::build_attribution(cpus), "cycles",
+              /*fractions=*/true);
+  report_rows(rep, prefix + ".attribution.node",
+              trace::build_attribution(runtime), "seconds",
+              /*fractions=*/false);
+}
+
+void print_rows(std::ostream& os, const trace::Attribution& attr,
+                const char* unit) {
+  char line[128];
+  std::snprintf(line, sizeof line, "  %-16s %18s %8s\n", "category", unit,
+                "share");
+  os << "attribution (" << trace::to_string(trace::mode()) << " mode):\n"
+     << line;
+  for (const trace::AttributionRow& row : attr.rows) {
+    if (row.ticks == 0.0) continue;
+    std::snprintf(line, sizeof line, "  %-16s %18.6e %7.2f%%\n",
+                  trace::to_string(row.category), row.ticks,
+                  100.0 * row.fraction);
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "  %-16s %18.6e\n", "total",
+                attr.total_ticks);
+  os << line << "\n";
+}
+
+bool write_tracks(const std::string& path,
+                  const std::vector<trace::TraceTrack>& tracks) {
+  if (trace::mode() != trace::Mode::Full) return false;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  trace::write_chrome_trace(out, tracks);
+  return out.good();
+}
+
+void append_node_tracks(std::vector<trace::TraceTrack>& tracks,
+                        const sxs::Node& node, int pid,
+                        const std::string& process_name) {
+  tracks.push_back({&node.runtime_trace(), pid, 0, process_name, "runtime"});
+  for (int i = 0; i < node.cpu_count(); ++i) {
+    const trace::Collector& c = node.cpu(i).trace();
+    if (c.spans().empty()) continue;
+    tracks.push_back(
+        {&c, pid, i + 1, process_name, "cpu" + std::to_string(i)});
+  }
+}
+
+}  // namespace
+
+void report_attribution(BenchReporter& rep, const std::string& prefix,
+                        const sxs::Node& node) {
+  if (trace::mode() == trace::Mode::Off) return;
+  report_cpu_and_runtime(rep, prefix, cpu_tracks(node),
+                         {&node.runtime_trace()});
+}
+
+void report_attribution(BenchReporter& rep, const std::string& prefix,
+                        const sxs::Machine& machine) {
+  if (trace::mode() == trace::Mode::Off) return;
+  std::vector<const trace::Collector*> cpus;
+  std::vector<const trace::Collector*> runtime;
+  for (int n = 0; n < machine.node_count(); ++n) {
+    const sxs::Node& node = machine.node(n);
+    for (int i = 0; i < node.cpu_count(); ++i) {
+      cpus.push_back(&node.cpu(i).trace());
+    }
+    runtime.push_back(&node.runtime_trace());
+  }
+  report_cpu_and_runtime(rep, prefix, cpus, runtime);
+}
+
+void report_attribution(BenchReporter& rep, const std::string& prefix,
+                        const trace::Collector& track,
+                        const std::string& unit) {
+  if (trace::mode() == trace::Mode::Off) return;
+  report_rows(rep, prefix + ".attribution", trace::build_attribution(track),
+              unit, /*fractions=*/true);
+}
+
+bool write_chrome_trace_file(const std::string& path, const sxs::Node& node) {
+  std::vector<trace::TraceTrack> tracks;
+  append_node_tracks(tracks, node, 0, "node0");
+  return write_tracks(path, tracks);
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const sxs::Machine& machine) {
+  std::vector<trace::TraceTrack> tracks;
+  for (int n = 0; n < machine.node_count(); ++n) {
+    append_node_tracks(tracks, machine.node(n), n,
+                       "node" + std::to_string(n));
+  }
+  return write_tracks(path, tracks);
+}
+
+bool write_chrome_trace_file(const std::string& path, const sxs::Node& node,
+                             const trace::Collector& extra_track,
+                             const std::string& extra_name) {
+  std::vector<trace::TraceTrack> tracks;
+  append_node_tracks(tracks, node, 0, "node0");
+  tracks.push_back({&extra_track, 1, 0, extra_name, extra_name});
+  return write_tracks(path, tracks);
+}
+
+void print_attribution(std::ostream& os, const sxs::Node& node) {
+  if (trace::mode() == trace::Mode::Off) return;
+  print_rows(os, trace::build_attribution(cpu_tracks(node)), "cycles");
+}
+
+void print_attribution(std::ostream& os, const sxs::Machine& machine) {
+  if (trace::mode() == trace::Mode::Off) return;
+  std::vector<const trace::Collector*> cpus;
+  for (int n = 0; n < machine.node_count(); ++n) {
+    const sxs::Node& node = machine.node(n);
+    for (int i = 0; i < node.cpu_count(); ++i) {
+      cpus.push_back(&node.cpu(i).trace());
+    }
+  }
+  print_rows(os, trace::build_attribution(cpus), "cycles");
+}
+
+}  // namespace ncar::bench

@@ -1,0 +1,67 @@
+#pragma once
+// Bench-side glue for the src/trace subsystem: fold a run's collectors into
+// attribution metrics on the BenchReporter, and (in SX4NCAR_TRACE=full mode)
+// write a Chrome trace_event JSON next to the result file.
+//
+// Every function here is a no-op when SX4NCAR_TRACE is off, so a bench that
+// adopts it emits byte-identical result JSON to the committed baselines in
+// the default configuration. In summary/full mode the reporter gains
+//
+//   <prefix>.attribution.total.cycles          fold of all per-CPU tracks
+//   <prefix>.attribution.<category>.cycles     per-category charged cycles
+//   <prefix>.attribution.<category>.fraction   cycles / total (0 if empty)
+//   <prefix>.attribution.node.<category>.seconds   runtime-overhead track
+//
+// The per-CPU rows conserve: summing every <category>.cycles in enum order
+// reproduces total.cycles bit-exactly (Other is the residual; see
+// trace/attribution.hpp). tests/trace/ asserts this on real benchmarks.
+
+#include <string>
+
+#include "trace/collector.hpp"
+
+namespace ncar::sxs {
+class Machine;
+class Node;
+}  // namespace ncar::sxs
+
+namespace ncar::bench {
+
+class BenchReporter;
+
+/// Register the attribution tables for one node: the fold of its per-CPU
+/// collectors plus its runtime-overhead track. No-op when tracing is off.
+void report_attribution(BenchReporter& rep, const std::string& prefix,
+                        const sxs::Node& node);
+
+/// Same, folding every node of a machine (per-CPU tracks across all nodes;
+/// runtime tracks likewise folded).
+void report_attribution(BenchReporter& rep, const std::string& prefix,
+                        const sxs::Machine& machine);
+
+/// Register a standalone track (I/O device or scheduler collector) as
+/// <prefix>.attribution.<category>.<unit> rows plus a .total.<unit> row.
+/// No-op when tracing is off.
+void report_attribution(BenchReporter& rep, const std::string& prefix,
+                        const trace::Collector& track,
+                        const std::string& unit = "seconds");
+
+/// Write a Chrome trace_event JSON (one pid per node, one tid per CPU plus
+/// a runtime-overhead thread) to `path`. Returns true if written; false —
+/// without touching the filesystem — unless SX4NCAR_TRACE=full. Extra
+/// standalone tracks (I/O, scheduler) can be appended as their own pid via
+/// the three-argument overload.
+bool write_chrome_trace_file(const std::string& path, const sxs::Node& node);
+bool write_chrome_trace_file(const std::string& path,
+                             const sxs::Machine& machine);
+bool write_chrome_trace_file(const std::string& path, const sxs::Node& node,
+                             const trace::Collector& extra_track,
+                             const std::string& extra_name);
+
+/// Print the per-CPU attribution table as aligned text (category, cycles,
+/// percent) — the human-readable companion of the JSON metrics. No-op when
+/// tracing is off.
+void print_attribution(std::ostream& os, const sxs::Node& node);
+void print_attribution(std::ostream& os, const sxs::Machine& machine);
+
+}  // namespace ncar::bench

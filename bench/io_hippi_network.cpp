@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
   rep.expect_true("hippi.rate_monotone_in_packet_size", monotone,
                   "bigger packets amortise channel setup");
   rep.expect("hippi.large_packet_mb_per_s", big / 1e6,
-             bench::Band::range(0.9 * cfg.hippi_bytes_per_s / 1e6,
-                                cfg.hippi_bytes_per_s / 1e6),
+             bench::Band::range(0.9 * cfg.hippi_bytes_per_s.value() / 1e6,
+                                cfg.hippi_bytes_per_s.value() / 1e6),
              "approaches the HIPPI-800 100 MB/s payload limit", "MB/s");
   rep.expect_true(
       "hippi.concurrency_capped_by_iops",

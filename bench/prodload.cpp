@@ -18,8 +18,10 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "harness/reporter.hpp"
+#include "harness/trace_report.hpp"
 #include "iosim/hippi.hpp"
 #include "prodload/scheduler.hpp"
+#include "trace/collector.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
 
@@ -79,6 +81,11 @@ int main(int argc, char** argv) {
   };
 
   prodload::Scheduler sched(cfg.cpus_per_node, cfg.bank_contention_per_cpu);
+  // Scheduler track: one span per completed job (start .. completion in
+  // simulated seconds). The four tests each restart at t=0, so the Gantt
+  // rows of a test overlay the previous test's — read them per-test.
+  trace::Collector sched_trace;
+  sched.set_trace(&sched_trace);
 
   const Seconds test1 = sched.run({make_seq("seq1")}).makespan;
   const Seconds test2 =
@@ -126,5 +133,12 @@ int main(int argc, char** argv) {
              "paper section 4.6: 93m 28s with the 9.2 ns clock", "s");
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+  // Node attribution covers the T170 service-time measurement (the last
+  // node.reset()); the scheduler track totals job-seconds across all tests.
+  bench::print_attribution(std::cout, node);
+  bench::report_attribution(rep, "prodload", node);
+  bench::report_attribution(rep, "prodload.scheduler", sched_trace, "seconds");
+  bench::write_chrome_trace_file(rep.trace_path(), node, sched_trace,
+                                 "scheduler");
   return rep.finish(std::cout);
 }

@@ -25,18 +25,18 @@ int main(int argc, char** argv) {
              format_fixed(to_gflops(cfg.peak_flops_per_cpu()), 2) +
                  " GFLOPS (at 9.2 ns)"});
   t.add_row({"Peak Memory Bandwidth", "16 GB/sec/proc",
-             format_fixed(cfg.port_bytes_per_clock * cfg.clock_hz() / 1e9, 1) +
+             format_fixed(cfg.port_bytes_per_clock.value() * cfg.clock_hz() / 1e9, 1) +
                  " GB/sec/proc"});
   t.add_row({"Processors", "32", std::to_string(cfg.total_cpus())});
   t.add_row({"Memory banks", "up to 1024", std::to_string(cfg.memory_banks)});
   t.add_row({"Vector register length", "256 elements (8 chips x 32)",
              std::to_string(cfg.vector_length)});
   t.add_row({"Extended Memory (XMU)", "4 GB",
-             format_fixed(cfg.xmu_capacity_bytes / (1024.0 * 1024 * 1024), 0) +
+             format_fixed(cfg.xmu_capacity_bytes.value() / (1024.0 * 1024 * 1024), 0) +
                  " GB"});
   t.add_row({"IOP channels", "4 x 1.6 GB/s",
              std::to_string(cfg.iops) + " x " +
-                 format_fixed(cfg.iop_bytes_per_s / 1e9, 1) + " GB/s"});
+                 format_fixed(cfg.iop_bytes_per_s.value() / 1e9, 1) + " GB/s"});
   t.add_row({"Cooling", "air cooled", "air cooled (CMOS model)"});
   t.print(std::cout);
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
              bench::Band::relative(1.74, 0.01),
              "paper Table 2: 2 GFLOPS at 8 ns == 1.74 at 9.2 ns", "Gflops");
   rep.expect("table2.port_gb_per_s",
-             cfg.port_bytes_per_clock * cfg.clock_hz() / 1e9,
+             cfg.port_bytes_per_clock.value() * cfg.clock_hz() / 1e9,
              bench::Band::relative(16.0 * 8.0 / 9.2, 0.01),
              "paper Table 2: 16 GB/s at 8 ns == 13.9 at 9.2 ns", "GB/s");
   rep.expect("table2.cpus", cfg.total_cpus(), bench::Band::absolute(32, 0),
@@ -55,11 +55,11 @@ int main(int argc, char** argv) {
              bench::Band::absolute(1024, 0), "paper Table 2");
   rep.expect("table2.vector_length", cfg.vector_length,
              bench::Band::absolute(256, 0), "paper Table 2");
-  rep.expect("table2.xmu_gb", cfg.xmu_capacity_bytes / (1024.0 * 1024 * 1024),
+  rep.expect("table2.xmu_gb", cfg.xmu_capacity_bytes.value() / (1024.0 * 1024 * 1024),
              bench::Band::absolute(4.0, 1e-9), "paper Table 2", "GB");
   rep.expect("table2.iops", cfg.iops, bench::Band::absolute(4, 0),
              "paper Table 2");
-  rep.expect("table2.iop_gb_per_s", cfg.iop_bytes_per_s / 1e9,
+  rep.expect("table2.iop_gb_per_s", cfg.iop_bytes_per_s.value() / 1e9,
              bench::Band::relative(1.6, 0.01), "paper Table 2", "GB/s");
 
   const auto product = sxs::MachineConfig::sx4_product();

@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "harness/reporter.hpp"
+#include "harness/trace_report.hpp"
 #include "iosim/disk.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
@@ -69,5 +70,9 @@ int main(int argc, char** argv) {
               ok ? "yes" : "NO");
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+  // Attribution covers the T63L18 measurement (last node.reset()).
+  bench::print_attribution(std::cout, node);
+  bench::report_attribution(rep, "table5", node);
+  bench::write_chrome_trace_file(rep.trace_path(), node);
   return rep.finish(std::cout);
 }

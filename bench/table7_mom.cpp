@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "harness/reporter.hpp"
+#include "harness/trace_report.hpp"
 #include "ocean/mom.hpp"
 #include "sxs/machine_config.hpp"
 #include "sxs/node.hpp"
@@ -82,5 +83,9 @@ int main(int argc, char** argv) {
   std::printf("all times within 25%% of the paper: %s\n", ok ? "yes" : "NO");
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+  // Attribution covers the last sweep point (32 CPUs, charge replay).
+  bench::print_attribution(std::cout, node);
+  bench::report_attribution(rep, "table7", node);
+  bench::write_chrome_trace_file(rep.trace_path(), node);
   return rep.finish(std::cout);
 }

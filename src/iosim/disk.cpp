@@ -55,6 +55,10 @@ void DiskSystem::record_transfer(Bytes bytes, Seconds seconds) {
   NCAR_REQUIRE(bytes.value() >= 0 && seconds.value() >= 0,
                "accounting values");
   total_bytes_ += bytes.value();
+  if (trace_ != nullptr && seconds.value() > 0) {
+    trace_->add(trace::Category::IoDisk, busy_seconds_, seconds.value(),
+                "transfer");
+  }
   busy_seconds_ += seconds.value();
 }
 

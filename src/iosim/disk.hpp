@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/quantity.hpp"
+#include "trace/collector.hpp"
 
 namespace ncar::iosim {
 
@@ -49,10 +50,16 @@ public:
   Seconds busy_seconds() const { return Seconds(busy_seconds_); }
   void reset_accounting();
 
+  /// Record transfers as io_disk activity on `t` (device-busy timeline:
+  /// span starts at the cumulative busy seconds before each transfer);
+  /// nullptr disables. The collector must outlive the DiskSystem.
+  void set_trace(trace::Collector* t) { trace_ = t; }
+
 private:
   DiskConfig cfg_;
   double total_bytes_ = 0;
   double busy_seconds_ = 0;
+  trace::Collector* trace_ = nullptr;
 };
 
 }  // namespace ncar::iosim

@@ -13,7 +13,7 @@ HippiChannel::HippiChannel(const sxs::MachineConfig& cfg) : cfg_(cfg) {
 
 Seconds HippiChannel::packet_seconds(Bytes bytes) const {
   NCAR_REQUIRE(bytes.value() >= 0, "negative packet size");
-  return Seconds(cfg_.hippi_setup_s + bytes.value() / cfg_.hippi_bytes_per_s);
+  return Seconds(cfg_.hippi_setup_s) + bytes / cfg_.hippi_bytes_per_s;
 }
 
 Seconds HippiChannel::transfer_seconds(Bytes total_bytes,
@@ -21,14 +21,24 @@ Seconds HippiChannel::transfer_seconds(Bytes total_bytes,
   NCAR_REQUIRE(total_bytes.value() >= 0, "negative transfer size");
   NCAR_REQUIRE(packet_bytes.value() > 0, "packet size must be positive");
   const double packets = std::ceil(total_bytes / packet_bytes);
-  const double payload_time = total_bytes.value() / cfg_.hippi_bytes_per_s;
-  return Seconds(packets * cfg_.hippi_setup_s + payload_time);
+  const Seconds payload_time = total_bytes / cfg_.hippi_bytes_per_s;
+  return Seconds(packets * cfg_.hippi_setup_s) + payload_time;
 }
 
 BytesPerSec HippiChannel::effective_bytes_per_s(Bytes packet_bytes) const {
   NCAR_REQUIRE(packet_bytes.value() > 0, "packet size must be positive");
   return BytesPerSec(packet_bytes.value() /
                      packet_seconds(packet_bytes).value());
+}
+
+Seconds HippiChannel::traced_transfer(Bytes total_bytes, Bytes packet_bytes) {
+  const Seconds t = transfer_seconds(total_bytes, packet_bytes);
+  if (trace_ != nullptr && t.value() > 0) {
+    trace_->add(trace::Category::IoHippi, traced_busy_s_, t.value(),
+                "hippi");
+  }
+  traced_busy_s_ += t.value();
+  return t;
 }
 
 BytesPerSec HippiChannel::concurrent_bytes_per_s(int transfers,

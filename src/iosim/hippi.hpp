@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sxs/machine_config.hpp"
+#include "trace/collector.hpp"
 
 namespace ncar::iosim {
 
@@ -31,8 +32,18 @@ public:
   /// that the streams time-share.
   BytesPerSec concurrent_bytes_per_s(int transfers, Bytes packet_bytes) const;
 
+  /// Price a transfer like transfer_seconds and record it as io_hippi
+  /// activity on the channel's cumulative-busy timeline.
+  Seconds traced_transfer(Bytes total_bytes, Bytes packet_bytes);
+
+  /// Destination for traced_transfer spans; nullptr disables. The collector
+  /// must outlive the channel.
+  void set_trace(trace::Collector* t) { trace_ = t; }
+
 private:
   sxs::MachineConfig cfg_;
+  trace::Collector* trace_ = nullptr;
+  double traced_busy_s_ = 0;
 };
 
 }  // namespace ncar::iosim

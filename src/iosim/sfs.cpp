@@ -10,15 +10,19 @@ Sfs::Sfs(const sxs::MachineConfig& machine, DiskSystem& disk, SfsConfig cfg)
     : cfg_(cfg), machine_(machine), disk_(&disk) {
   NCAR_REQUIRE(cfg_.cache_bytes > 0, "cache size must be positive");
   NCAR_REQUIRE(cfg_.staging_unit_bytes > 0, "staging unit must be positive");
-  NCAR_REQUIRE(cfg_.cache_bytes <= machine_.xmu_capacity_bytes,
+  NCAR_REQUIRE(Bytes(cfg_.cache_bytes) <= machine_.xmu_capacity_bytes,
                "SFS cache cannot exceed the XMU capacity");
   NCAR_REQUIRE(cfg_.staging_unit_bytes <= cfg_.cache_bytes,
                "staging unit cannot exceed the cache");
 }
 
 double Sfs::xmu_seconds(double bytes) const {
-  const double rate = machine_.xmu_bytes_per_clock * machine_.clock_hz();
-  return bytes / rate;
+  return bytes / machine_.xmu_bandwidth().value();
+}
+
+void Sfs::note(trace::Category c, double start, double seconds,
+               const char* tag) {
+  if (trace_ != nullptr && seconds > 0) trace_->add(c, start, seconds, tag);
 }
 
 void Sfs::drain_until(double t) {
@@ -28,6 +32,7 @@ void Sfs::drain_until(double t) {
   const double drained = std::min(dirty_, stream_rate * window);
   if (drained > 0) {
     disk_->record_transfer(Bytes(drained), Seconds(drained / stream_rate));
+    note(trace::Category::IoDisk, now_, drained / stream_rate, "drain");
     dirty_ -= drained;
     resident_ = std::min(cfg_.cache_bytes, resident_ + drained);
   }
@@ -47,9 +52,12 @@ Seconds Sfs::write(Bytes bytes_q) {
   double wait = 0;
 
   if (cfg_.method == WriteBackMethod::WriteThrough) {
-    const double t =
-        xmu_seconds(bytes) + disk_->sequential_seconds(bytes_q).value();
+    const double xmu_t = xmu_seconds(bytes);
+    const double disk_t = disk_->sequential_seconds(bytes_q).value();
+    const double t = xmu_t + disk_t;
     disk_->record_transfer(bytes_q, disk_->sequential_seconds(bytes_q));
+    note(trace::Category::IoXmu, now_, xmu_t, "write_through");
+    note(trace::Category::IoDisk, now_ + xmu_t, disk_t, "write_through");
     drain_until(now_ + t);
     return Seconds(t);
   }
@@ -68,6 +76,7 @@ Seconds Sfs::write(Bytes bytes_q) {
       wait += stall;
     }
     const double t = xmu_seconds(unit);
+    note(trace::Category::IoXmu, now_, t, "write_back");
     drain_until(now_ + t);
     wait += t;
     dirty_ += unit;
@@ -83,8 +92,11 @@ Seconds Sfs::read(Bytes bytes_q) {
   const double cached = std::min(bytes, resident_ + dirty_);
   const double from_disk = bytes - cached;
   double t = xmu_seconds(cached);
+  note(trace::Category::IoXmu, now_, t, "read");
   if (from_disk > 0) {
-    t += disk_->sequential_seconds(Bytes(from_disk)).value();
+    const double disk_t = disk_->sequential_seconds(Bytes(from_disk)).value();
+    note(trace::Category::IoDisk, now_ + t, disk_t, "read");
+    t += disk_t;
     disk_->record_transfer(Bytes(from_disk),
                            disk_->sequential_seconds(Bytes(from_disk)));
   }

@@ -17,6 +17,7 @@
 
 #include "iosim/disk.hpp"
 #include "sxs/machine_config.hpp"
+#include "trace/collector.hpp"
 
 namespace ncar::iosim {
 
@@ -62,9 +63,16 @@ public:
   /// Total bytes accepted.
   Bytes bytes_written() const { return Bytes(written_); }
 
+  /// Record XMU-speed and disk-speed activity on `t` (seconds ticks on this
+  /// file system's clock); nullptr (the default) disables recording. The
+  /// collector must outlive the Sfs.
+  void set_trace(trace::Collector* t) { trace_ = t; }
+
 private:
   double xmu_seconds(double bytes) const;
   void drain_until(double t);
+  void note(trace::Category c, double start, double seconds,
+            const char* tag);
 
   SfsConfig cfg_;
   const sxs::MachineConfig machine_;
@@ -73,6 +81,7 @@ private:
   double dirty_ = 0;
   double resident_ = 0;  ///< clean cached bytes (for reads)
   double written_ = 0;
+  trace::Collector* trace_ = nullptr;
 };
 
 }  // namespace ncar::iosim

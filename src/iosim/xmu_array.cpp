@@ -16,7 +16,7 @@ XmuArray::XmuArray(const sxs::MachineConfig& machine, long total_words,
   NCAR_REQUIRE(block_ >= 1, "block size");
   NCAR_REQUIRE(window_ >= block_, "window must hold at least one block");
   NCAR_REQUIRE(window_ % block_ == 0, "window must be whole blocks");
-  NCAR_REQUIRE(8.0 * static_cast<double>(total_) <=
+  NCAR_REQUIRE(to_bytes(Words(static_cast<double>(total_))) <=
                    machine_.xmu_capacity_bytes,
                "array exceeds the XMU capacity");
   data_.assign(static_cast<std::size_t>(total_), 0.0);
@@ -46,7 +46,7 @@ void XmuArray::touch(long index) {
     }
     if (lru_[s] < lru_[victim]) victim = s;
   }
-  const double xmu_rate = machine_.xmu_bytes_per_clock * machine_.clock_hz();
+  const double xmu_rate = machine_.xmu_bandwidth().value();
   const double bytes = 8.0 * static_cast<double>(block_) *
                        (resident_[victim] == -1 ? 1.0 : 2.0);  // in (+ out)
   staging_seconds_ += bytes / xmu_rate;
@@ -65,7 +65,7 @@ void XmuArray::write(long index, double value) {
 }
 
 void XmuArray::charge(sxs::Cpu& cpu) {
-  cpu.charge_seconds(Seconds(staging_seconds_));
+  cpu.charge_seconds(Seconds(staging_seconds_), trace::Category::IoXmu);
   staging_seconds_ = 0;
 }
 

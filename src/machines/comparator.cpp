@@ -104,8 +104,8 @@ Spec Comparator::cray_j90() {
   c.vector_issue_clocks = 1.0;
   c.divide_cycles_per_result = 6.0;
   c.memory_banks = 256;
-  c.port_bytes_per_clock = 8.0;  // one word per clock (J90's weak memory)
-  c.node_bytes_per_clock = 8.0;
+  c.port_bytes_per_clock = Bytes(8.0);  // one word per clock (J90's weak memory)
+  c.node_bytes_per_clock = Bytes(8.0);
   c.gather_port_divisor = 2.0;
   c.scatter_port_divisor = 2.0;
   // Scalar side: no data cache on Crays; model as a tiny buffer with a short
@@ -133,8 +133,8 @@ Spec Comparator::cray_ymp() {
   c.vector_issue_clocks = 1.0;
   c.divide_cycles_per_result = 4.0;
   c.memory_banks = 256;
-  c.port_bytes_per_clock = 24.0;  // two loads + one store per clock
-  c.node_bytes_per_clock = 24.0;
+  c.port_bytes_per_clock = Bytes(24.0);  // two loads + one store per clock
+  c.node_bytes_per_clock = Bytes(24.0);
   c.gather_port_divisor = 2.0;
   c.scatter_port_divisor = 2.0;
   c.scalar_issue_width = 1;

@@ -108,11 +108,15 @@ RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
         it = running.erase(it);
         if (--live_components[static_cast<std::size_t>(seq)] == 0) {
           const auto& sequence = sequences[static_cast<std::size_t>(seq)];
+          const double started = job_start[static_cast<std::size_t>(seq)];
           result.jobs.push_back(
               {sequence.name + "/" +
                    sequence.jobs[next_job[static_cast<std::size_t>(seq)]].name,
-               Seconds(job_start[static_cast<std::size_t>(seq)]),
-               Seconds(now)});
+               Seconds(started), Seconds(now)});
+          if (trace_ != nullptr) {
+            trace_->add(trace::Category::Other, started, now - started,
+                        trace_->intern(result.jobs.back().name));
+          }
           if (++next_job[static_cast<std::size_t>(seq)] <
               sequence.jobs.size()) {
             admit_job(seq, now);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/quantity.hpp"
+#include "trace/collector.hpp"
 
 namespace ncar::prodload {
 
@@ -61,9 +62,15 @@ public:
   /// Run the given sequences concurrently to completion.
   RunResult run(const std::vector<Sequence>& sequences) const;
 
+  /// Record one span per completed job ("sequence/job" tag, seconds ticks)
+  /// on `t`; nullptr disables. The collector must outlive the scheduler's
+  /// run() calls.
+  void set_trace(trace::Collector* t) { trace_ = t; }
+
 private:
   int total_cpus_;
   double contention_per_cpu_;
+  trace::Collector* trace_ = nullptr;
 };
 
 }  // namespace ncar::prodload

@@ -4,6 +4,23 @@
 
 namespace ncar::sxs {
 
+namespace {
+
+// Attribution class of a vector loop — a pure function of the descriptor:
+// divide work binds the divide/sqrt pipe, multi-group arithmetic is
+// madd-style, single-group arithmetic is add-pipe work, and flop-free loops
+// (copies, masks, shifts) are logical traffic.
+trace::Category classify(const VectorOp& op) {
+  if (op.div_per_elem > 0) return trace::Category::VectorDiv;
+  if (op.flops_per_elem > 0) {
+    return op.pipe_groups >= 2 ? trace::Category::VectorMul
+                               : trace::Category::VectorAdd;
+  }
+  return trace::Category::VectorLogical;
+}
+
+}  // namespace
+
 double Cpu::vec_cost(const VectorOp& op) {
   return vec_cost_.get(op, [&] { return vu_.cycles(op).value(); });
 }
@@ -12,13 +29,53 @@ double Cpu::scalar_cost(const ScalarOp& op) {
   return scalar_cost_.get(op, [&] { return su_.cycles(op).value(); });
 }
 
+double Cpu::scalar_miss_cost(const ScalarOp& op) {
+  return scalar_miss_cost_.get(op,
+                               [&] { return su_.miss_cycles(op).value(); });
+}
+
+void Cpu::record(trace::Category category, double start, double charged,
+                 double base, double miss, const char* tag) {
+  // total mirrors the cycle counter addition-for-addition, so
+  // trace().total_ticks() stays bit-identical to cycles().
+  trace_.count_total(charged);
+  double conflict = charged - base;  // contention (+ stride) inflation
+  if (conflict < 0) conflict = 0;    // last-ulp guard near contention == 1
+  double main = base;
+  if (miss > 0) {
+    if (miss > main) miss = main;
+    main -= miss;
+    trace_.count(trace::Category::CacheMiss, miss);
+  }
+  trace_.count(category, main);
+  if (conflict > 0) trace_.count(trace::Category::BankConflict, conflict);
+  trace_.span(category, start, charged, tag);
+}
+
 void Cpu::vec(const VectorOp& op, long repeats) {
   NCAR_REQUIRE(repeats >= 0, "negative repeat count");
   if (repeats == 0) return;
   const double reps = static_cast<double>(repeats);
-  const double c = vec_cost(op) * contention_ * reps;
+  const double cost = vec_cost(op);
+  const double c = cost * contention_ * reps;
+  const double start = cycles_ + trace_time_offset_;
   cycles_ += c;
   vector_cycles_ += c;
+
+  // Refined attribution (summary/full): reprice the loop with unit strides
+  // to carve the stride-conflict premium out of the pipe category and into
+  // bank_conflict. Off mode keeps the hot path to the counter updates.
+  double base = cost * reps;
+  if (trace::mode() != trace::Mode::Off &&
+      (op.load_stride != 1 || op.store_stride != 1)) {
+    VectorOp unit = op;
+    unit.load_stride = 1;
+    unit.store_stride = 1;
+    const double unit_cost = vec_cost(unit);
+    if (unit_cost < cost) base = unit_cost * reps;
+  }
+  record(classify(op), start, c, base, 0.0, "vec");
+
   const double n = static_cast<double>(op.n) * reps;
   const double flops = n * (op.flops_per_elem + op.div_per_elem);
   hw_flops_ += flops;
@@ -26,9 +83,16 @@ void Cpu::vec(const VectorOp& op, long repeats) {
 }
 
 void Cpu::scalar(const ScalarOp& op) {
-  const double c = scalar_cost(op) * contention_;
+  const double cost = scalar_cost(op);
+  const double c = cost * contention_;
+  const double start = cycles_ + trace_time_offset_;
   cycles_ += c;
   scalar_cycles_ += c;
+
+  const double miss =
+      trace::mode() != trace::Mode::Off ? scalar_miss_cost(op) : 0.0;
+  record(trace::Category::Scalar, start, c, cost, miss, "scalar");
+
   const double flops =
       static_cast<double>(op.iters) * op.flops_per_iter;
   hw_flops_ += flops;
@@ -51,9 +115,15 @@ void Cpu::intrinsic(Intrinsic f, long n, double extra_load_words,
   op.store_words = extra_store_words;
   op.pipe_groups = 2;
   const double reps = static_cast<double>(repeats);
-  const double c = vec_cost(op) * contention_ * cycle_multiplier * reps;
+  const double op_cost = vec_cost(op);
+  const double c = op_cost * contention_ * cycle_multiplier * reps;
+  const double start = cycles_ + trace_time_offset_;
   cycles_ += c;
   intrinsic_cycles_ += c;
+
+  record(trace::Category::VectorMul, start, c,
+         op_cost * cycle_multiplier * reps, 0.0, "intrinsic");
+
   const double total = static_cast<double>(n) * reps;
   hw_flops_ += total * (cost.hw_flops + cost.hw_div);
   equiv_flops_ += total * cost.equiv_flops;
@@ -70,23 +140,35 @@ void Cpu::scalar_intrinsic(Intrinsic f, long n) {
   op.other_ops_per_iter = 6.0;  // call / branch / table indexing overhead
   op.working_set_bytes = 4096;  // coefficient tables stay resident
   op.reuse_fraction = 0.9;
-  const double c = scalar_cost(op) * contention_;
+  const double op_cost = scalar_cost(op);
+  const double c = op_cost * contention_;
+  const double start = cycles_ + trace_time_offset_;
   cycles_ += c;
   intrinsic_cycles_ += c;
+
+  const double miss =
+      trace::mode() != trace::Mode::Off ? scalar_miss_cost(op) : 0.0;
+  record(trace::Category::Scalar, start, c, op_cost, miss,
+         "scalar_intrinsic");
+
   hw_flops_ += static_cast<double>(n) * (cost.hw_flops + cost.hw_div);
   equiv_flops_ += static_cast<double>(n) * cost.equiv_flops;
 }
 
-void Cpu::charge_cycles(Cycles cycles) {
+void Cpu::charge_cycles(Cycles cycles, trace::Category category) {
   NCAR_REQUIRE(cycles.value() >= 0, "negative cycle charge");
   // Raw charges represent real work (memory-touching included), so the
   // node contention factor applies here as well.
-  cycles_ += cycles.value() * contention_;
+  const double v = cycles.value();
+  const double c = v * contention_;
+  const double start = cycles_ + trace_time_offset_;
+  cycles_ += c;
+  record(category, start, c, v, 0.0, "charge");
 }
 
-void Cpu::charge_seconds(Seconds seconds) {
+void Cpu::charge_seconds(Seconds seconds, trace::Category category) {
   NCAR_REQUIRE(seconds.value() >= 0, "negative time charge");
-  charge_cycles(cfg_->to_cycles(seconds));
+  charge_cycles(cfg_->to_cycles(seconds), category);
 }
 
 void Cpu::set_contention(double factor) {
@@ -102,6 +184,8 @@ void Cpu::reset() {
   hw_flops_ = 0;
   equiv_flops_ = 0;
   contention_ = 1.0;
+  trace_.reset();
+  trace_time_offset_ = 0;
 }
 
 }  // namespace ncar::sxs

@@ -22,13 +22,16 @@
 #include "sxs/ops.hpp"
 #include "sxs/scalar_unit.hpp"
 #include "sxs/vector_unit.hpp"
+#include "trace/category.hpp"
+#include "trace/collector.hpp"
 
 namespace ncar::sxs {
 
 class Cpu {
 public:
   explicit Cpu(const MachineConfig& cfg)
-      : cfg_(&cfg), mem_(cfg), vu_(cfg, mem_), su_(cfg) {}
+      : cfg_(&cfg), mem_(cfg), vu_(cfg, mem_), su_(cfg),
+        trace_(cfg.seconds_per_clock()) {}
 
   // The subunits hold references into this object and into the owning
   // configuration; copying or moving would leave them dangling.
@@ -61,8 +64,12 @@ public:
   /// Charge raw cycles (synchronisation, I/O waits, fixed overheads).
   /// Typed on purpose: a caller holding wall-clock time cannot charge it as
   /// cycles (or vice versa) without converting through a MachineConfig.
-  void charge_cycles(Cycles cycles);
-  void charge_seconds(Seconds seconds);
+  /// `category` files the charge in the attribution taxonomy; model code in
+  /// src/sxs and src/iosim must pass it explicitly (sxlint trace-category).
+  void charge_cycles(Cycles cycles,
+                     trace::Category category = trace::Category::Other);
+  void charge_seconds(Seconds seconds,
+                      trace::Category category = trace::Category::Other);
 
   /// Adjust the equivalent-flop count without touching time (used when a
   /// kernel's Cray flop-count convention differs from the hardware count).
@@ -102,6 +109,18 @@ public:
     return vec_cost_.misses() + scalar_cost_.misses();
   }
 
+  // --- tracing ---------------------------------------------------------------
+  /// Attribution counters / span track for this Cpu. Written only by the
+  /// rank charging the Cpu, same ownership discipline as the cycle counter.
+  trace::Collector& trace() { return trace_; }
+  const trace::Collector& trace() const { return trace_; }
+
+  /// Span timestamps are `cycles() + offset`, so Node::parallel aligns each
+  /// rank's track with the node wall clock by setting the offset to the
+  /// node's elapsed cycles at region entry.
+  void set_trace_time_offset(double cycles) { trace_time_offset_ = cycles; }
+  double trace_time_offset() const { return trace_time_offset_; }
+
   const MachineConfig& config() const { return *cfg_; }
   const MemoryModel& memory() const { return mem_; }
   const VectorUnit& vector_unit() const { return vu_; }
@@ -111,6 +130,13 @@ private:
   /// Cycles for `op`, via the cache (pure in op given the fixed config).
   double vec_cost(const VectorOp& op);
   double scalar_cost(const ScalarOp& op);
+  double scalar_miss_cost(const ScalarOp& op);
+
+  /// File `charged` (the full, contention-inflated amount) under `category`,
+  /// carving the contention inflation (charged - base) into bank_conflict
+  /// and, when `miss` > 0, a cache_miss share out of the base.
+  void record(trace::Category category, double start, double charged,
+              double base, double miss, const char* tag);
 
   const MachineConfig* cfg_;
   MemoryModel mem_;
@@ -118,6 +144,9 @@ private:
   ScalarUnit su_;
   CostCache<VectorOp, VectorOpHash> vec_cost_;
   CostCache<ScalarOp, ScalarOpHash> scalar_cost_;
+  CostCache<ScalarOp, ScalarOpHash> scalar_miss_cost_;
+  trace::Collector trace_;
+  double trace_time_offset_ = 0;
   double cycles_ = 0;
   double vector_cycles_ = 0;
   double scalar_cycles_ = 0;

@@ -10,21 +10,19 @@ Ixs::Ixs(const MachineConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
 
 BytesPerSec Ixs::bisection_bytes_per_s() const {
   // 8 GB/s per node, 16 nodes -> 128 GB/s bisection for the full system.
-  return BytesPerSec(cfg_.ixs_channel_bytes_per_s * cfg_.ixs_max_nodes);
+  return cfg_.ixs_channel_bytes_per_s * static_cast<double>(cfg_.ixs_max_nodes);
 }
 
 Seconds Ixs::transfer_seconds(Bytes bytes) const {
   NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
-  return Seconds(cfg_.ixs_latency_s) +
-         bytes / BytesPerSec(cfg_.ixs_channel_bytes_per_s);
+  return Seconds(cfg_.ixs_latency_s) + bytes / cfg_.ixs_channel_bytes_per_s;
 }
 
 Seconds Ixs::all_to_all_seconds(int nodes, Bytes bytes_per_node) const {
   NCAR_REQUIRE(nodes >= 1 && nodes <= cfg_.ixs_max_nodes, "node count");
   NCAR_REQUIRE(bytes_per_node.value() >= 0, "negative transfer size");
   if (nodes == 1) return Seconds(0.0);
-  const Seconds channel_time =
-      bytes_per_node / BytesPerSec(cfg_.ixs_channel_bytes_per_s);
+  const Seconds channel_time = bytes_per_node / cfg_.ixs_channel_bytes_per_s;
   const Bytes aggregate = bytes_per_node * static_cast<double>(nodes);
   const Seconds bisection_time = aggregate / bisection_bytes_per_s();
   return Seconds(cfg_.ixs_latency_s) + std::max(channel_time, bisection_time);

@@ -72,7 +72,10 @@ double Machine::parallel(int nodes_used, int cpus_per_node_used,
   for (int n = 0; n < nodes_used; ++n) {
     Node& nd = node(n);
     if (nd.elapsed_seconds() < region_end) {
-      nd.advance_seconds(Seconds(region_end - nd.elapsed_seconds()));
+      // Global-barrier wait: the gap to the region end is time spent in the
+      // IXS communications-register barrier behind the slowest node.
+      nd.advance_seconds(Seconds(region_end - nd.elapsed_seconds()),
+                         trace::Category::Barrier);
     }
   }
   return slowest + barrier;
@@ -83,20 +86,19 @@ double Machine::exchange(int nodes_used, Bytes bytes_per_node) {
                "node count for the exchange");
   const double t = ixs_.all_to_all_seconds(nodes_used, bytes_per_node).value();
   for (int n = 0; n < nodes_used; ++n) {
-    node(n).advance_seconds(Seconds(t));
+    node(n).advance_seconds(Seconds(t), trace::Category::IxsTransfer);
   }
   return t;
 }
 
 Seconds Machine::xmu_transfer_seconds(Bytes bytes) const {
   NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
-  const BytesPerSec rate(cfg_.xmu_bytes_per_clock * cfg_.clock_hz());
-  return bytes / rate;
+  return bytes / cfg_.xmu_bandwidth();
 }
 
 Seconds Machine::iop_transfer_seconds(Bytes bytes) const {
   NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
-  return bytes / BytesPerSec(cfg_.iop_bytes_per_s);
+  return bytes / cfg_.iop_bytes_per_s;
 }
 
 double Machine::elapsed_seconds() const {

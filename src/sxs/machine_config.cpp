@@ -46,7 +46,14 @@ void MachineConfig::validate() const {
         "vector register length must be a multiple of the pipe width");
   check(memory_banks > 0 && (memory_banks & (memory_banks - 1)) == 0,
         "bank count must be a power of two");
-  check(port_bytes_per_clock > 0 && node_bytes_per_clock > 0, "bandwidths");
+  check(port_bytes_per_clock > Bytes(0.0) && node_bytes_per_clock > Bytes(0.0),
+        "bandwidths");
+  check(xmu_bytes_per_clock > Bytes(0.0) && xmu_capacity_bytes > Bytes(0.0),
+        "XMU shape");
+  check(iop_bytes_per_s > BytesPerSec(0.0) &&
+            hippi_bytes_per_s > BytesPerSec(0.0) &&
+            ixs_channel_bytes_per_s > BytesPerSec(0.0),
+        "I/O bandwidths");
   check(gather_port_divisor >= 1 && scatter_port_divisor >= 1,
         "port divisors must be >= 1");
   check(cache_ways > 0 && cache_line_bytes > 0 && dcache_bytes > 0,

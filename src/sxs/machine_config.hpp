@@ -45,8 +45,11 @@ struct MachineConfig {
   // --- main memory (paper section 2.2) ---------------------------------------
   int memory_banks = 1024;
   double bank_cycle_clocks = 2.0;          ///< SSRAM bank busy time
-  double port_bytes_per_clock = 128.0;     ///< 16 GB/s per CPU at 8 ns
-  double node_bytes_per_clock = 4096.0;    ///< 512 GB/s sustainable per node
+  // Port widths are architecture invariants (bytes moved per clock), so
+  // they are typed Bytes; ablation benches that vary the clock keep the
+  // width and change only the derived BytesPerSec rates.
+  Bytes port_bytes_per_clock{128.0};     ///< 16 GB/s per CPU at 8 ns
+  Bytes node_bytes_per_clock{4096.0};    ///< 512 GB/s sustainable per node
   // Gather / scatter (list-vector) accesses generate one address per element
   // and cannot use the full-width contiguous port; the paper's Figure 5 shows
   // IA and XPOSE far below COPY. Expressed as a divisor on port width.
@@ -67,17 +70,17 @@ struct MachineConfig {
   double barrier_per_cpu_clocks = 40.0;
 
   // --- XMU (section 2.3) -----------------------------------------------------
-  double xmu_bytes_per_clock = 128.0;  ///< 16 GB/s node XMU bandwidth at 8 ns
-  double xmu_capacity_bytes = 4.0 * 1024 * 1024 * 1024;  // Table 2: 4 GB
+  Bytes xmu_bytes_per_clock{128.0};  ///< 16 GB/s node XMU bandwidth at 8 ns
+  Bytes xmu_capacity_bytes{4.0 * 1024 * 1024 * 1024};  // Table 2: 4 GB
 
   // --- IOP / HIPPI (section 2.4) ---------------------------------------------
   int iops = 4;
-  double iop_bytes_per_s = 1.6e9;      ///< per-IOP channel bandwidth
-  double hippi_bytes_per_s = 100e6;    ///< HIPPI-800 payload rate ~100 MB/s
-  double hippi_setup_s = 40e-6;        ///< per-packet connection/setup cost
+  BytesPerSec iop_bytes_per_s{1.6e9};    ///< per-IOP channel bandwidth
+  BytesPerSec hippi_bytes_per_s{100e6};  ///< HIPPI-800 payload rate ~100 MB/s
+  double hippi_setup_s = 40e-6;          ///< per-packet connection/setup cost
 
   // --- IXS (section 2.5) -------------------------------------------------------
-  double ixs_channel_bytes_per_s = 8e9;  ///< 8 GB/s per node in + 8 GB/s out
+  BytesPerSec ixs_channel_bytes_per_s{8e9};  ///< 8 GB/s per node in + out
   double ixs_latency_s = 3e-6;
   int ixs_max_nodes = 16;
 
@@ -102,7 +105,11 @@ struct MachineConfig {
   }
   /// Per-CPU contiguous memory port bandwidth as a typed rate.
   BytesPerSec port_bandwidth() const {
-    return BytesPerSec(port_bytes_per_clock / seconds_per_clock());
+    return port_bytes_per_clock / Seconds(seconds_per_clock());
+  }
+  /// Node XMU bandwidth as a typed rate.
+  BytesPerSec xmu_bandwidth() const {
+    return BytesPerSec(xmu_bytes_per_clock.value() * clock_hz());
   }
   /// Peak vector flop rate per CPU as a typed rate.
   FlopsPerSec peak_rate_per_cpu() const {

@@ -40,7 +40,7 @@ public:
 
   /// Full contiguous port width in 8-byte words per clock.
   double port_words_per_clock() const {
-    return cfg_.port_bytes_per_clock / 8.0;
+    return to_words(cfg_.port_bytes_per_clock).value();
   }
 
 private:

@@ -70,6 +70,8 @@ double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
                "parallel width exceeds node CPU count");
   const int active = std::min(ncpu + external_active_, cpu_count());
   const double contention = contention_factor(active);
+  const double region_start_cycles =
+      cfg_.to_cycles(Seconds(elapsed_)).value();
 
   // Each rank touches only its own Cpu, so the bodies can run on host
   // threads in any order; delta[rank] is written by exactly one rank.
@@ -77,6 +79,8 @@ double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
   const auto run_rank = [&](int rank) {
     Cpu& c = *cpus_[static_cast<std::size_t>(rank)];
     const double before = c.cycles();
+    // Align this rank's span track with the node wall clock.
+    c.set_trace_time_offset(region_start_cycles - before);
     ContentionScope scope(c, contention);
     body(rank, c);
     delta[static_cast<std::size_t>(rank)] = c.cycles() - before;
@@ -94,8 +98,32 @@ double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
   double max_delta = 0.0;
   for (const double d : delta) max_delta = std::max(max_delta, d);
 
-  const double region =
-      max_delta * cfg_.seconds_per_clock() + barrier_seconds(ncpu);
+  const double barrier = barrier_seconds(ncpu);
+  const double region = max_delta * cfg_.seconds_per_clock() + barrier;
+
+  // Runtime attribution: Idle is the *mean* per-rank wait for the slowest
+  // rank, so region = mean-rank-compute (Other residual) + Idle + Barrier
+  // and no row can go negative. The barrier is charged to the region, not
+  // to any Cpu. Recorded on the calling thread only, so tracing never
+  // perturbs rank bodies.
+  double idle_cycles = 0.0;
+  for (const double d : delta) idle_cycles += max_delta - d;
+  runtime_trace_.count_total(region);
+  runtime_trace_.count(trace::Category::Idle,
+                       idle_cycles / ncpu * cfg_.seconds_per_clock());
+  runtime_trace_.count(trace::Category::Barrier, barrier);
+  if (trace::mode() == trace::Mode::Full) {
+    runtime_trace_.span(trace::Category::Barrier,
+                        elapsed_ + max_delta * cfg_.seconds_per_clock(),
+                        barrier, "barrier");
+    for (int rank = 0; rank < ncpu; ++rank) {
+      const double d = delta[static_cast<std::size_t>(rank)];
+      cpus_[static_cast<std::size_t>(rank)]->trace().span(
+          trace::Category::Idle, region_start_cycles + d, max_delta - d,
+          "idle");
+    }
+  }
+
   elapsed_ += region;
   return region;
 }
@@ -103,11 +131,14 @@ double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
 double Node::serial(const std::function<void(Cpu&)>& body) {
   Cpu& c = *cpus_.front();
   const double before = c.cycles();
+  c.set_trace_time_offset(cfg_.to_cycles(Seconds(elapsed_)).value() -
+                          before);
   // Memory traffic from other jobs on the node slows serial sections too.
   const int active = std::min(1 + external_active_, cpu_count());
   ContentionScope scope(c, contention_factor(active));
   body(c);
   const double region = (c.cycles() - before) * cfg_.seconds_per_clock();
+  runtime_trace_.count_total(region);
   elapsed_ += region;
   return region;
 }
@@ -117,14 +148,18 @@ void Node::set_external_active_cpus(int n) {
   external_active_ = n;
 }
 
-void Node::advance_seconds(Seconds s) {
+void Node::advance_seconds(Seconds s, trace::Category category) {
   NCAR_REQUIRE(s.value() >= 0, "negative advance");
+  runtime_trace_.count_total(s.value());
+  runtime_trace_.count(category, s.value());
+  runtime_trace_.span(category, elapsed_, s.value(), "advance");
   elapsed_ += s.value();
 }
 
 void Node::reset() {
   elapsed_ = 0;
   external_active_ = 0;
+  runtime_trace_.reset();
   for (auto& c : cpus_) c->reset();
 }
 

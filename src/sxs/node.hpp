@@ -82,8 +82,18 @@ public:
 
   /// Node wall clock (simulated seconds since construction / reset).
   double elapsed_seconds() const { return elapsed_; }
-  /// Advance the node wall clock without CPU work (I/O waits etc.).
-  void advance_seconds(Seconds s);
+  /// Advance the node wall clock without CPU work (I/O waits, internode
+  /// transfers); `category` files the wait in the runtime attribution.
+  void advance_seconds(Seconds s,
+                       trace::Category category = trace::Category::Other);
+
+  /// Runtime-overhead track (seconds ticks): barrier and mean-per-rank idle
+  /// time of parallel regions plus categorised clock advances. Its total
+  /// mirrors elapsed_seconds() bit-exactly; the Other residual of its
+  /// attribution table is the mean rank-compute time, which the per-CPU
+  /// tracks break down.
+  trace::Collector& runtime_trace() { return runtime_trace_; }
+  const trace::Collector& runtime_trace() const { return runtime_trace_; }
 
   /// Reset wall clock and all CPU counters.
   void reset();
@@ -93,6 +103,7 @@ private:
 
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
+  trace::Collector runtime_trace_;
   double elapsed_ = 0;
   int external_active_ = 0;
   ExecutionPolicy policy_;

@@ -31,6 +31,14 @@ double ScalarUnit::miss_rate(const ScalarOp& op) const {
          (1.0 - op.reuse_fraction) * streaming_miss;
 }
 
+Cycles ScalarUnit::miss_cycles(const ScalarOp& op) const {
+  NCAR_REQUIRE(op.iters >= 0, "negative iteration count");
+  if (op.iters == 0) return Cycles(0.0);
+  const double n = static_cast<double>(op.iters);
+  const double misses = n * op.mem_words_per_iter * miss_rate(op);
+  return Cycles(misses * cfg_.cache_miss_clocks);
+}
+
 Cycles ScalarUnit::cycles(const ScalarOp& op) const {
   NCAR_REQUIRE(op.iters >= 0, "negative iteration count");
   if (op.iters == 0) return Cycles(0.0);
@@ -41,10 +49,7 @@ Cycles ScalarUnit::cycles(const ScalarOp& op) const {
   const double issue_cycles =
       n * instr_per_iter / static_cast<double>(cfg_.scalar_issue_width);
 
-  const double misses = n * op.mem_words_per_iter * miss_rate(op);
-  const double miss_cycles = misses * cfg_.cache_miss_clocks;
-
-  return Cycles(issue_cycles + miss_cycles);
+  return Cycles(issue_cycles + miss_cycles(op).value());
 }
 
 }  // namespace ncar::sxs

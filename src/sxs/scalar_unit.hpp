@@ -27,6 +27,11 @@ public:
   ///   streaming part — the remaining references miss once per cache line.
   Cycles cycles(const ScalarOp& op) const;
 
+  /// The data-cache miss-stall portion of `cycles` (a pure function of the
+  /// descriptor, so the trace layer can price the cache_miss attribution
+  /// split through the op-cost cache).
+  Cycles miss_cycles(const ScalarOp& op) const;
+
   /// The analytic miss rate used by `cycles` (exposed for tests, which
   /// compare it against the CacheSim reference on synthetic streams).
   double miss_rate(const ScalarOp& op) const;

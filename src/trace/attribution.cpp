@@ -1,0 +1,35 @@
+#include "trace/attribution.hpp"
+
+namespace ncar::trace {
+
+Attribution build_attribution(std::span<const Collector* const> tracks) {
+  Attribution out;
+  out.rows.resize(static_cast<std::size_t>(kCategoryCount));
+
+  for (const Collector* t : tracks) out.total_ticks += t->total_ticks();
+
+  // Non-Other rows: fold each category across tracks, then fold the rows in
+  // enum order so the residual below reproduces the documented identity.
+  double folded = 0;
+  for (int i = 0; i < kCategoryCount; ++i) {
+    const Category c = static_cast<Category>(i);
+    AttributionRow& row = out.rows[static_cast<std::size_t>(i)];
+    row.category = c;
+    if (c == Category::Other) continue;
+    for (const Collector* t : tracks) row.ticks += t->category_ticks(c);
+    folded += row.ticks;
+  }
+
+  // Other is the residual, so fold(all rows) == total bit-exactly whenever
+  // categorised work dominates (see header).
+  out.rows.back().ticks = out.total_ticks - folded;
+
+  if (out.total_ticks != 0) {
+    for (AttributionRow& row : out.rows) {
+      row.fraction = row.ticks / out.total_ticks;
+    }
+  }
+  return out;
+}
+
+}  // namespace ncar::trace

@@ -1,0 +1,51 @@
+#pragma once
+// Cycle-attribution tables built from trace::Collector counters.
+//
+// An attribution table answers "where did the simulated time go" the way the
+// paper's Tables 1-7 do: one row per Category with absolute ticks and the
+// fraction of the track total. Rows are emitted for every category (zeros
+// included) in enum order so the table layout — and therefore the exported
+// JSON — is byte-stable across runs and host execution policies.
+//
+// Bit-exact conservation: a track's total is accumulated chronologically
+// (mirroring the Cpu's own cycle counter) while category counters group the
+// same charges by kind, so the two foldings differ in the last ulp in
+// general. The Other row therefore reports the *residual*
+//     other = total - fold(non-Other rows, enum order)
+// which makes
+//     fold(all rows, enum order) == total
+// hold exactly whenever the categorised work dominates (Sterbenz: the
+// non-Other fold lies within [total/2, 2*total]), which the conservation
+// tests assert for the real benchmarks. Other thus holds explicit
+// uncategorised charges plus the attribution rounding residue.
+
+#include <span>
+#include <vector>
+
+#include "trace/category.hpp"
+#include "trace/collector.hpp"
+
+namespace ncar::trace {
+
+struct AttributionRow {
+  Category category = Category::Other;
+  double ticks = 0;
+  double fraction = 0;  ///< ticks / total (0 when the total is 0)
+};
+
+struct Attribution {
+  double total_ticks = 0;  ///< fold of per-track totals, track order
+  std::vector<AttributionRow> rows;  ///< kCategoryCount rows, enum order
+};
+
+/// Fold the counters of `tracks` (in the given order) into one table.
+/// Passing a single track yields that track's per-CPU table; passing all of
+/// a node's CPU collectors yields the node-aggregate table.
+Attribution build_attribution(std::span<const Collector* const> tracks);
+
+inline Attribution build_attribution(const Collector& track) {
+  const Collector* one[] = {&track};
+  return build_attribution(std::span<const Collector* const>(one));
+}
+
+}  // namespace ncar::trace

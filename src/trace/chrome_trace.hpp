@@ -1,0 +1,45 @@
+#pragma once
+// Chrome trace_event exporter.
+//
+// Serialises recorded spans as a JSON object trace
+// ({"traceEvents":[...]}) in the Trace Event Format understood by
+// Perfetto and chrome://tracing. Mapping:
+//   * one pid per node (process_name metadata, e.g. "node0"),
+//   * one tid per track within the node (thread_name metadata, "cpu3",
+//     "runtime", "sfs", "scheduler", ...),
+//   * every Span becomes a complete event (ph "X") whose name is the op
+//     tag and whose cat is the Category name, with ts/dur in microseconds
+//     of simulated time (ticks * seconds_per_tick * 1e6).
+//
+// Output is deterministic: tracks are emitted in caller order, spans in
+// record order, and doubles are rendered with the shortest round-trip
+// representation (std::to_chars), so byte-comparing two trace files is a
+// valid determinism check.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "trace/collector.hpp"
+
+namespace ncar::trace {
+
+/// One timeline row of the exported trace.
+struct TraceTrack {
+  const Collector* collector = nullptr;
+  int pid = 0;                ///< process id (node index)
+  int tid = 0;                ///< thread id within the process (cpu index)
+  std::string process_name;   ///< e.g. "node0"
+  std::string thread_name;    ///< e.g. "cpu3"
+};
+
+/// Write the full trace JSON for `tracks` to `os`.
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceTrack> tracks);
+
+/// Shortest round-trip decimal rendering of `v` (exposed for tests; the
+/// bench harness JSON writer follows the same convention, so attribution
+/// values survive the JSON round trip bit-exactly).
+std::string format_double(double v);
+
+}  // namespace ncar::trace

@@ -1,0 +1,65 @@
+#include "trace/collector.hpp"
+
+#include <cstdlib>
+
+namespace ncar::trace {
+
+namespace {
+
+std::size_t default_max_spans() {
+  static const std::size_t value = [] {
+    if (const char* env = std::getenv("SX4NCAR_TRACE_MAX_SPANS")) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+    return static_cast<std::size_t>(65536);
+  }();
+  return value;
+}
+
+}  // namespace
+
+Collector::Collector(double seconds_per_tick, std::size_t max_spans)
+    : seconds_per_tick_(seconds_per_tick),
+      max_spans_(max_spans != 0 ? max_spans : default_max_spans()) {}
+
+void Collector::span(Category c, double start, double ticks,
+                     const char* tag) {
+  if (mode() != Mode::Full) return;
+  if (ticks <= 0) return;  // zero-width boxes only clutter the timeline
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  if (spans_.capacity() == 0) spans_.reserve(max_spans_);
+  spans_.push_back(Span{start, ticks, c, tag});
+}
+
+void Collector::add(Category c, double start, double ticks,
+                    const char* tag) {
+  count_total(ticks);
+  count(c, ticks);
+  span(c, start, ticks, tag);
+}
+
+const char* Collector::intern(std::string_view name) {
+  // Linear scan: tag cardinality is small (job names, device labels), and
+  // interning only happens on span-producing paths.
+  for (const std::string& s : interned_) {
+    if (s == name) return s.c_str();
+  }
+  interned_.emplace_back(name);
+  return interned_.back().c_str();
+}
+
+void Collector::reset() {
+  total_ = 0;
+  for (double& c : category_) c = 0;
+  spans_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace ncar::trace

@@ -1,0 +1,96 @@
+#pragma once
+// Per-track span and cycle-attribution collector.
+//
+// One Collector instance backs one timeline track: a simulated Cpu, a node's
+// runtime (barriers, idle, IXS waits), an I/O device clock, or the PRODLOAD
+// scheduler. The owner is the single writer — a Cpu's collector is only
+// touched by the rank charging that Cpu, which is exactly the discipline
+// Node::parallel already imposes on the Cpu itself — so recording needs no
+// synchronisation and is bit-identical under sequential and threaded host
+// execution.
+//
+// Two recording tiers, selected by trace::mode():
+//   * aggregation counters (per-category tick totals plus a chronological
+//     track total) are ALWAYS maintained — the off-mode cost is a couple of
+//     double additions per charge;
+//   * the span buffer ({start, duration, category, tag}) fills only in
+//     Mode::Full. It is preallocated up front (SX4NCAR_TRACE_MAX_SPANS,
+//     default 65536 per track) and appends until full; overflow increments
+//     dropped_spans() instead of reallocating mid-region.
+//
+// Ticks are the owner's native time unit (cycles for Cpu/node tracks,
+// seconds for device clocks); seconds_per_tick() declares the conversion so
+// exporters can place every track on one microsecond timeline.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/category.hpp"
+
+namespace ncar::trace {
+
+struct Span {
+  double start = 0;     ///< track-local time, in the owner's ticks
+  double duration = 0;  ///< ticks
+  Category category = Category::Other;
+  const char* tag = "";  ///< static string or Collector::intern result
+};
+
+class Collector {
+public:
+  /// `seconds_per_tick` converts this track's native unit to seconds
+  /// (a Cpu passes its clock period; device clocks pass 1.0).
+  /// `max_spans` == 0 selects the SX4NCAR_TRACE_MAX_SPANS default.
+  explicit Collector(double seconds_per_tick = 1.0,
+                     std::size_t max_spans = 0);
+
+  // --- counters (always on) ----------------------------------------------
+  /// Accumulate onto the chronological track total. Cpu mirrors every
+  /// charge here with the *same* addition it applies to its cycle counter,
+  /// so total_ticks() stays bit-identical to the owner's clock.
+  void count_total(double ticks) { total_ += ticks; }
+  /// Accumulate onto one category's counter (no total, no span).
+  void count(Category c, double ticks) {
+    category_[static_cast<std::size_t>(c)] += ticks;
+  }
+
+  // --- spans (Mode::Full only) -------------------------------------------
+  /// Append a span if full-span mode is on and the buffer has room.
+  void span(Category c, double start, double ticks, const char* tag);
+
+  /// Convenience for simple tracks: total + category counter + span.
+  void add(Category c, double start, double ticks, const char* tag);
+
+  // --- accessors ----------------------------------------------------------
+  double total_ticks() const { return total_; }
+  double category_ticks(Category c) const {
+    return category_[static_cast<std::size_t>(c)];
+  }
+  const std::vector<Span>& spans() const { return spans_; }
+  std::uint64_t dropped_spans() const { return dropped_; }
+  double seconds_per_tick() const { return seconds_per_tick_; }
+  std::size_t max_spans() const { return max_spans_; }
+
+  /// Copy `name` into collector-owned stable storage (span tags outlive the
+  /// strings they were built from; deque elements never move).
+  const char* intern(std::string_view name);
+
+  /// Zero counters and drop recorded spans (capacity and interned tags are
+  /// kept — they are evaluator details, like the op-cost caches).
+  void reset();
+
+private:
+  double seconds_per_tick_;
+  std::size_t max_spans_;
+  double total_ = 0;
+  double category_[kCategoryCount] = {};
+  std::vector<Span> spans_;
+  std::uint64_t dropped_ = 0;
+  std::deque<std::string> interned_;
+};
+
+}  // namespace ncar::trace

@@ -20,13 +20,13 @@ protected:
 TEST_F(HippiTest, LargePacketsApproachLineRate) {
   const double rate =
       hippi.effective_bytes_per_s(Bytes(16.0 * 1024 * 1024)).value();
-  EXPECT_GT(rate, 0.95 * cfg.hippi_bytes_per_s);
-  EXPECT_LE(rate, cfg.hippi_bytes_per_s);
+  EXPECT_GT(rate, 0.95 * cfg.hippi_bytes_per_s.value());
+  EXPECT_LE(rate, cfg.hippi_bytes_per_s.value());
 }
 
 TEST_F(HippiTest, SmallPacketsSetupDominated) {
   const double rate = hippi.effective_bytes_per_s(Bytes(1024)).value();
-  EXPECT_LT(rate, 0.3 * cfg.hippi_bytes_per_s);
+  EXPECT_LT(rate, 0.3 * cfg.hippi_bytes_per_s.value());
 }
 
 TEST_F(HippiTest, EffectiveRateMonotoneInPacketSize) {

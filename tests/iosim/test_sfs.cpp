@@ -91,7 +91,7 @@ TEST_F(SfsTest, DrainedBytesLandOnDiskAccounting) {
 
 TEST_F(SfsTest, InvalidConfigThrows) {
   SfsConfig bad;
-  bad.cache_bytes = machine.xmu_capacity_bytes * 2;
+  bad.cache_bytes = machine.xmu_capacity_bytes.value() * 2;
   EXPECT_THROW(Sfs(machine, disk, bad), ncar::precondition_error);
   SfsConfig bad2;
   bad2.staging_unit_bytes = bad2.cache_bytes * 2;

@@ -57,7 +57,7 @@ TEST_F(XmuArrayTest, StagingTimeMatchesXmuBandwidth) {
   XmuArray a(machine, 10 * block, block, block);
   for (long b = 0; b < 10; ++b) a.read(b * block);  // 10 cold faults
   // First fault stages in only; the rest stage in + out.
-  const double rate = machine.xmu_bytes_per_clock * machine.clock_hz();
+  const double rate = machine.xmu_bandwidth().value();
   const double want = (8.0 * block * 1 + 9 * 8.0 * block * 2) / rate;
   EXPECT_NEAR(a.staging_seconds().value(), want, 1e-12);
 }

@@ -30,7 +30,7 @@ TEST(MachineConfig, BenchmarkedClockLowersPeak) {
 
 TEST(MachineConfig, PortBandwidthIs16GBPerSecAt8ns) {
   const auto c = MachineConfig::sx4_product();
-  EXPECT_NEAR(c.port_bytes_per_clock * c.clock_hz(), 16e9, 1e-3);
+  EXPECT_NEAR(c.port_bandwidth().value(), 16e9, 1e-3);
 }
 
 TEST(MachineConfig, MultiNodeScalesCpuCount) {

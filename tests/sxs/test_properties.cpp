@@ -55,7 +55,7 @@ TEST_P(ConfigParam, MemoryBoundRateNeverExceedsPort) {
   op.instructions = 2;
   const double bytes_per_s =
       16.0 * op.n / (vu.cycles(op).value() * cfg.seconds_per_clock());
-  EXPECT_LE(bytes_per_s, cfg.port_bytes_per_clock * cfg.clock_hz() * 1.0001);
+  EXPECT_LE(bytes_per_s, cfg.port_bandwidth().value() * 1.0001);
 }
 
 TEST_P(ConfigParam, StrideFactorsAtLeastOne) {

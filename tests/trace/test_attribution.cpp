@@ -1,0 +1,102 @@
+#include "trace/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/category.hpp"
+#include "trace/collector.hpp"
+
+namespace {
+
+using namespace ncar;
+using trace::Attribution;
+using trace::Category;
+using trace::Collector;
+
+double fold_rows(const Attribution& a) {
+  double s = 0;
+  for (const auto& row : a.rows) s += row.ticks;
+  return s;
+}
+
+TEST(Attribution, EmitsEveryCategoryInEnumOrder) {
+  Collector c;
+  const Attribution a = trace::build_attribution(c);
+  ASSERT_EQ(a.rows.size(), static_cast<std::size_t>(trace::kCategoryCount));
+  for (int i = 0; i < trace::kCategoryCount; ++i) {
+    EXPECT_EQ(a.rows[static_cast<std::size_t>(i)].category,
+              static_cast<Category>(i));
+  }
+  EXPECT_EQ(a.rows.back().category, Category::Other);
+}
+
+TEST(Attribution, EmptyTrackHasZeroFractions) {
+  Collector c;
+  const Attribution a = trace::build_attribution(c);
+  EXPECT_DOUBLE_EQ(a.total_ticks, 0.0);
+  for (const auto& row : a.rows) {
+    EXPECT_DOUBLE_EQ(row.ticks, 0.0);
+    EXPECT_DOUBLE_EQ(row.fraction, 0.0);
+  }
+}
+
+TEST(Attribution, RowsFoldExactlyToTotal) {
+  Collector c;
+  // Deliberately awkward magnitudes: the chronological total and the
+  // per-category grouping round differently in the last ulp.
+  const double charges[] = {0.1, 1e9, 0.3, 7.7e-3, 1e8, 0.09};
+  const Category cats[] = {Category::VectorAdd, Category::VectorMul,
+                           Category::Scalar,    Category::BankConflict,
+                           Category::VectorMul, Category::Scalar};
+  for (int i = 0; i < 6; ++i) {
+    c.count_total(charges[i]);
+    c.count(cats[i], charges[i]);
+  }
+  const Attribution a = trace::build_attribution(c);
+  EXPECT_EQ(a.total_ticks, c.total_ticks());
+  EXPECT_EQ(fold_rows(a), a.total_ticks);  // bit-exact, not NEAR
+}
+
+TEST(Attribution, OtherHoldsUncategorisedChargesPlusResidue) {
+  Collector c;
+  c.count_total(10.0);
+  c.count(Category::VectorAdd, 6.0);
+  // 4.0 ticks were charged without a category.
+  const Attribution a = trace::build_attribution(c);
+  EXPECT_DOUBLE_EQ(a.rows.back().ticks, 4.0);
+  EXPECT_EQ(fold_rows(a), 10.0);
+}
+
+TEST(Attribution, FractionsSumToOneForNonEmptyTrack) {
+  Collector c;
+  c.count_total(8.0);
+  c.count(Category::VectorAdd, 6.0);
+  c.count(Category::Scalar, 2.0);
+  const Attribution a = trace::build_attribution(c);
+  double f = 0;
+  for (const auto& row : a.rows) f += row.fraction;
+  EXPECT_NEAR(f, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.rows[static_cast<std::size_t>(Category::VectorAdd)].fraction,
+                   0.75);
+}
+
+TEST(Attribution, FoldsMultipleTracks) {
+  Collector a, b;
+  a.count_total(3.0);
+  a.count(Category::Scalar, 3.0);
+  b.count_total(5.0);
+  b.count(Category::Scalar, 4.0);
+  b.count(Category::CacheMiss, 1.0);
+  const Collector* tracks[] = {&a, &b};
+  const Attribution folded = trace::build_attribution(
+      std::span<const Collector* const>(tracks));
+  EXPECT_DOUBLE_EQ(folded.total_ticks, 8.0);
+  EXPECT_DOUBLE_EQ(
+      folded.rows[static_cast<std::size_t>(Category::Scalar)].ticks, 7.0);
+  EXPECT_DOUBLE_EQ(
+      folded.rows[static_cast<std::size_t>(Category::CacheMiss)].ticks, 1.0);
+  EXPECT_EQ(fold_rows(folded), folded.total_ticks);
+}
+
+}  // namespace

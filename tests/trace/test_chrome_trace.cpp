@@ -1,0 +1,85 @@
+#include "trace/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/category.hpp"
+#include "trace/collector.hpp"
+
+namespace {
+
+using namespace ncar;
+using trace::Category;
+using trace::Collector;
+using trace::Mode;
+using trace::TraceTrack;
+
+class ChromeTraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    before_ = trace::mode();
+    trace::set_mode(Mode::Full);
+  }
+  void TearDown() override { trace::set_mode(before_); }
+
+  static std::string render(const std::vector<TraceTrack>& tracks) {
+    std::ostringstream os;
+    trace::write_chrome_trace(
+        os, std::span<const TraceTrack>(tracks.data(), tracks.size()));
+    return os.str();
+  }
+
+  Mode before_ = Mode::Off;
+};
+
+TEST_F(ChromeTraceTest, EmptyTrackListIsValidJson) {
+  const std::string out = render({});
+  EXPECT_EQ(out.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(out.find("]}"), std::string::npos);
+}
+
+TEST_F(ChromeTraceTest, EmitsMetadataAndCompleteEvents) {
+  Collector c(2.0);  // 2 seconds per tick: ts/dur scale by 2e6
+  c.add(Category::VectorAdd, 1.0, 3.0, "vec");
+  const std::string out =
+      render({TraceTrack{&c, 0, 1, "node0", "cpu1"}});
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"node0\""), std::string::npos);
+  EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"cpu1\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"vec\""), std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"vector_add\""), std::string::npos);
+  // ts = 1.0 tick * 2 s/tick * 1e6 us/s, dur = 3.0 * 2e6.
+  EXPECT_NE(out.find("\"ts\":2e+06"), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":6e+06"), std::string::npos);
+}
+
+TEST_F(ChromeTraceTest, EscapesTagStrings) {
+  Collector c;
+  const char* tag = c.intern("a\"b\\c\nd");
+  c.add(Category::Other, 0.0, 1.0, tag);
+  const std::string out = render({TraceTrack{&c, 0, 0, "node0", "cpu0"}});
+  EXPECT_NE(out.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST_F(ChromeTraceTest, ByteIdenticalAcrossRenders) {
+  Collector c(9.2e-9);
+  c.add(Category::VectorMul, 100.0, 250.5, "vec");
+  c.add(Category::Scalar, 350.5, 17.0, "scalar");
+  const std::vector<TraceTrack> tracks = {
+      TraceTrack{&c, 0, 1, "node0", "cpu0"}};
+  EXPECT_EQ(render(tracks), render(tracks));
+}
+
+TEST(FormatDouble, ShortestRoundTrip) {
+  EXPECT_EQ(trace::format_double(0.0), "0");
+  EXPECT_EQ(trace::format_double(1.5), "1.5");
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(trace::format_double(v)), v);  // exact round trip
+}
+
+}  // namespace

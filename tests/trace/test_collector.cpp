@@ -1,0 +1,123 @@
+#include "trace/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/category.hpp"
+
+namespace {
+
+using namespace ncar;
+using trace::Category;
+using trace::Collector;
+using trace::Mode;
+
+/// Pin the tracing mode for one test, restoring the previous mode on exit.
+class ModeGuard {
+public:
+  explicit ModeGuard(Mode m) : before_(trace::mode()) { trace::set_mode(m); }
+  ~ModeGuard() { trace::set_mode(before_); }
+
+private:
+  Mode before_;
+};
+
+TEST(Collector, CountersAccumulatePerCategory) {
+  Collector c;
+  c.count_total(10.0);
+  c.count(Category::VectorAdd, 7.0);
+  c.count_total(2.0);
+  c.count(Category::Scalar, 2.0);
+  EXPECT_DOUBLE_EQ(c.total_ticks(), 12.0);
+  EXPECT_DOUBLE_EQ(c.category_ticks(Category::VectorAdd), 7.0);
+  EXPECT_DOUBLE_EQ(c.category_ticks(Category::Scalar), 2.0);
+  EXPECT_DOUBLE_EQ(c.category_ticks(Category::Other), 0.0);
+}
+
+TEST(Collector, SpansRecordOnlyInFullMode) {
+  Collector c;
+  {
+    ModeGuard g(Mode::Off);
+    c.span(Category::VectorAdd, 0.0, 5.0, "off");
+  }
+  {
+    ModeGuard g(Mode::Summary);
+    c.span(Category::VectorAdd, 0.0, 5.0, "summary");
+  }
+  EXPECT_TRUE(c.spans().empty());
+  {
+    ModeGuard g(Mode::Full);
+    c.span(Category::VectorAdd, 3.0, 5.0, "full");
+  }
+  ASSERT_EQ(c.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.spans()[0].start, 3.0);
+  EXPECT_DOUBLE_EQ(c.spans()[0].duration, 5.0);
+  EXPECT_EQ(c.spans()[0].category, Category::VectorAdd);
+  EXPECT_STREQ(c.spans()[0].tag, "full");
+}
+
+TEST(Collector, ZeroDurationSpansAreSkipped) {
+  ModeGuard g(Mode::Full);
+  Collector c;
+  c.span(Category::Scalar, 1.0, 0.0, "zero");
+  c.span(Category::Scalar, 1.0, -1.0, "negative");
+  EXPECT_TRUE(c.spans().empty());
+  EXPECT_EQ(c.dropped_spans(), 0u);
+}
+
+TEST(Collector, BufferCapsAndCountsDrops) {
+  ModeGuard g(Mode::Full);
+  Collector c(1.0, 4);
+  for (int i = 0; i < 10; ++i) {
+    c.span(Category::Other, i, 1.0, "s");
+  }
+  EXPECT_EQ(c.spans().size(), 4u);
+  EXPECT_EQ(c.dropped_spans(), 6u);
+}
+
+TEST(Collector, AddCombinesCounterAndSpan) {
+  ModeGuard g(Mode::Full);
+  Collector c;
+  c.add(Category::IoDisk, 2.0, 3.0, "xfer");
+  EXPECT_DOUBLE_EQ(c.total_ticks(), 3.0);
+  EXPECT_DOUBLE_EQ(c.category_ticks(Category::IoDisk), 3.0);
+  ASSERT_EQ(c.spans().size(), 1u);
+}
+
+TEST(Collector, InternedTagsAreStable) {
+  Collector c;
+  std::string name = "job1";
+  const char* p1 = c.intern(name);
+  name = "job2";
+  const char* p2 = c.intern(name);
+  EXPECT_STREQ(p1, "job1");
+  EXPECT_STREQ(p2, "job2");
+  // Re-interning an existing name returns the same storage.
+  EXPECT_EQ(c.intern("job1"), p1);
+}
+
+TEST(Collector, ResetClearsCountersAndSpansButKeepsTags) {
+  ModeGuard g(Mode::Full);
+  Collector c(1.0, 2);
+  const char* tag = c.intern("keep");
+  c.add(Category::Scalar, 0.0, 1.0, tag);
+  c.span(Category::Scalar, 1.0, 1.0, tag);
+  c.span(Category::Scalar, 2.0, 1.0, tag);  // dropped: cap is 2
+  EXPECT_EQ(c.dropped_spans(), 1u);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.total_ticks(), 0.0);
+  EXPECT_DOUBLE_EQ(c.category_ticks(Category::Scalar), 0.0);
+  EXPECT_TRUE(c.spans().empty());
+  EXPECT_EQ(c.dropped_spans(), 0u);
+  EXPECT_STREQ(tag, "keep");  // interned storage survives reset
+}
+
+TEST(Collector, SecondsPerTickIsRemembered) {
+  Collector cpu_track(9.2e-9);
+  Collector device_track;
+  EXPECT_DOUBLE_EQ(cpu_track.seconds_per_tick(), 9.2e-9);
+  EXPECT_DOUBLE_EQ(device_track.seconds_per_tick(), 1.0);
+}
+
+}  // namespace

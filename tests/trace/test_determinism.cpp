@@ -1,0 +1,137 @@
+// Trace determinism: attribution counters, span buffers, and the exported
+// Chrome trace must be byte-identical under sequential and threaded host
+// execution, and across repeated runs. The collectors are rank-private
+// (same single-writer discipline as the Cpus), so this is the tracing
+// counterpart of tests/integration/test_policy_determinism.cpp.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ccm2/model.hpp"
+#include "common/thread_pool.hpp"
+#include "sxs/execution_policy.hpp"
+#include "sxs/machine_config.hpp"
+#include "sxs/node.hpp"
+#include "trace/attribution.hpp"
+#include "trace/category.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/collector.hpp"
+
+namespace {
+
+using namespace ncar;
+using sxs::ExecutionPolicy;
+using sxs::MachineConfig;
+using trace::Mode;
+
+class ModeGuard {
+public:
+  explicit ModeGuard(Mode m) : before_(trace::mode()) { trace::set_mode(m); }
+  ~ModeGuard() { trace::set_mode(before_); }
+
+private:
+  Mode before_;
+};
+
+/// Run two CCM2 steps on 8 CPUs under `policy` and return the node.
+std::unique_ptr<sxs::Node> run_ccm2(ExecutionPolicy policy,
+                                    ThreadPool* pool) {
+  auto node = std::make_unique<sxs::Node>(MachineConfig::sx4_benchmarked(),
+                                          policy);
+  if (pool != nullptr) node->set_thread_pool(pool);
+  ccm2::Ccm2Config c;
+  c.res = ccm2::t42l18();
+  c.active_levels = 1;
+  ccm2::Ccm2 model(c, *node);
+  for (int s = 0; s < 2; ++s) model.step(8);
+  return node;
+}
+
+std::string render_chrome(const sxs::Node& node) {
+  std::vector<trace::TraceTrack> tracks;
+  tracks.push_back({&node.runtime_trace(), 0, 0, "node0", "runtime"});
+  for (int i = 0; i < node.cpu_count(); ++i) {
+    tracks.push_back({&node.cpu(i).trace(), 0, i + 1, "node0",
+                      "cpu" + std::to_string(i)});
+  }
+  std::ostringstream os;
+  trace::write_chrome_trace(
+      os, std::span<const trace::TraceTrack>(tracks.data(), tracks.size()));
+  return os.str();
+}
+
+void expect_tracks_identical(const sxs::Node& a, const sxs::Node& b) {
+  ASSERT_EQ(a.cpu_count(), b.cpu_count());
+  for (int i = 0; i < a.cpu_count(); ++i) {
+    const trace::Collector& ca = a.cpu(i).trace();
+    const trace::Collector& cb = b.cpu(i).trace();
+    EXPECT_EQ(ca.total_ticks(), cb.total_ticks()) << "cpu " << i;
+    for (int k = 0; k < trace::kCategoryCount; ++k) {
+      const auto cat = static_cast<trace::Category>(k);
+      EXPECT_EQ(ca.category_ticks(cat), cb.category_ticks(cat))
+          << "cpu " << i << " " << trace::to_string(cat);
+    }
+    ASSERT_EQ(ca.spans().size(), cb.spans().size()) << "cpu " << i;
+    for (std::size_t s = 0; s < ca.spans().size(); ++s) {
+      EXPECT_EQ(ca.spans()[s].start, cb.spans()[s].start);
+      EXPECT_EQ(ca.spans()[s].duration, cb.spans()[s].duration);
+      EXPECT_EQ(ca.spans()[s].category, cb.spans()[s].category);
+      EXPECT_STREQ(ca.spans()[s].tag, cb.spans()[s].tag);
+    }
+    EXPECT_EQ(ca.dropped_spans(), cb.dropped_spans());
+  }
+  EXPECT_EQ(a.runtime_trace().total_ticks(), b.runtime_trace().total_ticks());
+}
+
+TEST(TraceDeterminism, SummaryCountersPolicyInvariant) {
+  ModeGuard g(Mode::Summary);
+  ThreadPool pool(4);
+  const auto seq = run_ccm2(ExecutionPolicy::Sequential, nullptr);
+  const auto thr = run_ccm2(ExecutionPolicy::Threaded, &pool);
+  expect_tracks_identical(*seq, *thr);
+}
+
+TEST(TraceDeterminism, FullSpansAndChromeTracePolicyInvariant) {
+  ModeGuard g(Mode::Full);
+  ThreadPool pool(4);
+  const auto seq = run_ccm2(ExecutionPolicy::Sequential, nullptr);
+  const auto thr = run_ccm2(ExecutionPolicy::Threaded, &pool);
+  expect_tracks_identical(*seq, *thr);
+  EXPECT_EQ(render_chrome(*seq), render_chrome(*thr));  // byte-identical
+}
+
+TEST(TraceDeterminism, RepeatedRunsByteIdentical) {
+  ModeGuard g(Mode::Full);
+  ThreadPool pool(4);
+  const auto a = run_ccm2(ExecutionPolicy::Threaded, &pool);
+  const auto b = run_ccm2(ExecutionPolicy::Threaded, &pool);
+  expect_tracks_identical(*a, *b);
+  EXPECT_EQ(render_chrome(*a), render_chrome(*b));
+}
+
+TEST(TraceDeterminism, AttributionTablesPolicyInvariant) {
+  ModeGuard g(Mode::Summary);
+  ThreadPool pool(4);
+  const auto seq = run_ccm2(ExecutionPolicy::Sequential, nullptr);
+  const auto thr = run_ccm2(ExecutionPolicy::Threaded, &pool);
+  std::vector<const trace::Collector*> ta, tb;
+  for (int i = 0; i < seq->cpu_count(); ++i) {
+    ta.push_back(&seq->cpu(i).trace());
+    tb.push_back(&thr->cpu(i).trace());
+  }
+  const auto aa = trace::build_attribution(
+      std::span<const trace::Collector* const>(ta.data(), ta.size()));
+  const auto ab = trace::build_attribution(
+      std::span<const trace::Collector* const>(tb.data(), tb.size()));
+  EXPECT_EQ(aa.total_ticks, ab.total_ticks);
+  for (std::size_t i = 0; i < aa.rows.size(); ++i) {
+    EXPECT_EQ(aa.rows[i].ticks, ab.rows[i].ticks);
+    EXPECT_EQ(aa.rows[i].fraction, ab.rows[i].fraction);
+  }
+}
+
+}  // namespace

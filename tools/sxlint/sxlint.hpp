@@ -20,6 +20,11 @@
 //   typed-units         public sxs:: headers must not take naked
 //                       `double seconds` / `double bytes` parameters — use
 //                       ncar::Seconds / ncar::Bytes (common/quantity.hpp).
+//   trace-category      charge_cycles / charge_seconds calls in src/sxs and
+//                       src/iosim must pass a trace::Category — an
+//                       uncategorised charge lands in the Other bucket of
+//                       every attribution table and degrades the paper-style
+//                       cycle breakdowns.
 //
 // Each finding carries the rule name, file, line, and message. main() prints
 // them `file:line: [rule] message` and exits non-zero on any finding.
@@ -52,5 +57,6 @@ std::vector<Finding> check_nondeterminism(const std::filesystem::path& root);
 std::vector<Finding> check_stdout(const std::filesystem::path& root);
 std::vector<Finding> check_pragma_once(const std::filesystem::path& root);
 std::vector<Finding> check_typed_units(const std::filesystem::path& root);
+std::vector<Finding> check_trace_category(const std::filesystem::path& root);
 
 }  // namespace ncar::sxlint

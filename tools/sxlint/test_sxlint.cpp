@@ -85,6 +85,18 @@ TEST(SxlintBad, NakedUnitParametersAreFlagged) {
   EXPECT_TRUE(mentions_file(findings, "naked_units.hpp"));
 }
 
+TEST(SxlintBad, UncategorisedChargesAreFlagged) {
+  const auto findings = ncar::sxlint::check_trace_category(testdata("bad"));
+  // charge_cycles and charge_seconds in uncategorised_charge.cpp.
+  EXPECT_EQ(count_rule(findings, "trace-category"), 2);
+  EXPECT_TRUE(mentions_file(findings, "uncategorised_charge.cpp"));
+}
+
+TEST(SxlintGood, CategorisedAndForwardedChargesPass) {
+  const auto findings = ncar::sxlint::check_trace_category(testdata("good"));
+  EXPECT_EQ(count_rule(findings, "trace-category"), 0);
+}
+
 TEST(SxlintBad, WholeTreeAggregatesEveryRule) {
   const auto findings = ncar::sxlint::lint_tree(testdata("bad"));
   EXPECT_GE(count_rule(findings, "bench-reporter"), 1);
@@ -92,6 +104,7 @@ TEST(SxlintBad, WholeTreeAggregatesEveryRule) {
   EXPECT_GE(count_rule(findings, "no-stdout"), 1);
   EXPECT_GE(count_rule(findings, "pragma-once"), 1);
   EXPECT_GE(count_rule(findings, "typed-units"), 1);
+  EXPECT_GE(count_rule(findings, "trace-category"), 1);
 }
 
 TEST(SxlintGood, CleanTreeHasNoFindings) {

@@ -1,0 +1,11 @@
+// Fixture: charges without a trace::Category — both must be flagged.
+#include "fake.hpp"
+
+namespace ncar::sxs {
+
+void warm_up(Cpu& cpu) {
+  cpu.charge_cycles(Cycles(100.0));
+  cpu.charge_seconds(Seconds(1e-6));
+}
+
+}  // namespace ncar::sxs

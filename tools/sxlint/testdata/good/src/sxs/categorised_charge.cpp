@@ -1,0 +1,14 @@
+// Fixture: every charge names a category (or forwards one) — lints clean.
+#include "fake.hpp"
+
+namespace ncar::sxs {
+
+void stage(Cpu& cpu, trace::Category category) {
+  cpu.charge_cycles(Cycles(100.0), trace::Category::IoXmu);
+  cpu.charge_seconds(Seconds(1e-6), category);
+  // Not a call: mentioning the name without parens is fine.
+  auto fn = &Cpu::charge_cycles;
+  (void)fn;
+}
+
+}  // namespace ncar::sxs
