@@ -1,0 +1,61 @@
+# Determinism regression check for the prodload_year bench.
+#
+# The year bench's guarantee is stronger than the generic one in
+# determinism_check.cmake: its JSON must be byte-identical across
+#   * repeated runs of the same binary (no wall clock, no address-order
+#     dependence anywhere in a year of simulated events), and
+#   * SX4NCAR_TRACE=off vs =summary (trace plumbing must not add, remove,
+#     or perturb a single simulated metric).
+# All runs use --deterministic so host perf telemetry (events/sec) is
+# omitted, and a one-year horizon (the acceptance bar for the bench).
+#
+# Required -D variables: BENCH_BIN, BENCH_NAME, OUT_DIR.
+
+foreach(var BENCH_BIN BENCH_NAME OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "year_determinism_check: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+function(run_year trace tag)
+  set(out ${OUT_DIR}/${BENCH_NAME}.${tag}.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+      SX4NCAR_BENCH_FULL=
+      SX4NCAR_TRACE=${trace}
+      SX4NCAR_YEAR_DAYS=365
+      ${BENCH_BIN} --deterministic --json ${out}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_NAME} failed (SX4NCAR_TRACE=${trace}, exit ${rc}):\n"
+      "${stdout}\n${stderr}")
+  endif()
+endfunction()
+
+run_year("" off1)
+run_year("" off2)
+run_year(summary sum)
+
+foreach(pair "off1;off2" "off1;sum")
+  list(GET pair 0 a)
+  list(GET pair 1 b)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${OUT_DIR}/${BENCH_NAME}.${a}.json
+      ${OUT_DIR}/${BENCH_NAME}.${b}.json
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_NAME}: emitted JSON differs between ${a} and ${b}; compare\n"
+      "  ${OUT_DIR}/${BENCH_NAME}.${a}.json\n"
+      "  ${OUT_DIR}/${BENCH_NAME}.${b}.json")
+  endif()
+endforeach()
+
+message(STATUS
+  "${BENCH_NAME}: one-year JSON byte-identical across runs and trace modes")

@@ -75,16 +75,35 @@ BenchReporter::BenchReporter(std::string name, int argc, char** argv)
   std::cout << "host execution: " << host_execution_ << "\n\n";
 }
 
-double BenchReporter::metric(const std::string& name, double value,
-                             const std::string& unit) {
-  for (const auto& m : metrics_) {
-    if (m.name == name) {
-      std::fprintf(stderr, "%s: duplicate metric \"%s\"\n", name_.c_str(),
-                   name.c_str());
-      std::exit(2);
+namespace {
+
+void require_unique(const std::string& bench, const std::string& name,
+                    const std::vector<Metric>& a,
+                    const std::vector<Metric>& b) {
+  for (const auto* v : {&a, &b}) {
+    for (const auto& m : *v) {
+      if (m.name == name) {
+        std::fprintf(stderr, "%s: duplicate metric \"%s\"\n", bench.c_str(),
+                     name.c_str());
+        std::exit(2);
+      }
     }
   }
+}
+
+}  // namespace
+
+double BenchReporter::metric(const std::string& name, double value,
+                             const std::string& unit) {
+  require_unique(name_, name, metrics_, host_metrics_);
   metrics_.push_back({name, value, unit});
+  return value;
+}
+
+double BenchReporter::host_metric(const std::string& name, double value,
+                                  const std::string& unit) {
+  require_unique(name_, name, metrics_, host_metrics_);
+  host_metrics_.push_back({name, value, unit});
   return value;
 }
 
@@ -126,6 +145,11 @@ Json BenchReporter::result_json() const {
                                       start_)
             .count();
     j.set("wall_time_s", wall);
+    if (!host_metrics_.empty()) {
+      Json hs = Json::object();
+      for (const auto& m : host_metrics_) hs.set(m.name, m.value);
+      j.set("host_metrics", std::move(hs));
+    }
   }
   Json ms = Json::object();
   for (const auto& m : metrics_) ms.set(m.name, m.value);
@@ -203,6 +227,12 @@ int BenchReporter::finish(std::ostream& os) {
   if (list_) {
     for (const auto& m : metrics_) {
       os << "metric " << m.name << " = " << Json::number_to_string(m.value);
+      if (!m.unit.empty()) os << ' ' << m.unit;
+      os << '\n';
+    }
+    for (const auto& m : host_metrics_) {
+      os << "host_metric " << m.name << " = "
+         << Json::number_to_string(m.value);
       if (!m.unit.empty()) os << ' ' << m.unit;
       os << '\n';
     }

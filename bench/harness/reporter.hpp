@@ -30,8 +30,8 @@
 //                         bench/baselines, or $SX4NCAR_BASELINE_DIR)
 //   --tol <rel>           baseline tolerance for --ci-check (default 0.02)
 //   --deterministic       omit host-dependent JSON fields (host_execution,
-//                         wall_time_s) so emitted files are byte-identical
-//                         across host-thread policies
+//                         wall_time_s, host_metrics) so emitted files are
+//                         byte-identical across host-thread policies
 
 #include <chrono>
 #include <iosfwd>
@@ -54,6 +54,14 @@ public:
   /// `value` so measurements can be registered inline.
   double metric(const std::string& name, double value,
                 const std::string& unit = "");
+
+  /// Register a host-dependent scalar (events/sec, wall-clock rates...).
+  /// Host metrics live under a separate "host_metrics" JSON key, are never
+  /// folded into baselines, and are omitted entirely under
+  /// --deterministic — so perf telemetry can ride along without breaking
+  /// byte-identity guarantees.
+  double host_metric(const std::string& name, double value,
+                     const std::string& unit = "");
 
   /// Register a metric *and* check it against a paper band. Returns the
   /// verdict (also folded into the exit code at finish()).
@@ -82,6 +90,7 @@ public:
 
   const std::string& name() const { return name_; }
   const std::vector<Metric>& metrics() const { return metrics_; }
+  const std::vector<Metric>& host_metrics() const { return host_metrics_; }
   const std::vector<Expectation>& expectations() const {
     return expectations_;
   }
@@ -108,6 +117,7 @@ private:
   std::string host_execution_;
   std::chrono::steady_clock::time_point start_;
   std::vector<Metric> metrics_;
+  std::vector<Metric> host_metrics_;
   std::vector<Expectation> expectations_;
 };
 

@@ -1,0 +1,123 @@
+#include "des/calendar.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ncar::des {
+
+EventId Calendar::schedule(Seconds time, int priority,
+                           std::function<void()> fn) {
+  NCAR_REQUIRE(static_cast<bool>(fn), "event needs a handler");
+  Entry e;
+  e.key = EventKey{time, priority, next_fifo_++};
+  e.id = next_id_++;
+  e.fn = std::move(fn);
+  const EventId id{e.id};
+  heap_.push_back(std::move(e));
+  slot_[id.id] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
+  ++scheduled_;
+  return id;
+}
+
+bool Calendar::cancel(EventId id) {
+  const auto it = slot_.find(id.id);
+  if (it == slot_.end()) return false;
+  Entry dropped;
+  remove_at(it->second, dropped);
+  ++cancelled_;
+  return true;
+}
+
+bool Calendar::reschedule(EventId id, Seconds time) {
+  const auto it = slot_.find(id.id);
+  if (it == slot_.end()) return false;
+  Entry e;
+  const std::size_t i = remove_at(it->second, e);
+  e.key.time = time;
+  e.key.fifo = next_fifo_++;  // fresh FIFO position, like cancel + schedule
+  // Reinsert; `i` only tells us removal compacted the heap, the reinsert
+  // goes through the normal push path to keep one code path correct.
+  (void)i;
+  heap_.push_back(std::move(e));
+  slot_[id.id] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
+  return true;
+}
+
+Event Calendar::pop() {
+  NCAR_REQUIRE(!heap_.empty(), "pop on an empty calendar");
+  Entry e;
+  remove_at(0, e);
+  ++popped_;
+  return Event{e.key, EventId{e.id}, std::move(e.fn)};
+}
+
+const EventKey& Calendar::next_key() const {
+  NCAR_REQUIRE(!heap_.empty(), "next_key on an empty calendar");
+  return heap_.front().key;
+}
+
+void Calendar::place(std::size_t i, Entry&& e) {
+  slot_[e.id] = i;
+  heap_[i] = std::move(e);
+}
+
+void Calendar::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!(e.key < heap_[parent].key)) break;
+    place(i, std::move(heap_[parent]));
+    i = parent;
+  }
+  place(i, std::move(e));
+}
+
+void Calendar::sift_down(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].key < heap_[child].key) ++child;
+    if (!(heap_[child].key < e.key)) break;
+    place(i, std::move(heap_[child]));
+    i = child;
+  }
+  place(i, std::move(e));
+}
+
+std::size_t Calendar::remove_at(std::size_t i, Entry& out) {
+  out = std::move(heap_[i]);
+  slot_.erase(out.id);
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    heap_[i] = std::move(heap_[last]);
+    slot_[heap_[i].id] = i;
+    heap_.pop_back();
+    // The moved-in entry may need to go either way relative to `i`.
+    if (i > 0 && heap_[i].key < heap_[(i - 1) / 2].key) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  } else {
+    heap_.pop_back();
+  }
+  return i;
+}
+
+bool Calendar::validate() const {
+  if (slot_.size() != heap_.size()) return false;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const auto it = slot_.find(heap_[i].id);
+    if (it == slot_.end() || it->second != i) return false;
+    if (i > 0 && heap_[i].key < heap_[(i - 1) / 2].key) return false;
+    if (!heap_[i].fn) return false;
+  }
+  return true;
+}
+
+}  // namespace ncar::des

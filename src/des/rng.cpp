@@ -1,0 +1,114 @@
+#include "des/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ncar::des {
+
+namespace {
+
+constexpr std::uint64_t kPhi = 0x9e3779b97f4a7c15ull;
+
+/// The splitmix64 finalizer (Steele, Lea & Flood) — a 64-bit bijection
+/// with full avalanche; the same mixer common/rng.hpp uses for seeding.
+constexpr std::uint64_t finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over the stream name: stable across platforms and runs.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t RngStream::at(std::uint64_t n) const {
+  // splitmix64 seeded at the stream key: state n is key + (n+1)*PHI.
+  return finalize(key_ + (n + 1) * kPhi);
+}
+
+std::uint64_t RngStream::next_below(std::uint64_t n) {
+  NCAR_REQUIRE(n > 0, "next_below needs a positive bound");
+  // Modulo bias is negligible for the bounds this codebase uses (same
+  // justification as common/rng.hpp), and keeps the draw count fixed.
+  return next_u64() % n;
+}
+
+double RngStream::exponential(double mean) {
+  NCAR_REQUIRE(mean > 0, "exponential mean must be positive");
+  return -mean * std::log(next_double_nonzero());
+}
+
+double RngStream::pareto(double shape, double scale) {
+  NCAR_REQUIRE(shape > 0 && scale > 0, "pareto parameters must be positive");
+  return scale / std::pow(next_double_nonzero(), 1.0 / shape);
+}
+
+double RngStream::bounded_pareto(double shape, double scale, double cap) {
+  NCAR_REQUIRE(shape > 0 && scale > 0 && cap > scale,
+               "bounded pareto needs shape>0, 0<scale<cap");
+  // Inverse transform of the truncated CDF; exactly one draw.
+  const double la = std::pow(scale, shape);
+  const double ha = std::pow(cap, shape);
+  const double u = next_double();
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape);
+}
+
+long RngStream::poisson(double mean) {
+  NCAR_REQUIRE(mean > 0, "poisson mean must be positive");
+  // Inversion by sequential search on one uniform draw: deterministic
+  // draw count, O(mean) arithmetic.
+  const double u = next_double();
+  double p = std::exp(-mean);
+  double cdf = p;
+  long k = 0;
+  while (u > cdf && k < 10000) {
+    ++k;
+    p *= mean / static_cast<double>(k);
+    cdf += p;
+  }
+  return k;
+}
+
+std::size_t RngStream::weighted_choice(const double* weights, std::size_t n) {
+  NCAR_REQUIRE(n > 0, "weighted_choice needs at least one weight");
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    NCAR_REQUIRE(weights[i] >= 0, "weights must be nonnegative");
+    total += weights[i];
+  }
+  NCAR_REQUIRE(total > 0, "weights must not all be zero");
+  const double x = next_double() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return n - 1;
+}
+
+std::uint64_t RngRegistry::derive_key(std::uint64_t seed,
+                                      std::string_view name) {
+  // Two finalizer rounds decorrelate related (seed, name) pairs; the name
+  // hash lands between them so neither input can cancel the other.
+  return finalize(finalize(seed ^ kPhi) ^ fnv1a(name));
+}
+
+RngStream& RngRegistry::stream(std::string_view name) {
+  const auto it = streams_.find(name);
+  if (it != streams_.end()) return it->second;
+  std::string key(name);
+  auto [pos, inserted] = streams_.emplace(
+      key, RngStream(key, derive_key(seed_, name)));
+  return pos->second;
+}
+
+}  // namespace ncar::des

@@ -1,0 +1,55 @@
+#include "des/simulation.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ncar::des {
+
+EventId Simulation::at(Seconds time, int priority, std::function<void()> fn) {
+  NCAR_REQUIRE(time >= now_, "cannot schedule into the simulated past");
+  return calendar_.schedule(time, priority, std::move(fn));
+}
+
+EventId Simulation::in(Seconds delay, int priority, std::function<void()> fn) {
+  NCAR_REQUIRE(delay >= Seconds(0.0), "negative event delay");
+  return calendar_.schedule(now_ + delay, priority, std::move(fn));
+}
+
+bool Simulation::reschedule(EventId id, Seconds time) {
+  NCAR_REQUIRE(time >= now_, "cannot reschedule into the simulated past");
+  return calendar_.reschedule(id, time);
+}
+
+void Simulation::execute(Event&& ev) {
+  // The calendar orders events; the clock only ever moves forward.
+  NCAR_REQUIRE(ev.key.time >= now_, "event calendar ordering violated");
+  now_ = ev.key.time;
+  ++executed_;
+  ev.fn();
+}
+
+std::uint64_t Simulation::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!calendar_.empty() && !stopped_) {
+    execute(calendar_.pop());
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulation::run_until(Seconds until) {
+  NCAR_REQUIRE(until >= now_, "cannot run backwards");
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!calendar_.empty() && !stopped_ &&
+         calendar_.next_time() <= until) {
+    execute(calendar_.pop());
+    ++n;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace ncar::des

@@ -1,0 +1,158 @@
+#include "des/workload.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ncar::des {
+
+void WorkloadConfig::validate() const {
+  NCAR_REQUIRE(!classes.empty(), "workload needs at least one job class");
+  for (const auto& jc : classes) {
+    NCAR_REQUIRE(!jc.name.empty(), "job class needs a name");
+    NCAR_REQUIRE(jc.cpus >= 1, "job class CPU width");
+    NCAR_REQUIRE(jc.mean_service_s > 0, "job class mean service time");
+    NCAR_REQUIRE(jc.tail_fraction >= 0 && jc.tail_fraction <= 1,
+                 "tail fraction is a probability");
+    NCAR_REQUIRE(jc.tail_shape > 0, "tail shape");
+    NCAR_REQUIRE(jc.tail_cap_s > jc.mean_service_s,
+                 "tail cap must exceed the mean service time");
+  }
+  if (!transition.empty()) {
+    NCAR_REQUIRE(transition.size() == classes.size(),
+                 "transition matrix must have one row per class");
+    for (const auto& row : transition) {
+      NCAR_REQUIRE(row.size() == classes.size(),
+                   "transition rows must have one entry per class");
+      double total = 0;
+      for (const double w : row) {
+        NCAR_REQUIRE(w >= 0, "transition weights are nonnegative");
+        total += w;
+      }
+      NCAR_REQUIRE(total > 0, "transition rows need a positive total");
+    }
+  }
+  NCAR_REQUIRE(mean_interarrival_s > 0, "mean interarrival");
+  NCAR_REQUIRE(burst_rate_multiplier >= 1, "burst multiplier");
+  NCAR_REQUIRE(mean_calm_s > 0 && mean_burst_s > 0, "phase durations");
+  NCAR_REQUIRE(failure_prob >= 0 && failure_prob <= 1, "failure probability");
+  NCAR_REQUIRE(storm_failure_prob >= 0 && storm_failure_prob <= 1,
+               "storm failure probability");
+  NCAR_REQUIRE(mean_storm_gap_s > 0 && mean_storm_s > 0, "storm durations");
+  NCAR_REQUIRE(mean_retry_delay_s > 0, "retry delay");
+  NCAR_REQUIRE(max_retries >= 0, "retry budget");
+}
+
+WorkloadGenerator::WorkloadGenerator(Simulation& sim, WorkloadConfig cfg,
+                                     Sink sink)
+    : sim_(sim), cfg_(std::move(cfg)), sink_(std::move(sink)) {
+  cfg_.validate();
+  NCAR_REQUIRE(static_cast<bool>(sink_), "workload generator needs a sink");
+}
+
+void WorkloadGenerator::start(Seconds horizon) {
+  NCAR_REQUIRE(!started_, "generator already started");
+  NCAR_REQUIRE(horizon > sim_.now(), "horizon must lie ahead");
+  started_ = true;
+  horizon_ = horizon;
+  schedule_next_arrival();
+  schedule_phase_flip();
+  schedule_storm_edge();
+}
+
+int WorkloadGenerator::draw_next_class() {
+  RngStream& mix = sim_.rng("jobmix");
+  if (cfg_.transition.empty()) {
+    return static_cast<int>(mix.next_below(cfg_.classes.size()));
+  }
+  const auto& row = cfg_.transition[static_cast<std::size_t>(current_class_)];
+  return static_cast<int>(mix.weighted_choice(row.data(), row.size()));
+}
+
+Seconds WorkloadGenerator::draw_service(const JobClass& jc) {
+  // Two draws per job, always: tail-or-body selector, then the variate
+  // from whichever distribution won — a fixed draw count keeps the
+  // "service" stream's counter a pure function of the job count.
+  RngStream& svc = sim_.rng("service");
+  const bool tail = svc.next_double() < jc.tail_fraction;
+  const double scale = jc.mean_service_s / 2.0;
+  return Seconds(tail
+                     ? svc.bounded_pareto(jc.tail_shape, scale, jc.tail_cap_s)
+                     : svc.exponential(jc.mean_service_s));
+}
+
+void WorkloadGenerator::schedule_next_arrival() {
+  RngStream& arr = sim_.rng("arrival");
+  const double mean = in_burst_
+                          ? cfg_.mean_interarrival_s / cfg_.burst_rate_multiplier
+                          : cfg_.mean_interarrival_s;
+  const Seconds gap(arr.exponential(mean));
+  const Seconds t = sim_.now() + gap;
+  if (t > horizon_) return;  // generation ends; in-flight work drains
+  sim_.at(t, [this] {
+    current_class_ = draw_next_class();
+    const JobClass& jc =
+        cfg_.classes[static_cast<std::size_t>(current_class_)];
+    SyntheticJob job;
+    job.id = next_job_id_++;
+    job.job_class = current_class_;
+    job.attempt = 0;
+    job.arrival = sim_.now();
+    job.service = draw_service(jc);
+    emit(job);
+    schedule_next_arrival();
+  });
+}
+
+void WorkloadGenerator::schedule_phase_flip() {
+  RngStream& phase = sim_.rng("phase");
+  const double mean = in_burst_ ? cfg_.mean_burst_s : cfg_.mean_calm_s;
+  const Seconds t = sim_.now() + Seconds(phase.exponential(mean));
+  if (t > horizon_) return;
+  sim_.at(t, [this] {
+    in_burst_ = !in_burst_;
+    if (in_burst_) ++bursts_;
+    schedule_phase_flip();
+  });
+}
+
+void WorkloadGenerator::schedule_storm_edge() {
+  RngStream& phase = sim_.rng("phase");
+  const double mean = in_storm_ ? cfg_.mean_storm_s : cfg_.mean_storm_gap_s;
+  const Seconds t = sim_.now() + Seconds(phase.exponential(mean));
+  if (t > horizon_) return;
+  sim_.at(t, [this] {
+    in_storm_ = !in_storm_;
+    if (in_storm_) ++storms_;
+    schedule_storm_edge();
+  });
+}
+
+void WorkloadGenerator::emit(SyntheticJob job) {
+  if (job.attempt == 0) ++jobs_emitted_;
+  else ++retries_emitted_;
+  sink_(job);
+}
+
+bool WorkloadGenerator::draw_failure() {
+  const double p = in_storm_ ? cfg_.storm_failure_prob : cfg_.failure_prob;
+  return sim_.rng("failure").next_double() < p;
+}
+
+bool WorkloadGenerator::report_failure(const SyntheticJob& job) {
+  if (job.attempt >= cfg_.max_retries) {
+    ++retries_abandoned_;
+    return false;
+  }
+  SyntheticJob retry = job;
+  ++retry.attempt;
+  const Seconds delay(
+      sim_.rng("failure").exponential(cfg_.mean_retry_delay_s));
+  sim_.in(delay, [this, retry]() mutable {
+    retry.arrival = sim_.now();
+    emit(retry);
+  });
+  return true;
+}
+
+}  // namespace ncar::des

@@ -6,6 +6,9 @@
 // A HIPPI-800 channel carries 100 MB/s of payload; each packet pays a
 // connection/setup latency; concurrent transfers ride separate channels up
 // to the IOP count and then share.
+//
+// The model is analytic; for event-driven use (transfers queueing on the
+// channel in simulated time) wrap it in a HippiLp from iosim/lp.hpp.
 
 #include <vector>
 

@@ -1,0 +1,71 @@
+#include "iosim/lp.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ncar::iosim {
+
+void FifoServerLp::enqueue(Seconds service, Done done) {
+  NCAR_REQUIRE(service.value() >= 0, "negative service time");
+  Request r{service.value(), std::move(done)};
+  if (busy_) {
+    queue_.push_back(std::move(r));
+    max_queue_ = std::max(max_queue_,
+                          static_cast<std::uint64_t>(queue_.size()));
+    return;
+  }
+  start(std::move(r));
+}
+
+void FifoServerLp::start(Request&& r) {
+  busy_ = true;
+  const double service_s = r.service_s;
+  sim_.in(Seconds(service_s), [this, service_s, done = std::move(r.done)] {
+    busy_seconds_ += service_s;
+    ++completed_;
+    busy_ = false;
+    if (done) done();
+    // The completion callback may have enqueued (and thereby started) new
+    // work; only pull from the queue when the server is still free.
+    if (!busy_ && !queue_.empty()) {
+      Request next = std::move(queue_.front());
+      queue_.pop_front();
+      start(std::move(next));
+    }
+  });
+}
+
+void DiskLp::transfer(Bytes bytes, FifoServerLp::Done done) {
+  const Seconds service = disk_->sequential_seconds(bytes);
+  server_.enqueue(service, [this, bytes, service, done = std::move(done)] {
+    disk_->record_transfer(bytes, service);
+    if (done) done();
+  });
+}
+
+void HippiLp::transfer(Bytes total_bytes, Bytes packet_bytes,
+                       FifoServerLp::Done done) {
+  const Seconds service =
+      channel_->transfer_seconds(total_bytes, packet_bytes);
+  server_.enqueue(service,
+                  [this, total_bytes, packet_bytes, done = std::move(done)] {
+                    channel_->traced_transfer(total_bytes, packet_bytes);
+                    if (done) done();
+                  });
+}
+
+void XmuLp::stage(Bytes bytes, FifoServerLp::Done done) {
+  const Seconds service(bytes.value() / machine_.xmu_bandwidth().value());
+  server_.enqueue(service, [this, service, done = std::move(done)] {
+    if (trace_ != nullptr && service.value() > 0) {
+      trace_->add(trace::Category::IoXmu, traced_busy_s_, service.value(),
+                  "xmu_stage");
+    }
+    traced_busy_s_ += service.value();
+    if (done) done();
+  });
+}
+
+}  // namespace ncar::iosim

@@ -1,0 +1,119 @@
+#pragma once
+// DES adapters for the iosim device models.
+//
+// The device models (DiskSystem, HippiChannel, the XMU staging path) are
+// analytic: they price a transfer in closed form and keep busy-timeline
+// accounting, but have no notion of *when* requests contend. These
+// adapters put each device behind a single FIFO server on the event
+// calendar: a request occupies the device for its priced service time,
+// later requests queue, and completions are calendar events — which is
+// what the year-scale PRODLOAD simulation needs to overlap job I/O with
+// the compute schedule.
+//
+// Every adapter keeps the device's own accounting authoritative (the
+// analytic benches stay byte-identical — they never construct adapters);
+// the adapter only adds queueing state and deterministic statistics.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "des/simulation.hpp"
+#include "iosim/disk.hpp"
+#include "iosim/hippi.hpp"
+#include "sxs/machine_config.hpp"
+#include "trace/collector.hpp"
+
+namespace ncar::iosim {
+
+/// One device as a FIFO server: requests hold the server for a priced
+/// service time; completions are calendar events.
+class FifoServerLp {
+public:
+  using Done = std::function<void()>;
+
+  explicit FifoServerLp(des::Simulation& sim) : sim_(sim) {}
+
+  /// Enqueue a request holding the server for `service`; `done` runs at
+  /// the request's completion event.
+  void enqueue(Seconds service, Done done);
+
+  bool busy() const { return busy_; }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  double busy_seconds() const { return busy_seconds_; }
+  std::uint64_t max_queue() const { return max_queue_; }
+
+private:
+  struct Request {
+    double service_s;
+    Done done;
+  };
+
+  void start(Request&& r);
+
+  des::Simulation& sim_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  std::uint64_t max_queue_ = 0;
+  double busy_seconds_ = 0;
+};
+
+/// The disk subsystem behind a FIFO queue. Each transfer is priced by
+/// DiskSystem::sequential_seconds and recorded on the device's accounting
+/// (and io_disk trace timeline) at its completion event.
+class DiskLp {
+public:
+  DiskLp(des::Simulation& sim, DiskSystem& disk)
+      : server_(sim), disk_(&disk) {}
+
+  void transfer(Bytes bytes, FifoServerLp::Done done = {});
+
+  const FifoServerLp& server() const { return server_; }
+
+private:
+  FifoServerLp server_;
+  DiskSystem* disk_;
+};
+
+/// A HIPPI channel behind a FIFO queue; transfers are priced and traced
+/// by HippiChannel::traced_transfer at their completion events.
+class HippiLp {
+public:
+  HippiLp(des::Simulation& sim, HippiChannel& channel)
+      : server_(sim), channel_(&channel) {}
+
+  void transfer(Bytes total_bytes, Bytes packet_bytes,
+                FifoServerLp::Done done = {});
+
+  const FifoServerLp& server() const { return server_; }
+
+private:
+  FifoServerLp server_;
+  HippiChannel* channel_;
+};
+
+/// The XMU staging path behind a FIFO queue: stages move at the machine's
+/// XMU bandwidth; spans land on io_xmu when a collector is attached.
+class XmuLp {
+public:
+  XmuLp(des::Simulation& sim, const sxs::MachineConfig& machine)
+      : server_(sim), machine_(machine) {}
+
+  void stage(Bytes bytes, FifoServerLp::Done done = {});
+
+  /// Destination for staging spans (io_xmu, busy-timeline ticks); nullptr
+  /// disables. The collector must outlive the adapter.
+  void set_trace(trace::Collector* t) { trace_ = t; }
+
+  const FifoServerLp& server() const { return server_; }
+
+private:
+  FifoServerLp server_;
+  sxs::MachineConfig machine_;
+  trace::Collector* trace_ = nullptr;
+  double traced_busy_s_ = 0;
+};
+
+}  // namespace ncar::iosim

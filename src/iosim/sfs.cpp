@@ -25,8 +25,32 @@ void Sfs::note(trace::Category c, double start, double seconds,
   if (trace_ != nullptr && seconds > 0) trace_->add(c, start, seconds, tag);
 }
 
+void Sfs::arm_drain() {
+  if (dirty_ <= 0) {
+    if (drain_done_.valid()) {
+      calendar_.cancel(drain_done_);
+      drain_done_ = {};
+    }
+    return;
+  }
+  const Seconds done(now_ + dirty_ / disk_->streaming_bytes_per_s().value());
+  if (drain_done_.valid() && calendar_.pending(drain_done_)) {
+    calendar_.reschedule(drain_done_, done);
+    return;
+  }
+  drain_done_ = calendar_.schedule(done, [this] {
+    drain_done_ = {};
+    ++drain_completions_;
+  });
+}
+
 void Sfs::drain_until(double t) {
   if (t <= now_) return;
+  // Fire every calendar event inside the window, in order — the armed
+  // drain-complete marker lands here when the cache runs dry mid-window.
+  while (!calendar_.empty() && calendar_.next_time() <= Seconds(t)) {
+    calendar_.pop().fn();
+  }
   const double window = t - now_;
   const double stream_rate = disk_->streaming_bytes_per_s().value();
   const double drained = std::min(dirty_, stream_rate * window);
@@ -37,6 +61,7 @@ void Sfs::drain_until(double t) {
     resident_ = std::min(cfg_.cache_bytes, resident_ + drained);
   }
   now_ = t;
+  arm_drain();
 }
 
 void Sfs::advance(Seconds seconds) {
@@ -81,6 +106,7 @@ Seconds Sfs::write(Bytes bytes_q) {
     wait += t;
     dirty_ += unit;
     remaining -= unit;
+    arm_drain();
   }
   return Seconds(wait);
 }

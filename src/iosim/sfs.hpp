@@ -14,7 +14,15 @@
 // advances through an explicit clock so that background draining overlaps
 // compute, exactly how the history-tape writes of a climate run would use
 // it.
+//
+// The clock runs on a DES event calendar (src/des/): whenever dirty bytes
+// are pending, one cancellable "drain complete" event is kept armed at the
+// moment the cache would empty, and advancing the clock pops every due
+// event in order. The fluid drain arithmetic is unchanged from the
+// pre-calendar implementation — the iosim bench baselines pin it
+// bit-identically.
 
+#include "des/calendar.hpp"
 #include "iosim/disk.hpp"
 #include "sxs/machine_config.hpp"
 #include "trace/collector.hpp"
@@ -63,6 +71,12 @@ public:
   /// Total bytes accepted.
   Bytes bytes_written() const { return Bytes(written_); }
 
+  /// The file system's event calendar (exposed for tests: holds exactly
+  /// one pending "drain complete" event while dirty bytes remain).
+  const des::Calendar& calendar() const { return calendar_; }
+  /// Times the drain ran the cache empty (a calendar event each).
+  std::uint64_t drain_completions() const { return drain_completions_; }
+
   /// Record XMU-speed and disk-speed activity on `t` (seconds ticks on this
   /// file system's clock); nullptr (the default) disables recording. The
   /// collector must outlive the Sfs.
@@ -71,12 +85,17 @@ public:
 private:
   double xmu_seconds(double bytes) const;
   void drain_until(double t);
+  /// Keep the single drain-complete event consistent with dirty_.
+  void arm_drain();
   void note(trace::Category c, double start, double seconds,
             const char* tag);
 
   SfsConfig cfg_;
   const sxs::MachineConfig machine_;
   DiskSystem* disk_;
+  des::Calendar calendar_;
+  des::EventId drain_done_{};
+  std::uint64_t drain_completions_ = 0;
   double now_ = 0;
   double dirty_ = 0;
   double resident_ = 0;  ///< clean cached bytes (for reads)

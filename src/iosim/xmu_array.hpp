@@ -11,6 +11,8 @@
 // an element outside the resident window stages the containing block in
 // (and the displaced block out) at XMU bandwidth; time accumulates on the
 // object and can be charged to a Cpu. Real data is stored so numerics work.
+// When staging must contend with other XMU traffic in simulated time, the
+// event-driven XmuLp adapter in iosim/lp.hpp models the shared path.
 
 #include <vector>
 

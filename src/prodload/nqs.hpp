@@ -13,7 +13,13 @@
 // exactly how a run-limited batch queue shapes a machine's load. The
 // returned accounting (per-job start/stop) is what the PRODLOAD benchmark
 // "considers in order to identify system specific characteristics".
+//
+// This lowering handles a *closed* backlog (every job known up front).
+// For open workloads — jobs arriving over simulated time, as in the
+// prodload_year bench — the same queue semantics run live on the DES
+// kernel as prodload/queue_complex.hpp.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,7 +37,8 @@ struct NqsJob {
   std::string name;
   int cpus = 1;
   Seconds service{};
-  int priority = 0;  ///< higher runs earlier within its queue
+  int priority = 0;       ///< higher runs earlier within its queue
+  std::uint64_t tag = 0;  ///< caller-owned correlation id (completion callbacks)
 };
 
 class Nqs {

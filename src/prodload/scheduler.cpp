@@ -1,30 +1,14 @@
 #include "prodload/scheduler.hpp"
 
-#include <algorithm>
-#include <limits>
+#include <cstddef>
+#include <functional>
+#include <vector>
 
 #include "common/error.hpp"
+#include "des/simulation.hpp"
+#include "prodload/node_lp.hpp"
 
 namespace ncar::prodload {
-
-namespace {
-
-struct Running {
-  int seq;           ///< owning sequence
-  int job;           ///< job index within the sequence
-  int comp;          ///< component index within the job
-  int cpus;
-  double remaining;  ///< quiet-machine seconds of service left
-};
-
-struct Waiting {
-  int seq, job, comp;
-  int cpus;
-  double busy;
-  long fifo;  ///< admission order
-};
-
-}  // namespace
 
 Scheduler::Scheduler(int total_cpus, double contention_per_cpu)
     : total_cpus_(total_cpus), contention_per_cpu_(contention_per_cpu) {
@@ -52,86 +36,38 @@ RunResult Scheduler::run(const std::vector<Sequence>& sequences) const {
   std::vector<int> live_components(nseq, 0);   // of the current job
   std::vector<double> job_start(nseq, 0);
 
-  std::vector<Running> running;
-  std::vector<Waiting> waiting;
-  long fifo_counter = 0;
-  int used_cpus = 0;
-  double now = 0;
+  des::Simulation sim;
+  NodeLp node(sim, total_cpus_, contention_per_cpu_);
 
-  auto admit_job = [&](int seq, double t) {
-    const auto& job = sequences[static_cast<std::size_t>(seq)]
-                          .jobs[next_job[static_cast<std::size_t>(seq)]];
-    live_components[static_cast<std::size_t>(seq)] =
-        static_cast<int>(job.components.size());
-    job_start[static_cast<std::size_t>(seq)] = t;
-    for (std::size_t c = 0; c < job.components.size(); ++c) {
-      waiting.push_back({seq,
-                         static_cast<int>(next_job[static_cast<std::size_t>(seq)]),
-                         static_cast<int>(c), job.components[c].cpus,
-                         job.components[c].busy.value(), fifo_counter++});
-    }
-  };
-
-  auto start_waiting = [&] {
-    // FIFO admission: start the oldest waiting components that fit.
-    std::sort(waiting.begin(), waiting.end(),
-              [](const Waiting& a, const Waiting& b) { return a.fifo < b.fifo; });
-    for (auto it = waiting.begin(); it != waiting.end();) {
-      if (it->cpus <= total_cpus_ - used_cpus) {
-        running.push_back({it->seq, it->job, it->comp, it->cpus, it->busy});
-        used_cpus += it->cpus;
-        it = waiting.erase(it);
-      } else {
-        // Strict FIFO: do not let later small components jump the queue.
-        break;
-      }
-    }
-  };
-
-  for (std::size_t s = 0; s < nseq; ++s) admit_job(static_cast<int>(s), 0.0);
-  start_waiting();
-
-  while (!running.empty()) {
-    // All running components progress at 1/contention(active CPUs).
-    const double factor =
-        1.0 + contention_per_cpu_ * std::max(0, used_cpus - 1);
-    // Time until the next completion.
-    double dt = std::numeric_limits<double>::infinity();
-    for (const auto& r : running) dt = std::min(dt, r.remaining * factor);
-    now += dt;
-    // Retire everything finishing now.
-    for (auto& r : running) r.remaining -= dt / factor;
-    for (auto it = running.begin(); it != running.end();) {
-      if (it->remaining <= 1e-12) {
-        used_cpus -= it->cpus;
-        const int seq = it->seq;
-        it = running.erase(it);
-        if (--live_components[static_cast<std::size_t>(seq)] == 0) {
-          const auto& sequence = sequences[static_cast<std::size_t>(seq)];
-          const double started = job_start[static_cast<std::size_t>(seq)];
-          result.jobs.push_back(
-              {sequence.name + "/" +
-                   sequence.jobs[next_job[static_cast<std::size_t>(seq)]].name,
-               Seconds(started), Seconds(now)});
-          if (trace_ != nullptr) {
-            trace_->add(trace::Category::Other, started, now - started,
-                        trace_->intern(result.jobs.back().name));
-          }
-          if (++next_job[static_cast<std::size_t>(seq)] <
-              sequence.jobs.size()) {
-            admit_job(seq, now);
-          }
+  // Submit every component of a sequence's current job; the last
+  // component's completion closes the job and chains the next one.
+  std::function<void(std::size_t)> admit_job = [&](std::size_t s) {
+    const auto& job = sequences[s].jobs[next_job[s]];
+    live_components[s] = static_cast<int>(job.components.size());
+    job_start[s] = sim.now().value();
+    for (const auto& c : job.components) {
+      node.submit(c.cpus, c.busy, [&, s] {
+        if (--live_components[s] != 0) return;
+        const auto& sequence = sequences[s];
+        const double started = job_start[s];
+        const double now = sim.now().value();
+        result.jobs.push_back({sequence.name + "/" +
+                                   sequence.jobs[next_job[s]].name,
+                               Seconds(started), Seconds(now)});
+        if (trace_ != nullptr) {
+          trace_->add(trace::Category::Other, started, now - started,
+                      trace_->intern(result.jobs.back().name));
         }
-      } else {
-        ++it;
-      }
+        if (++next_job[s] < sequence.jobs.size()) admit_job(s);
+      });
     }
-    start_waiting();
-    NCAR_REQUIRE(!running.empty() || waiting.empty(),
-                 "scheduler deadlock: waiting components cannot start");
-  }
+  };
 
-  result.makespan = Seconds(now);
+  for (std::size_t s = 0; s < nseq; ++s) admit_job(s);
+  sim.run();
+  NCAR_REQUIRE(node.idle(), "scheduler finished with work still queued");
+
+  result.makespan = sim.now();
   return result;
 }
 

@@ -12,7 +12,11 @@
 // This module is the discrete-event scheduler: components demand CPUs from
 // a 32-CPU node (FIFO, like a SUPER-UX Resource Block), run at a rate
 // reduced by the node's bank-contention factor for the currently active
-// CPU count, and queue when the node is full.
+// CPU count, and queue when the node is full. The node itself is a
+// logical process on the DES kernel (prodload/node_lp.hpp); run() wires
+// the sequences onto it and drains the event calendar. The ported
+// arithmetic is bit-identical to the original drain-clock loop — the
+// committed PRODLOAD baselines pin this.
 
 #include <string>
 #include <vector>

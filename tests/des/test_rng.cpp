@@ -1,0 +1,166 @@
+// RNG-stream independence tests (ISSUE 6 satellite): a named stream's
+// draw sequence must be byte-identical no matter what other streams do in
+// between, no matter the stream creation order, and no matter how the
+// consuming simulation interleaves event execution. Counter-based
+// generation also gives O(1) skip-ahead and pure random access, pinned
+// here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "des/rng.hpp"
+#include "des/simulation.hpp"
+
+namespace {
+
+using ncar::Seconds;
+using ncar::des::RngRegistry;
+using ncar::des::RngStream;
+using ncar::des::Simulation;
+
+std::vector<std::uint64_t> draw(RngStream& s, int n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(s.next_u64());
+  return out;
+}
+
+TEST(RngStreamTest, InterleavingOtherStreamsDoesNotPerturb) {
+  RngRegistry clean(42);
+  const auto reference = draw(clean.stream("alpha"), 64);
+
+  // Same seed, but interleave wildly varying draws on other streams.
+  RngRegistry noisy(42);
+  std::vector<std::uint64_t> got;
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < i % 7; ++j) noisy.stream("beta").next_u64();
+    got.push_back(noisy.stream("alpha").next_u64());
+    if (i % 3 == 0) noisy.stream("gamma").exponential(10.0);
+  }
+  EXPECT_EQ(got, reference);
+}
+
+TEST(RngStreamTest, CreationOrderIsIrrelevant) {
+  RngRegistry ab(7);
+  ab.stream("a");
+  ab.stream("b");
+  RngRegistry ba(7);
+  ba.stream("b");
+  ba.stream("a");
+  EXPECT_EQ(draw(ab.stream("a"), 16), draw(ba.stream("a"), 16));
+  EXPECT_EQ(draw(ab.stream("b"), 16), draw(ba.stream("b"), 16));
+}
+
+TEST(RngStreamTest, KeyIsPureFunctionOfSeedAndName) {
+  EXPECT_EQ(RngRegistry::derive_key(1, "x"), RngRegistry::derive_key(1, "x"));
+  EXPECT_NE(RngRegistry::derive_key(1, "x"), RngRegistry::derive_key(2, "x"));
+  EXPECT_NE(RngRegistry::derive_key(1, "x"), RngRegistry::derive_key(1, "y"));
+}
+
+TEST(RngStreamTest, SkipAheadMatchesSequentialDraws) {
+  RngRegistry reg(99);
+  RngStream a = reg.stream("s");  // copy: independent counter
+  RngStream b = reg.stream("s");
+  for (int i = 0; i < 1000; ++i) a.next_u64();
+  b.skip(1000);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStreamTest, AtIsPureRandomAccess) {
+  RngRegistry reg(5);
+  RngStream& s = reg.stream("s");
+  const std::uint64_t v7 = s.at(7);
+  draw(s, 20);
+  EXPECT_EQ(s.at(7), v7);  // unaffected by advancing
+  RngStream fresh("s", RngRegistry::derive_key(5, "s"));
+  EXPECT_EQ(fresh.at(7), v7);
+}
+
+TEST(RngStreamTest, DistributionsConsumeFixedDrawCounts) {
+  RngRegistry reg(11);
+  RngStream& s = reg.stream("s");
+  std::uint64_t before = s.draws();
+  s.exponential(10.0);
+  EXPECT_EQ(s.draws(), before + 1);
+  before = s.draws();
+  s.bounded_pareto(1.5, 2.0, 100.0);
+  EXPECT_EQ(s.draws(), before + 1);
+  before = s.draws();
+  s.poisson(4.0);
+  EXPECT_EQ(s.draws(), before + 1);
+  before = s.draws();
+  const double w[3] = {1.0, 2.0, 3.0};
+  s.weighted_choice(w, 3);
+  EXPECT_EQ(s.draws(), before + 1);
+  before = s.draws();
+  s.next_below(17);
+  EXPECT_EQ(s.draws(), before + 1);
+}
+
+TEST(RngStreamTest, DistributionSanity) {
+  RngRegistry reg(123);
+  RngStream& s = reg.stream("s");
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = s.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000, 5.0, 0.2);
+
+  for (int i = 0; i < 5000; ++i) {
+    const double x = s.bounded_pareto(1.5, 2.0, 50.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 50.0);
+    EXPECT_LT(s.next_below(17), 17u);
+    EXPECT_GE(s.next_double(), 0.0);
+    EXPECT_LT(s.next_double(), 1.0);
+    EXPECT_GT(s.next_double_nonzero(), 0.0);
+    EXPECT_LE(s.next_double_nonzero(), 1.0);
+  }
+
+  // Zero-weight entries are never chosen.
+  const double w[3] = {1.0, 0.0, 3.0};
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(s.weighted_choice(w, 3), 1u);
+}
+
+// The event-execution-order guarantee end to end: two simulations whose
+// handlers fire in different orders (one schedules extra events that draw
+// from their own stream) must see identical "payload" stream draws.
+TEST(RngStreamTest, EventExecutionOrderDoesNotPerturbStreams) {
+  auto run = [](bool with_noise) {
+    Simulation sim(2026);
+    std::vector<std::uint64_t> payload;
+    for (int i = 0; i < 32; ++i) {
+      sim.at(Seconds(static_cast<double>(i)), [&sim, &payload] {
+        payload.push_back(sim.rng("payload").next_u64());
+      });
+      if (with_noise) {
+        sim.at(Seconds(static_cast<double>(i) + 0.5), [&sim] {
+          sim.rng("noise").exponential(1.0);
+          sim.rng("noise2").next_u64();
+        });
+      }
+    }
+    sim.run();
+    return payload;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(RngStreamTest, Preconditions) {
+  RngRegistry reg(1);
+  RngStream& s = reg.stream("s");
+  EXPECT_THROW(s.next_below(0), ncar::precondition_error);
+  EXPECT_THROW(s.exponential(-1.0), ncar::precondition_error);
+  EXPECT_THROW(s.bounded_pareto(1.5, 10.0, 5.0), ncar::precondition_error);
+  const double w[1] = {0.0};
+  EXPECT_THROW(s.weighted_choice(w, 1), ncar::precondition_error);
+  EXPECT_THROW(s.weighted_choice(nullptr, 0), ncar::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Simulation façade tests: typed clock, monotone time, cancellation and
+// rescheduling through the kernel, run_until semantics, stop().
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "des/simulation.hpp"
+
+namespace {
+
+using ncar::Seconds;
+using ncar::des::EventId;
+using ncar::des::Simulation;
+
+TEST(SimulationTest, ExecutesInTimeOrderAndAdvancesClock) {
+  Simulation sim;
+  std::vector<double> seen;
+  sim.at(Seconds(3.0), [&] { seen.push_back(sim.now().value()); });
+  sim.at(Seconds(1.0), [&] { seen.push_back(sim.now().value()); });
+  sim.at(Seconds(2.0), [&] { seen.push_back(sim.now().value()); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(sim.now().value(), 3.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulationTest, HandlersScheduleHandlers) {
+  Simulation sim;
+  std::string log;
+  sim.at(Seconds(1.0), [&] {
+    log += 'a';
+    sim.in(Seconds(1.0), [&] { log += 'c'; });
+    sim.at(Seconds(1.5), [&] { log += 'b'; });
+  });
+  sim.run();
+  EXPECT_EQ(log, "abc");
+  EXPECT_EQ(sim.now().value(), 2.0);
+}
+
+TEST(SimulationTest, SchedulingIntoThePastThrows) {
+  Simulation sim;
+  sim.at(Seconds(5.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(Seconds(4.0), [] {}), ncar::precondition_error);
+  EXPECT_THROW(sim.in(Seconds(-1.0), [] {}), ncar::precondition_error);
+  // Scheduling exactly at now() is allowed (zero-delay events).
+  sim.at(Seconds(5.0), [] {});
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(SimulationTest, CancelAndReschedule) {
+  Simulation sim;
+  std::vector<char> seen;
+  const EventId a = sim.at(Seconds(1.0), [&] { seen.push_back('a'); });
+  const EventId b = sim.at(Seconds(2.0), [&] { seen.push_back('b'); });
+  sim.at(Seconds(3.0), [&] { seen.push_back('c'); });
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_TRUE(sim.reschedule(b, Seconds(4.0)));
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<char>{'c', 'b'}));
+  EXPECT_EQ(sim.now().value(), 4.0);
+}
+
+TEST(SimulationTest, RescheduleIntoThePastThrows) {
+  Simulation sim;
+  const EventId a = sim.at(Seconds(10.0), [] {});
+  sim.at(Seconds(5.0), [&] {
+    EXPECT_THROW(sim.reschedule(a, Seconds(1.0)), ncar::precondition_error);
+  });
+  sim.run();
+}
+
+TEST(SimulationTest, RunUntilExecutesDueEventsAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(Seconds(1.0), [&] { ++fired; });
+  sim.at(Seconds(2.0), [&] { ++fired; });
+  sim.at(Seconds(10.0), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(Seconds(5.0)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().value(), 5.0);  // clock lands on `until`, not an event
+  EXPECT_EQ(sim.calendar().size(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, StopHaltsAfterCurrentEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(Seconds(1.0), [&] { ++fired; });
+  sim.at(Seconds(2.0), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(Seconds(3.0), [&] { ++fired; });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.stopped());
+  // A later run() resumes from where it stopped.
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, SameTimeOrdersByPriorityThenFifo) {
+  Simulation sim;
+  std::string log;
+  sim.at(Seconds(1.0), 1, [&] { log += 'c'; });
+  sim.at(Seconds(1.0), 0, [&] { log += 'a'; });
+  sim.at(Seconds(1.0), 0, [&] { log += 'b'; });
+  sim.run();
+  EXPECT_EQ(log, "abc");
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Synthetic workload generator tests: determinism across runs and across
+// consumer interleaving, bounded pending-event memory, retry budgets,
+// config validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "des/simulation.hpp"
+#include "des/workload.hpp"
+
+namespace {
+
+using ncar::Seconds;
+using ncar::des::Simulation;
+using ncar::des::SyntheticJob;
+using ncar::des::WorkloadConfig;
+using ncar::des::WorkloadGenerator;
+
+WorkloadConfig small_mix() {
+  WorkloadConfig cfg;
+  cfg.classes = {
+      {"narrow", "q", 1, 300.0, 0.1, 1.5, 7200.0, 0},
+      {"wide", "q", 8, 600.0, 0.1, 1.5, 7200.0, 0},
+  };
+  cfg.mean_interarrival_s = 60.0;
+  return cfg;
+}
+
+using JobTuple = std::tuple<std::uint64_t, int, int, double, double>;
+
+JobTuple key(const SyntheticJob& j) {
+  return {j.id, j.job_class, j.attempt, j.arrival.value(),
+          j.service.value()};
+}
+
+TEST(WorkloadTest, RepeatRunsAreByteIdentical) {
+  auto run = [] {
+    Simulation sim(7);
+    std::vector<JobTuple> jobs;
+    WorkloadGenerator gen(sim, small_mix(),
+                          [&](const SyntheticJob& j) { jobs.push_back(key(j)); });
+    gen.start(Seconds(86400.0));
+    sim.run();
+    return jobs;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WorkloadTest, ConsumerDrawsDoNotPerturbTheJobSequence) {
+  auto run = [](bool consumer_noise) {
+    Simulation sim(7);
+    std::vector<JobTuple> jobs;
+    WorkloadGenerator gen(sim, small_mix(), [&](const SyntheticJob& j) {
+      jobs.push_back(key(j));
+      if (consumer_noise) {
+        // A consumer with its own streams and its own events.
+        sim.rng("consumer").exponential(3.0);
+        sim.in(Seconds(sim.rng("consumer").exponential(30.0)),
+               [&sim] { sim.rng("consumer2").next_u64(); });
+      }
+    });
+    gen.start(Seconds(86400.0));
+    sim.run();
+    return jobs;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<JobTuple> jobs;
+    WorkloadGenerator gen(sim, small_mix(),
+                          [&](const SyntheticJob& j) { jobs.push_back(key(j)); });
+    gen.start(Seconds(86400.0));
+    sim.run();
+    return jobs;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(WorkloadTest, PendingEventsStayBounded) {
+  // One arrival in flight at a time plus the two phase processes: the
+  // calendar never grows with the horizon — the bounded-memory half of
+  // the year-bench guarantee.
+  Simulation sim(3);
+  std::size_t peak = 0;
+  WorkloadGenerator gen(sim, small_mix(), [&](const SyntheticJob&) {
+    peak = std::max(peak, sim.calendar().size());
+  });
+  gen.start(Seconds(30.0 * 86400));
+  sim.run();
+  EXPECT_GT(gen.jobs_emitted(), 10000u);
+  EXPECT_LE(peak, 4u);
+}
+
+TEST(WorkloadTest, RetryBudgetIsHonoured) {
+  WorkloadConfig cfg = small_mix();
+  cfg.max_retries = 2;
+  Simulation sim(5);
+  std::vector<SyntheticJob> completed;
+  WorkloadGenerator* genp = nullptr;
+  WorkloadGenerator gen(sim, cfg, [&](const SyntheticJob& j) {
+    // Every job "fails" instantly: retry until the budget is spent.
+    completed.push_back(j);
+    genp->report_failure(j);
+  });
+  genp = &gen;
+  gen.start(Seconds(3600.0));
+  sim.run();
+  ASSERT_FALSE(completed.empty());
+  // Attempts only reach 0, 1, 2; each id appears at most 3 times.
+  for (const auto& j : completed) EXPECT_LE(j.attempt, 2);
+  EXPECT_EQ(gen.retries_emitted(), 2 * gen.jobs_emitted());
+  EXPECT_EQ(gen.retries_abandoned(), gen.jobs_emitted());
+}
+
+TEST(WorkloadTest, RetryKeepsClassAndService) {
+  WorkloadConfig cfg = small_mix();
+  cfg.max_retries = 1;
+  Simulation sim(9);
+  std::vector<SyntheticJob> seen;
+  WorkloadGenerator* genp = nullptr;
+  WorkloadGenerator gen(sim, cfg, [&](const SyntheticJob& j) {
+    seen.push_back(j);
+    if (j.attempt == 0) genp->report_failure(j);
+  });
+  genp = &gen;
+  gen.start(Seconds(7200.0));
+  sim.run();
+  for (const auto& j : seen) {
+    if (j.attempt == 0) continue;
+    const auto orig = std::find_if(
+        seen.begin(), seen.end(), [&](const SyntheticJob& o) {
+          return o.id == j.id && o.attempt == 0;
+        });
+    ASSERT_NE(orig, seen.end());
+    EXPECT_EQ(orig->job_class, j.job_class);
+    EXPECT_EQ(orig->service.value(), j.service.value());
+    EXPECT_GT(j.arrival.value(), orig->arrival.value());
+  }
+}
+
+TEST(WorkloadTest, StormElevatesFailureProbability) {
+  WorkloadConfig cfg = small_mix();
+  cfg.failure_prob = 0.0;
+  cfg.storm_failure_prob = 1.0;
+  cfg.mean_storm_gap_s = 3600.0;  // storms common enough to observe
+  cfg.mean_storm_s = 3600.0;
+  Simulation sim(13);
+  WorkloadGenerator gen(sim, cfg, [](const SyntheticJob&) {});
+  std::uint64_t calm_failures = 0, storm_failures = 0, storm_draws = 0;
+  // Sample the failure draw on a fixed cadence and bucket by phase.
+  std::function<void()> sample = [&] {
+    if (gen.in_storm()) {
+      ++storm_draws;
+      if (gen.draw_failure()) ++storm_failures;
+    } else if (gen.draw_failure()) {
+      ++calm_failures;
+    }
+    if (sim.now() < Seconds(30.0 * 86400)) sim.in(Seconds(600.0), sample);
+  };
+  gen.start(Seconds(31.0 * 86400));
+  sim.in(Seconds(0.0), sample);
+  sim.run();
+  EXPECT_GT(gen.storms(), 0u);
+  EXPECT_GT(storm_draws, 0u);
+  EXPECT_EQ(calm_failures, 0u);
+  EXPECT_EQ(storm_failures, storm_draws);
+}
+
+TEST(WorkloadTest, ValidationRejectsNonsense) {
+  Simulation sim;
+  auto sink = [](const SyntheticJob&) {};
+  {
+    WorkloadConfig cfg;  // no classes
+    EXPECT_THROW(WorkloadGenerator(sim, cfg, sink), ncar::precondition_error);
+  }
+  {
+    WorkloadConfig cfg = small_mix();
+    cfg.transition = {{1.0}};  // wrong shape
+    EXPECT_THROW(WorkloadGenerator(sim, cfg, sink), ncar::precondition_error);
+  }
+  {
+    WorkloadConfig cfg = small_mix();
+    cfg.transition = {{0.0, 0.0}, {1.0, 1.0}};  // zero row
+    EXPECT_THROW(WorkloadGenerator(sim, cfg, sink), ncar::precondition_error);
+  }
+  {
+    WorkloadConfig cfg = small_mix();
+    cfg.classes[0].tail_cap_s = 1.0;  // cap below the mean
+    EXPECT_THROW(WorkloadGenerator(sim, cfg, sink), ncar::precondition_error);
+  }
+  {
+    WorkloadConfig cfg = small_mix();
+    EXPECT_THROW(WorkloadGenerator(sim, cfg, nullptr),
+                 ncar::precondition_error);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Fixture test for tools/pre-commit: the hook must judge the STAGED blobs,
+# not the worktree. Builds a throwaway git repository and drives the hook
+# through the four staged/worktree combinations:
+#
+#   1. staged misformatted, worktree fixed      -> hook FAILS
+#   2. staged clean,        worktree mangled    -> hook PASSES
+#   3. staged sxlint violation, worktree fixed  -> hook FAILS   (needs sxlint)
+#   4. staged clean,        worktree violation  -> hook PASSES  (needs sxlint)
+#
+# Usage: test_pre_commit.sh <path-to-hook> [path-to-sxlint]
+# Each pair needs its tool: 1-2 need clang-format, 3-4 need sxlint. Exits
+# 77 (CTest SKIP_RETURN_CODE) when git is missing or no tool is available.
+
+set -eu
+
+hook=$1
+sxlint=${2:-}
+
+command -v git >/dev/null 2>&1 || { echo "SKIP: no git"; exit 77; }
+have_clang_format=1
+command -v clang-format >/dev/null 2>&1 || have_clang_format=0
+if [ "$have_clang_format" = 0 ] && { [ -z "$sxlint" ] || [ ! -x "$sxlint" ]; }; then
+  echo "SKIP: neither clang-format nor sxlint available"
+  exit 77
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+git init -q .
+git config user.email test@example.invalid
+git config user.name "pre-commit fixture"
+git commit -q --allow-empty -m init
+printf 'BasedOnStyle: Google\n' > .clang-format
+mkdir -p src/fixture
+
+if [ "$have_clang_format" = 1 ]; then
+  # --- 1. misformatted blob staged, worktree then fixed: must FAIL -----------
+  printf 'int   main(   )   {return    0;}\n' > src/fixture/a.cpp
+  git add .clang-format src/fixture/a.cpp
+  clang-format -i src/fixture/a.cpp # worktree clean, index still bad
+  if SXLINT= "$hook" >/dev/null 2>&1; then
+    echo "FAIL: hook passed although the STAGED blob is misformatted"
+    exit 1
+  fi
+
+  # --- 2. clean blob staged, worktree then mangled: must PASS ----------------
+  git add src/fixture/a.cpp
+  printf 'int   main(   )   {return    0;}\n' > src/fixture/a.cpp
+  if ! SXLINT= "$hook" >/dev/null 2>&1; then
+    echo "FAIL: hook failed although the STAGED blob is clean"
+    exit 1
+  fi
+  git checkout -q -- src/fixture/a.cpp
+else
+  echo "note: clang-format not found, cases 1 and 2 not exercised"
+fi
+
+if [ -n "$sxlint" ] && [ -x "$sxlint" ]; then
+  # --- 3. staged header missing #pragma once, worktree fixed: must FAIL ------
+  printf '// fixture header without a pragma\n' > src/fixture/b.hpp
+  git add src/fixture/b.hpp
+  printf '#pragma once\n// fixture header\n' > src/fixture/b.hpp
+  if SXLINT="$sxlint" "$hook" >/dev/null 2>&1; then
+    echo "FAIL: hook passed although the STAGED header violates sxlint"
+    exit 1
+  fi
+
+  # --- 4. staged header clean, worktree violation: must PASS -----------------
+  git add src/fixture/b.hpp
+  printf '// fixture header without a pragma\n' > src/fixture/b.hpp
+  if ! SXLINT="$sxlint" "$hook" >/dev/null 2>&1; then
+    echo "FAIL: hook failed although the STAGED header is clean"
+    exit 1
+  fi
+else
+  echo "note: sxlint not supplied, cases 3 and 4 not exercised"
+fi
+
+echo "PASS"
