@@ -1,0 +1,66 @@
+# Determinism regression check for the design_sweep bench.
+#
+# The sweep engine's headline guarantee: the emitted result JSON *and* the
+# full per-point sweep report must be byte-identical across
+#   * sequential execution (SX4NCAR_HOST_THREADS=1),
+#   * threaded execution (SX4NCAR_HOST_THREADS=8), and
+#   * a repeated threaded run (no run-to-run wobble either).
+# All runs use --deterministic so host perf telemetry (configs/sec,
+# peak_live_workspaces) is omitted from the result JSON; the sweep report
+# never contains host-dependent fields in the first place.
+#
+# Required -D variables: BENCH_BIN, BENCH_NAME, OUT_DIR.
+
+foreach(var BENCH_BIN BENCH_NAME OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_determinism_check: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+function(run_sweep threads tag)
+  set(out ${OUT_DIR}/${BENCH_NAME}.${tag}.json)
+  set(report ${OUT_DIR}/${BENCH_NAME}.${tag}.report.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+      SX4NCAR_BENCH_FULL=
+      SX4NCAR_TRACE=
+      SX4NCAR_HOST_THREADS=${threads}
+      SX4NCAR_SWEEP_REPORT=${report}
+      ${BENCH_BIN} --deterministic --json ${out}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_NAME} failed (SX4NCAR_HOST_THREADS=${threads}, exit ${rc}):\n"
+      "${stdout}\n${stderr}")
+  endif()
+endfunction()
+
+run_sweep(1 seq)
+run_sweep(8 thr)
+run_sweep(8 thr2)
+
+foreach(pair "seq;thr" "thr;thr2")
+  list(GET pair 0 a)
+  list(GET pair 1 b)
+  foreach(suffix "json" "report.json")
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${OUT_DIR}/${BENCH_NAME}.${a}.${suffix}
+        ${OUT_DIR}/${BENCH_NAME}.${b}.${suffix}
+      RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+        "${BENCH_NAME}: ${suffix} differs between ${a} and ${b}; compare\n"
+        "  ${OUT_DIR}/${BENCH_NAME}.${a}.${suffix}\n"
+        "  ${OUT_DIR}/${BENCH_NAME}.${b}.${suffix}")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS
+  "${BENCH_NAME}: result + report JSON byte-identical across "
+  "sequential, threaded, and repeated threaded runs")

@@ -84,8 +84,12 @@ public:
 
   /// Default location for the Chrome trace a bench may emit in
   /// SX4NCAR_TRACE=full mode: <results-dir>/<name>.trace.json.
-  std::string trace_path() const {
-    return results_dir_ + "/" + name_ + ".trace.json";
+  std::string trace_path() const { return aux_path("trace.json"); }
+
+  /// Path for an auxiliary artifact riding along with the result JSON:
+  /// <results-dir>/<name>.<suffix> (e.g. design_sweep's full report).
+  std::string aux_path(const std::string& suffix) const {
+    return results_dir_ + "/" + name_ + "." + suffix;
   }
 
   const std::string& name() const { return name_; }

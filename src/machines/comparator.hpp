@@ -23,6 +23,18 @@
 
 namespace ncar::machines {
 
+/// Observer of the *logical* op stream charged to a Comparator. Callbacks
+/// fire before machine dispatch, so a vec() charge is reported as a vector
+/// op even on machines without vector hardware — a recorded stream replays
+/// correctly against any target (sweep.hpp's record/replay engine).
+class OpSink {
+public:
+  virtual ~OpSink() = default;
+  virtual void on_vec(const sxs::VectorOp& op, long repeats) = 0;
+  virtual void on_scalar(const sxs::ScalarOp& op) = 0;
+  virtual void on_intrinsic(sxs::Intrinsic f, long n) = 0;
+};
+
 /// Description of a comparator system on top of the generic timing model.
 struct Spec {
   std::string name;
@@ -50,12 +62,18 @@ public:
   bool has_vector() const { return spec_.has_vector; }
   const sxs::MachineConfig& config() const { return spec_.cfg; }
 
-  /// Charge a vectorisable loop (runs on vector pipes when present).
-  void vec(const sxs::VectorOp& op);
+  /// Charge a vectorisable loop (runs on vector pipes when present),
+  /// `repeats` times.
+  void vec(const sxs::VectorOp& op, long repeats = 1);
   /// Charge an inherently scalar loop.
   void scalar(const sxs::ScalarOp& op);
   /// Charge `n` intrinsic calls via the machine's best path.
   void intrinsic(sxs::Intrinsic f, long n);
+
+  /// Attach an observer of every charged op (nullptr detaches; not owned).
+  /// The sink survives reset() — kernels reset the machine on entry, and a
+  /// recorder must still see the ops that follow.
+  void set_op_sink(OpSink* sink) { sink_ = sink; }
 
   Seconds seconds() const { return Seconds(cpu_.seconds()); }
   Flops hw_flops() const { return cpu_.hw_flops(); }
@@ -69,6 +87,10 @@ public:
   void reset() { cpu_.reset(); }
 
   // --- presets (Table 1 systems + the SX-4 itself) -----------------------
+  // Thin wrappers over the builtin machine catalog (description.hpp); the
+  // pre-catalog hard-coded Specs survive verbatim in
+  // tests/machines/test_golden_descriptions.cpp, which pins each preset
+  // bit-identical to its description-built twin.
   static Spec sun_sparc20();
   static Spec ibm_rs6000_590();
   static Spec cray_j90();
@@ -78,6 +100,7 @@ public:
 private:
   Spec spec_;
   sxs::Cpu cpu_;
+  OpSink* sink_ = nullptr;
 };
 
 }  // namespace ncar::machines

@@ -103,4 +103,72 @@ TEST(Comparator, ScalarFallbackChargesVectorLoopAsScalar) {
   EXPECT_GT(sparc.seconds().value(), 0.0);
 }
 
+TEST(Comparator, VecRepeatsMultiplyChargesOnBothPaths) {
+  // repeats must behave as "charge the same loop k times" on the vector
+  // path and on the scalar-fallback path alike.
+  Comparator sx4_once(Comparator::nec_sx4_single());
+  Comparator sx4_many(Comparator::nec_sx4_single());
+  for (int r = 0; r < 5; ++r) sx4_once.vec(triad(4096));
+  sx4_many.vec(triad(4096), 5);
+  EXPECT_EQ(sx4_once.seconds().value(), sx4_many.seconds().value());
+  EXPECT_EQ(sx4_once.hw_flops().value(), sx4_many.hw_flops().value());
+
+  Comparator sparc_once(Comparator::sun_sparc20());
+  Comparator sparc_many(Comparator::sun_sparc20());
+  for (int r = 0; r < 5; ++r) sparc_once.vec(triad(4096));
+  sparc_many.vec(triad(4096), 5);
+  EXPECT_EQ(sparc_once.seconds().value(), sparc_many.seconds().value());
+}
+
+namespace sink_test {
+
+struct CountingSink final : ncar::machines::OpSink {
+  long vec_ops = 0, vec_repeats = 0, scalar_ops = 0, intrinsic_calls = 0;
+  void on_vec(const VectorOp&, long repeats) override {
+    ++vec_ops;
+    vec_repeats += repeats;
+  }
+  void on_scalar(const ncar::sxs::ScalarOp&) override { ++scalar_ops; }
+  void on_intrinsic(Intrinsic, long n) override { intrinsic_calls += n; }
+};
+
+}  // namespace sink_test
+
+TEST(Comparator, OpSinkObservesLogicalOpsPreDispatch) {
+  // The sink sees a vec() as a vector op even on a machine without vector
+  // hardware — that's what makes recorded streams machine-portable.
+  sink_test::CountingSink sink;
+  Comparator sparc(Comparator::sun_sparc20());
+  sparc.set_op_sink(&sink);
+  sparc.vec(triad(100), 3);
+  sparc.scalar(ncar::sxs::ScalarOp{.iters = 10});
+  sparc.intrinsic(Intrinsic::Exp, 7);
+  EXPECT_EQ(sink.vec_ops, 1);
+  EXPECT_EQ(sink.vec_repeats, 3);
+  EXPECT_EQ(sink.scalar_ops, 1);
+  EXPECT_EQ(sink.intrinsic_calls, 7);
+}
+
+TEST(Comparator, OpSinkSurvivesResetAndDetaches) {
+  sink_test::CountingSink sink;
+  Comparator sx4(Comparator::nec_sx4_single());
+  sx4.set_op_sink(&sink);
+  sx4.reset();  // kernels reset on entry; recording must keep working
+  sx4.vec(triad(100));
+  EXPECT_EQ(sink.vec_ops, 1);
+  sx4.set_op_sink(nullptr);
+  sx4.vec(triad(100));
+  EXPECT_EQ(sink.vec_ops, 1);
+}
+
+TEST(Comparator, OpSinkDoesNotPerturbCharges) {
+  sink_test::CountingSink sink;
+  Comparator observed(Comparator::nec_sx4_single());
+  Comparator plain(Comparator::nec_sx4_single());
+  observed.set_op_sink(&sink);
+  observed.vec(triad(1 << 16));
+  plain.vec(triad(1 << 16));
+  EXPECT_EQ(observed.seconds().value(), plain.seconds().value());
+}
+
 }  // namespace

@@ -1,0 +1,345 @@
+// Description-validation battery (ISSUE 7 satellite): malformed machine
+// tables must be rejected with precise, line-numbered messages, and
+// parse → lower → re-emit must round-trip bit-exactly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "machines/description.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using ncar::config_error;
+using ncar::machines::builtin_catalog;
+using ncar::machines::builtin_names;
+using ncar::machines::Catalog;
+using ncar::machines::KeyKind;
+using ncar::machines::MachineDescription;
+using ncar::machines::parse_catalog;
+using ncar::machines::Spec;
+using ncar::machines::spec_for;
+
+/// Expect `fn` to throw config_error whose message contains `substr`.
+template <typename Fn>
+void expect_rejected(Fn&& fn, const std::string& substr) {
+  try {
+    fn();
+    FAIL() << "expected config_error containing: " << substr;
+  } catch (const config_error& e) {
+    EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+
+TEST(DescriptionSchema, EveryKeyIsKnownAndUnique) {
+  const auto& schema = ncar::machines::description_schema();
+  EXPECT_GE(schema.size(), 30u);
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    EXPECT_TRUE(ncar::machines::known_key(schema[i].key)) << schema[i].key;
+    for (std::size_t j = i + 1; j < schema.size(); ++j) {
+      EXPECT_STRNE(schema[i].key, schema[j].key);
+    }
+  }
+  EXPECT_FALSE(ncar::machines::known_key("flux_capacitor_jw"));
+  EXPECT_FALSE(ncar::machines::known_key(""));
+}
+
+// ---------------------------------------------------------------------------
+// Parser rejections (satellite checklist: zero clock, negative bank count,
+// VL=0, unknown keys, duplicate machine names — plus the format errors)
+
+TEST(DescriptionParse, UnknownKeyRejectedWithLineNumber) {
+  expect_rejected(
+      [] {
+        parse_catalog("machine \"M\"\n  clock_ns = 1\n  warp_factor = 9\n");
+      },
+      "catalog line 3: unknown key 'warp_factor'");
+}
+
+TEST(DescriptionParse, DuplicateKeyRejected) {
+  expect_rejected(
+      [] {
+        parse_catalog("machine \"M\"\n  clock_ns = 1\n  clock_ns = 2\n");
+      },
+      "catalog line 3: duplicate key 'clock_ns' in machine 'M'");
+}
+
+TEST(DescriptionParse, DuplicateMachineNameRejected) {
+  expect_rejected(
+      [] { parse_catalog("machine \"M\"\n  clock_ns = 1\nmachine \"M\"\n"); },
+      "catalog line 3: duplicate machine name 'M'");
+}
+
+TEST(DescriptionParse, KeyBeforeFirstMachineRejected) {
+  expect_rejected([] { parse_catalog("clock_ns = 1\n"); },
+                  "catalog line 1: key before the first machine header");
+}
+
+TEST(DescriptionParse, MalformedNumberRejected) {
+  expect_rejected(
+      [] { parse_catalog("machine \"M\"\n  clock_ns = fast\n"); },
+      "catalog line 2: malformed number 'fast'");
+  expect_rejected(
+      [] { parse_catalog("machine \"M\"\n  clock_ns = 1.0x\n"); },
+      "malformed number '1.0x'");
+}
+
+TEST(DescriptionParse, MalformedHeaderRejected) {
+  expect_rejected([] { parse_catalog("machine M\n"); },
+                  "machine header must be: machine \"Name\"");
+  expect_rejected([] { parse_catalog("machine \"\"\n"); },
+                  "machine name must not be empty");
+  expect_rejected([] { parse_catalog("machine \"a\"b\"\n"); },
+                  "machine name must not contain quotes");
+}
+
+TEST(DescriptionParse, StrayLineRejected) {
+  expect_rejected([] { parse_catalog("machine \"M\"\n  what is this\n"); },
+                  "expected `key = value`");
+}
+
+TEST(DescriptionParse, FlagMustBeTrueOrFalse) {
+  expect_rejected(
+      [] { parse_catalog("machine \"M\"\n  vector_unit = 1\n"); },
+      "vector_unit must be true or false, got '1'");
+  const Catalog ok =
+      parse_catalog("machine \"M\"\n  clock_ns = 1\n  vector_unit = false\n");
+  EXPECT_EQ(ok.machines.at(0).get_or("vector_unit", 1.0), 0.0);
+}
+
+TEST(DescriptionParse, CommentsAndBlankLinesIgnored) {
+  const Catalog cat = parse_catalog(
+      "# header comment\n\nmachine \"M\"\n  # indented comment\n"
+      "  clock_ns = 2.5\n\n");
+  ASSERT_EQ(cat.machines.size(), 1u);
+  EXPECT_EQ(cat.machines[0].get_or("clock_ns", 0.0), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Lowering rejections (kind checks + MachineConfig::validate, named)
+
+TEST(DescriptionLower, ZeroClockRejected) {
+  expect_rejected(
+      [] {
+        parse_catalog("machine \"Broken\"\n  clock_ns = 0\n")
+            .machines.at(0)
+            .lower();
+      },
+      "machine 'Broken': clock_ns must be a positive number (got 0)");
+}
+
+TEST(DescriptionLower, NegativeBankCountRejected) {
+  expect_rejected(
+      [] {
+        parse_catalog(
+            "machine \"Broken\"\n  clock_ns = 1\n  memory_banks = -256\n")
+            .machines.at(0)
+            .lower();
+      },
+      "machine 'Broken': memory_banks must be a positive integer (got -256)");
+}
+
+TEST(DescriptionLower, ZeroVectorLengthRejected) {
+  expect_rejected(
+      [] {
+        parse_catalog(
+            "machine \"Broken\"\n  clock_ns = 1\n  vector_length = 0\n")
+            .machines.at(0)
+            .lower();
+      },
+      "machine 'Broken': vector_length must be a positive integer (got 0)");
+}
+
+TEST(DescriptionLower, NonIntegralCountRejected) {
+  expect_rejected(
+      [] {
+        parse_catalog(
+            "machine \"Broken\"\n  clock_ns = 1\n  pipes_per_group = 2.5\n")
+            .machines.at(0)
+            .lower();
+      },
+      "pipes_per_group must be a positive integer (got 2.5)");
+}
+
+TEST(DescriptionLower, ConfigValidateFailuresNameTheMachine) {
+  // Consistency checks beyond per-key kinds still come from
+  // MachineConfig::validate, wrapped with the machine's name.
+  expect_rejected(
+      [] {
+        parse_catalog(
+            "machine \"Odd\"\n  clock_ns = 1\n  vector_length = 100\n"
+            "  pipes_per_group = 3\n")
+            .machines.at(0)
+            .lower();
+      },
+      "machine 'Odd': MachineConfig: vector register length");
+  expect_rejected(
+      [] {
+        parse_catalog(
+            "machine \"Odd\"\n  clock_ns = 1\n  memory_banks = 100\n")
+            .machines.at(0)
+            .lower();
+      },
+      "machine 'Odd': MachineConfig: bank count must be a power of two");
+}
+
+TEST(DescriptionLower, ClockIsRequired) {
+  expect_rejected(
+      [] { parse_catalog("machine \"M\"\n  nodes = 1\n").machines.at(0).lower(); },
+      "machine 'M': clock_ns is required");
+}
+
+TEST(DescriptionLower, UnsetKeysInheritSx4Defaults) {
+  const Spec s =
+      parse_catalog("machine \"Tweaked\"\n  clock_ns = 4\n")
+          .machines.at(0)
+          .lower();
+  const ncar::sxs::MachineConfig defaults;
+  EXPECT_EQ(s.cfg.clock_ns, 4.0);
+  EXPECT_EQ(s.cfg.name, "Tweaked");
+  EXPECT_EQ(s.cfg.vector_length, defaults.vector_length);
+  EXPECT_EQ(s.cfg.pipes_per_group, defaults.pipes_per_group);
+  EXPECT_EQ(s.cfg.memory_banks, defaults.memory_banks);
+  EXPECT_EQ(s.cfg.port_bytes_per_clock.value(),
+            defaults.port_bytes_per_clock.value());
+  EXPECT_TRUE(s.has_vector);
+  EXPECT_EQ(s.libm_call_overhead_cycles, 0.0);
+  EXPECT_EQ(s.vector_libm_multiplier, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// set / get_or / canonical order
+
+TEST(Description, SetKeepsCanonicalOrderRegardlessOfCallOrder) {
+  MachineDescription a{"M", {}};
+  a.set("memory_banks", 512);
+  a.set("clock_ns", 2);
+  a.set("vector_length", 128);
+  MachineDescription b{"M", {}};
+  b.set("vector_length", 128);
+  b.set("memory_banks", 512);
+  b.set("clock_ns", 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.entries[0].first, "clock_ns");
+  EXPECT_EQ(a.entries[1].first, "vector_length");
+  EXPECT_EQ(a.entries[2].first, "memory_banks");
+  a.set("clock_ns", 3);  // overwrite, no duplicate
+  EXPECT_EQ(a.entries.size(), 3u);
+  EXPECT_EQ(a.get_or("clock_ns", 0.0), 3.0);
+  EXPECT_EQ(a.get_or("iops", -1.0), -1.0);
+  EXPECT_TRUE(a.has("memory_banks"));
+  EXPECT_FALSE(a.has("iops"));
+  expect_rejected([&] { a.set("warp_factor", 9); },
+                  "machine 'M': unknown key 'warp_factor'");
+}
+
+TEST(Description, KeyOrderInTableDoesNotMatter) {
+  const Catalog a = parse_catalog(
+      "machine \"M\"\n  clock_ns = 2\n  memory_banks = 512\n");
+  const Catalog b = parse_catalog(
+      "machine \"M\"\n  memory_banks = 512\n  clock_ns = 2\n");
+  EXPECT_EQ(a.machines.at(0), b.machines.at(0));
+  EXPECT_EQ(a.machines.at(0).to_table(), b.machines.at(0).to_table());
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST(DescriptionRoundTrip, EveryBuiltinMachineSurvivesReEmission) {
+  for (const MachineDescription& m : builtin_catalog().machines) {
+    SCOPED_TRACE(m.name);
+    const Catalog re = parse_catalog(m.to_table());
+    ASSERT_EQ(re.machines.size(), 1u);
+    EXPECT_EQ(re.machines[0], m) << m.to_table();
+  }
+}
+
+TEST(DescriptionRoundTrip, WholeCatalogSurvivesReEmission) {
+  const Catalog& cat = builtin_catalog();
+  const Catalog re = parse_catalog(cat.to_table());
+  ASSERT_EQ(re.machines.size(), cat.machines.size());
+  for (std::size_t i = 0; i < cat.machines.size(); ++i) {
+    EXPECT_EQ(re.machines[i], cat.machines[i]);
+  }
+}
+
+TEST(DescriptionRoundTrip, AwkwardDoublesSurviveShortestForm) {
+  // Non-terminating binary fractions and tiny coefficients must re-emit to
+  // the exact same double (shortest round-trip formatting).
+  MachineDescription m{"M", {}};
+  m.set("clock_ns", 16.7);
+  m.set("bank_contention_per_cpu", 6.8e-4);
+  m.set("hippi_setup_s", 40e-6);
+  m.set("vector_libm_multiplier", 2.2);
+  const Catalog re = parse_catalog(m.to_table());
+  EXPECT_EQ(re.machines.at(0), m);
+  EXPECT_EQ(re.machines.at(0).get_or("clock_ns", 0.0), 16.7);
+  EXPECT_EQ(re.machines.at(0).get_or("bank_contention_per_cpu", 0.0), 6.8e-4);
+}
+
+TEST(DescriptionRoundTrip, ParseLowerReEmitIsStable) {
+  // to_table → parse → lower must equal direct lower, for every builtin.
+  for (const MachineDescription& m : builtin_catalog().machines) {
+    SCOPED_TRACE(m.name);
+    const Spec direct = m.lower();
+    const Spec rebuilt = parse_catalog(m.to_table()).machines.at(0).lower();
+    EXPECT_EQ(direct.cfg.clock_ns, rebuilt.cfg.clock_ns);
+    EXPECT_EQ(direct.cfg.vector_length, rebuilt.cfg.vector_length);
+    EXPECT_EQ(direct.cfg.port_bytes_per_clock.value(),
+              rebuilt.cfg.port_bytes_per_clock.value());
+    EXPECT_EQ(direct.has_vector, rebuilt.has_vector);
+    EXPECT_EQ(direct.vector_libm_multiplier, rebuilt.vector_libm_multiplier);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Builtin catalog contents
+
+TEST(BuiltinCatalog, HasTheLegacyAndModernMachines) {
+  const auto names = builtin_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "SUN Sparc20");
+  EXPECT_EQ(names[1], "IBM RS6000/590");
+  EXPECT_EQ(names[2], "CRI J90");
+  EXPECT_EQ(names[3], "CRI Y-MP");
+  EXPECT_EQ(names[4], "NEC SX-4/1");
+  EXPECT_EQ(names[5], "NEC SX-Aurora TSUBASA");
+  EXPECT_EQ(names[6], "Fujitsu A64FX");
+  EXPECT_EQ(names[7], "RISC-V RVV Vitruvius");
+}
+
+TEST(BuiltinCatalog, EveryEntryLowersAndValidates) {
+  for (const auto& name : builtin_names()) {
+    SCOPED_TRACE(name);
+    const Spec s = spec_for(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_NO_THROW(s.cfg.validate());
+  }
+}
+
+TEST(BuiltinCatalog, ModernDesignPointsAreFasterThanThe1996Crays) {
+  // Sub-nanosecond clocks and wider pipes: peak per-CPU flops of every
+  // modern point must dominate the Y-MP's.
+  const double ymp = spec_for("CRI Y-MP").cfg.peak_flops_per_cpu();
+  for (const auto* name :
+       {"NEC SX-Aurora TSUBASA", "Fujitsu A64FX", "RISC-V RVV Vitruvius"}) {
+    SCOPED_TRACE(name);
+    EXPECT_GT(spec_for(name).cfg.peak_flops_per_cpu(), ymp);
+  }
+}
+
+TEST(BuiltinCatalog, LookupMissesListKnownNames) {
+  expect_rejected([] { spec_for("DEC Alpha"); },
+                  "no machine named 'DEC Alpha' in catalog");
+  expect_rejected([] { spec_for("DEC Alpha"); }, "SUN Sparc20");
+  EXPECT_EQ(builtin_catalog().find("DEC Alpha"), nullptr);
+  EXPECT_NE(builtin_catalog().find("CRI J90"), nullptr);
+}
+
+}  // namespace

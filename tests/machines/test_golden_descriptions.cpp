@@ -1,0 +1,276 @@
+// Golden equivalence battery (ISSUE 7): every legacy comparator preset,
+// rebuilt from its builtin-catalog description table, must charge
+// bit-identically to the hard-coded Spec it replaced.
+//
+// The pre-catalog presets live in this file VERBATIM (copied from
+// src/machines/comparator.cpp as of PR 6, same pinning style as
+// tests/des/test_golden.cpp): if a catalog edit, a parser change, or a
+// lowering change perturbs any preset by even one ulp on the RADABS or
+// HINT probes, these tests fail.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hint/hint.hpp"
+#include "machines/comparator.hpp"
+#include "machines/description.hpp"
+#include "radabs/radabs.hpp"
+#include "sxs/machine_config.hpp"
+
+namespace {
+
+using ncar::Bytes;
+using ncar::machines::Comparator;
+using ncar::machines::Spec;
+
+// ---------------------------------------------------------------------------
+// The legacy presets, verbatim (pre-description hard-coded Specs).
+
+/// Shared starting point: strip the SX-4 defaults down to a single CPU.
+ncar::sxs::MachineConfig base_single_cpu() {
+  ncar::sxs::MachineConfig c;
+  c.cpus_per_node = 1;
+  c.nodes = 1;
+  return c;
+}
+
+Spec legacy_sun_sparc20() {
+  Spec s;
+  s.name = "SUN Sparc20";
+  s.has_vector = false;
+  s.libm_call_overhead_cycles = 52.0;
+  ncar::sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 16.7;  // 60 MHz SuperSPARC
+  c.scalar_issue_width = 2;  // 3-way issue, ~2 sustained on tuned loops
+  c.dcache_bytes = 16 * 1024;
+  c.cache_line_bytes = 32;
+  c.cache_ways = 4;
+  c.cache_miss_clocks = 12.0;  // L2 / memory blend
+  // Vector parameters are unused (has_vector == false) but must validate.
+  return s;
+}
+
+Spec legacy_ibm_rs6000_590() {
+  Spec s;
+  s.name = "IBM RS6000/590";
+  s.has_vector = false;
+  s.libm_call_overhead_cycles = 42.0;
+  ncar::sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 15.0;  // 66.5 MHz POWER2
+  c.scalar_issue_width = 2;  // dual FMA units; ~2 sustained instr/clock
+  c.dcache_bytes = 256 * 1024;
+  c.cache_line_bytes = 256;
+  c.cache_ways = 4;
+  c.cache_miss_clocks = 12.0;
+  return s;
+}
+
+Spec legacy_cray_j90() {
+  Spec s;
+  s.name = "CRI J90";
+  s.has_vector = true;
+  s.vector_libm_multiplier = 2.2;  // early CMOS vector libm, poorly tuned
+  ncar::sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 10.0;  // 100 MHz CMOS
+  c.vector_length = 64;
+  c.pipes_per_group = 1;  // one add pipe + one multiply pipe
+  c.vector_startup_clocks = 28.0;
+  c.vector_issue_clocks = 1.0;
+  c.divide_cycles_per_result = 6.0;
+  c.memory_banks = 256;
+  c.port_bytes_per_clock = Bytes(8.0);  // one word per clock (J90's weak memory)
+  c.node_bytes_per_clock = Bytes(8.0);
+  c.gather_port_divisor = 2.0;
+  c.scatter_port_divisor = 2.0;
+  // Scalar side: no data cache on Crays; model as a tiny buffer with a short
+  // pipelined memory latency per reference.
+  c.scalar_issue_width = 1;
+  c.dcache_bytes = 512;
+  c.cache_line_bytes = 8;
+  c.cache_ways = 1;
+  c.cache_miss_clocks = 6.0;
+  return s;
+}
+
+Spec legacy_cray_ymp() {
+  Spec s;
+  s.name = "CRI Y-MP";
+  s.has_vector = true;
+  s.vector_libm_multiplier = 1.25;  // library flops beyond the pipe model
+  ncar::sxs::MachineConfig& c = s.cfg;
+  c = base_single_cpu();
+  c.name = s.name;
+  c.clock_ns = 6.0;  // 166 MHz ECL
+  c.vector_length = 64;
+  c.pipes_per_group = 1;
+  c.vector_startup_clocks = 18.0;
+  c.vector_issue_clocks = 1.0;
+  c.divide_cycles_per_result = 4.0;
+  c.memory_banks = 256;
+  c.port_bytes_per_clock = Bytes(24.0);  // two loads + one store per clock
+  c.node_bytes_per_clock = Bytes(24.0);
+  c.gather_port_divisor = 2.0;
+  c.scatter_port_divisor = 2.0;
+  c.scalar_issue_width = 1;
+  c.dcache_bytes = 512;
+  c.cache_line_bytes = 8;
+  c.cache_ways = 1;
+  c.cache_miss_clocks = 5.0;
+  return s;
+}
+
+Spec legacy_nec_sx4_single() {
+  Spec s;
+  s.name = "NEC SX-4/1";
+  s.has_vector = true;
+  s.cfg = ncar::sxs::MachineConfig::sx4_benchmarked();
+  s.cfg.cpus_per_node = 1;
+  s.cfg.name = s.name;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence harness
+
+struct GoldenCase {
+  const char* catalog_name;
+  Spec (*legacy)();
+  Spec (*preset)();
+};
+
+const std::vector<GoldenCase>& golden_cases() {
+  static const std::vector<GoldenCase> kCases = {
+      {"SUN Sparc20", &legacy_sun_sparc20, &Comparator::sun_sparc20},
+      {"IBM RS6000/590", &legacy_ibm_rs6000_590, &Comparator::ibm_rs6000_590},
+      {"CRI J90", &legacy_cray_j90, &Comparator::cray_j90},
+      {"CRI Y-MP", &legacy_cray_ymp, &Comparator::cray_ymp},
+      {"NEC SX-4/1", &legacy_nec_sx4_single, &Comparator::nec_sx4_single},
+  };
+  return kCases;
+}
+
+/// Every field of the lowered configuration that the timing model reads.
+void expect_config_identical(const ncar::sxs::MachineConfig& a,
+                             const ncar::sxs::MachineConfig& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.clock_ns, b.clock_ns);
+  EXPECT_EQ(a.cpus_per_node, b.cpus_per_node);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.vector_length, b.vector_length);
+  EXPECT_EQ(a.pipes_per_group, b.pipes_per_group);
+  EXPECT_EQ(a.vector_issue_clocks, b.vector_issue_clocks);
+  EXPECT_EQ(a.vector_startup_clocks, b.vector_startup_clocks);
+  EXPECT_EQ(a.divide_cycles_per_result, b.divide_cycles_per_result);
+  EXPECT_EQ(a.scalar_issue_width, b.scalar_issue_width);
+  EXPECT_EQ(a.dcache_bytes, b.dcache_bytes);
+  EXPECT_EQ(a.icache_bytes, b.icache_bytes);
+  EXPECT_EQ(a.cache_line_bytes, b.cache_line_bytes);
+  EXPECT_EQ(a.cache_ways, b.cache_ways);
+  EXPECT_EQ(a.cache_miss_clocks, b.cache_miss_clocks);
+  EXPECT_EQ(a.memory_banks, b.memory_banks);
+  EXPECT_EQ(a.bank_cycle_clocks, b.bank_cycle_clocks);
+  EXPECT_EQ(a.port_bytes_per_clock.value(), b.port_bytes_per_clock.value());
+  EXPECT_EQ(a.node_bytes_per_clock.value(), b.node_bytes_per_clock.value());
+  EXPECT_EQ(a.gather_port_divisor, b.gather_port_divisor);
+  EXPECT_EQ(a.scatter_port_divisor, b.scatter_port_divisor);
+  EXPECT_EQ(a.strided_port_divisor, b.strided_port_divisor);
+  EXPECT_EQ(a.bank_contention_per_cpu, b.bank_contention_per_cpu);
+  EXPECT_EQ(a.commreg_op_clocks, b.commreg_op_clocks);
+  EXPECT_EQ(a.barrier_base_clocks, b.barrier_base_clocks);
+  EXPECT_EQ(a.barrier_per_cpu_clocks, b.barrier_per_cpu_clocks);
+  EXPECT_EQ(a.xmu_bytes_per_clock.value(), b.xmu_bytes_per_clock.value());
+  EXPECT_EQ(a.xmu_capacity_bytes.value(), b.xmu_capacity_bytes.value());
+  EXPECT_EQ(a.iops, b.iops);
+  EXPECT_EQ(a.iop_bytes_per_s.value(), b.iop_bytes_per_s.value());
+  EXPECT_EQ(a.hippi_bytes_per_s.value(), b.hippi_bytes_per_s.value());
+  EXPECT_EQ(a.hippi_setup_s, b.hippi_setup_s);
+  EXPECT_EQ(a.ixs_channel_bytes_per_s.value(),
+            b.ixs_channel_bytes_per_s.value());
+  EXPECT_EQ(a.ixs_latency_s, b.ixs_latency_s);
+  EXPECT_EQ(a.ixs_max_nodes, b.ixs_max_nodes);
+}
+
+TEST(GoldenDescriptions, LoweredConfigsFieldIdentical) {
+  for (const GoldenCase& g : golden_cases()) {
+    SCOPED_TRACE(g.catalog_name);
+    const Spec legacy = g.legacy();
+    const Spec built = ncar::machines::spec_for(g.catalog_name);
+    EXPECT_EQ(legacy.name, built.name);
+    EXPECT_EQ(legacy.has_vector, built.has_vector);
+    EXPECT_EQ(legacy.libm_call_overhead_cycles,
+              built.libm_call_overhead_cycles);
+    EXPECT_EQ(legacy.vector_libm_multiplier, built.vector_libm_multiplier);
+    expect_config_identical(legacy.cfg, built.cfg);
+  }
+}
+
+TEST(GoldenDescriptions, PresetsAreTheCatalogTwins) {
+  // The Comparator preset factories now lower the catalog; they must agree
+  // with spec_for, and (via the legacy functions above) with the pre-PR
+  // hard-coded values.
+  for (const GoldenCase& g : golden_cases()) {
+    SCOPED_TRACE(g.catalog_name);
+    const Spec preset = g.preset();
+    const Spec legacy = g.legacy();
+    EXPECT_EQ(preset.name, legacy.name);
+    expect_config_identical(preset.cfg, legacy.cfg);
+  }
+}
+
+TEST(GoldenDescriptions, RadabsChargesBitIdentical) {
+  for (const GoldenCase& g : golden_cases()) {
+    SCOPED_TRACE(g.catalog_name);
+    Comparator legacy(g.legacy());
+    Comparator built(ncar::machines::spec_for(g.catalog_name));
+    const auto want = ncar::radabs::run_radabs_standard(legacy);
+    const auto got = ncar::radabs::run_radabs_standard(built);
+    EXPECT_EQ(want.seconds, got.seconds);
+    EXPECT_EQ(want.equiv_mflops, got.equiv_mflops);
+    EXPECT_EQ(want.hw_mflops, got.hw_mflops);
+    EXPECT_EQ(legacy.hw_flops().value(), built.hw_flops().value());
+    EXPECT_EQ(legacy.equiv_flops().value(), built.equiv_flops().value());
+    EXPECT_EQ(legacy.cpu().cycles(), built.cpu().cycles());
+  }
+}
+
+TEST(GoldenDescriptions, HintChargesBitIdentical) {
+  for (const GoldenCase& g : golden_cases()) {
+    SCOPED_TRACE(g.catalog_name);
+    Comparator legacy(g.legacy());
+    Comparator built(ncar::machines::spec_for(g.catalog_name));
+    const auto want = ncar::hint::run_hint(legacy, 20'000);
+    const auto got = ncar::hint::run_hint(built, 20'000);
+    EXPECT_EQ(want.seconds, got.seconds);
+    EXPECT_EQ(want.mquips, got.mquips);
+    EXPECT_EQ(legacy.cpu().cycles(), built.cpu().cycles());
+  }
+}
+
+TEST(GoldenDescriptions, IntrinsicPathBitIdentical) {
+  // The libm extras (call overhead on scalar machines, multiplier on
+  // vector machines) ride in the Spec, outside MachineConfig — cover the
+  // lowered values through the charging path too.
+  for (const GoldenCase& g : golden_cases()) {
+    SCOPED_TRACE(g.catalog_name);
+    Comparator legacy(g.legacy());
+    Comparator built(ncar::machines::spec_for(g.catalog_name));
+    for (const auto f :
+         {ncar::sxs::Intrinsic::Exp, ncar::sxs::Intrinsic::Sqrt,
+          ncar::sxs::Intrinsic::Pow}) {
+      legacy.intrinsic(f, 10'000);
+      built.intrinsic(f, 10'000);
+    }
+    EXPECT_EQ(legacy.seconds().value(), built.seconds().value());
+    EXPECT_EQ(legacy.equiv_flops().value(), built.equiv_flops().value());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// Sweep determinism + bounded-memory battery (ISSUE 7 satellite): the grid
+// is lazy (index-decoded, never materialised), sequential and threaded
+// sweeps emit byte-identical JSON, repeated runs are byte-identical, and
+// the number of simultaneously-live replay workspaces is bounded by the
+// host thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "machines/description.hpp"
+#include "machines/sweep.hpp"
+#include "radabs/radabs.hpp"
+#include "sxs/execution_policy.hpp"
+
+namespace {
+
+using ncar::ThreadPool;
+using ncar::machines::Axis;
+using ncar::machines::builtin_catalog;
+using ncar::machines::Comparator;
+using ncar::machines::Grid;
+using ncar::machines::MachineDescription;
+using ncar::machines::Probe;
+using ncar::machines::record_probe;
+using ncar::machines::replay_probe;
+using ncar::machines::run_sweep;
+using ncar::machines::SweepOptions;
+using ncar::machines::SweepReport;
+using ncar::sxs::ExecutionPolicy;
+
+MachineDescription sx4_base() { return builtin_catalog().at("NEC SX-4/1"); }
+
+/// The small grid used by the determinism tests: 3*2*2*2 = 24 points,
+/// including invalid combinations (pipes=3 never divides VL 64/256).
+Grid small_grid() {
+  return Grid(sx4_base(), {
+                              {"pipes_per_group", {3, 8, 16}},
+                              {"vector_length", {64, 256}},
+                              {"port_bytes_per_clock", {32, 128}},
+                              {"memory_banks", {256, 1024}},
+                          });
+}
+
+// ---------------------------------------------------------------------------
+// Grid
+
+TEST(Grid, MixedRadixDecodingFirstAxisFastest) {
+  const Grid g(sx4_base(), {{"pipes_per_group", {2, 4, 8}},
+                            {"memory_banks", {256, 1024}}});
+  ASSERT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.coordinates(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(g.coordinates(1), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(g.coordinates(2), (std::vector<std::size_t>{2, 0}));
+  EXPECT_EQ(g.coordinates(3), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(g.coordinates(5), (std::vector<std::size_t>{2, 1}));
+  EXPECT_EQ(g.values(4), (std::vector<double>{4, 1024}));
+  const MachineDescription d = g.config(4);
+  EXPECT_EQ(d.get_or("pipes_per_group", 0.0), 4.0);
+  EXPECT_EQ(d.get_or("memory_banks", 0.0), 1024.0);
+  EXPECT_EQ(d.get_or("clock_ns", 0.0), 9.2);  // base survives the overlay
+}
+
+TEST(Grid, NeighborWalksOneAxisAndStopsAtTheEdge) {
+  const Grid g(sx4_base(), {{"pipes_per_group", {2, 4, 8}},
+                            {"memory_banks", {256, 1024}}});
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(2, 0), g.size());  // pipes already at the last value
+  EXPECT_EQ(g.neighbor(0, 1), 3u);
+  EXPECT_EQ(g.neighbor(3, 1), g.size());  // banks already at the last value
+}
+
+TEST(Grid, HugeGridsStayLazy) {
+  // A ~10^8-point grid must construct instantly and answer point queries
+  // without materialising anything: memory stays O(axes), not O(points).
+  std::vector<double> many;
+  for (int i = 1; i <= 10'000; ++i) many.push_back(i);
+  const Grid g(sx4_base(), {{"cache_miss_clocks", many},
+                            {"vector_startup_clocks", many}});
+  ASSERT_EQ(g.size(), 100'000'000u);
+  const MachineDescription d = g.config(g.size() - 1);
+  EXPECT_EQ(d.get_or("cache_miss_clocks", 0.0), 10'000.0);
+  EXPECT_EQ(d.get_or("vector_startup_clocks", 0.0), 10'000.0);
+  EXPECT_EQ(g.neighbor(g.size() - 1, 0), g.size());
+}
+
+TEST(Grid, RejectsBadAxes) {
+  EXPECT_THROW(Grid(sx4_base(), {{"warp_factor", {1}}}), ncar::config_error);
+  EXPECT_THROW(Grid(sx4_base(), {{"pipes_per_group", {}}}),
+               ncar::config_error);
+  EXPECT_THROW(Grid(sx4_base(), {{"pipes_per_group", {2}},
+                                 {"pipes_per_group", {4}}}),
+               ncar::config_error);
+}
+
+// ---------------------------------------------------------------------------
+// Probe record / replay
+
+TEST(Probe, RecordedRadabsReplaysBitIdentically) {
+  // The whole engine rests on this: replaying the recorded op stream must
+  // charge exactly what the real kernel run charged, machine by machine.
+  const Probe probe = record_probe("radabs");
+  EXPECT_GT(probe.ops.size(), 1000u);
+  for (const auto* name : {"NEC SX-4/1", "CRI Y-MP", "SUN Sparc20",
+                           "NEC SX-Aurora TSUBASA"}) {
+    SCOPED_TRACE(name);
+    Comparator machine(ncar::machines::spec_for(name));
+    const auto direct = ncar::radabs::run_radabs_standard(machine);
+    const auto replay = replay_probe(probe, ncar::machines::spec_for(name));
+    EXPECT_EQ(replay.seconds, direct.seconds);
+  }
+}
+
+TEST(Probe, KernelsRecordAndUnknownNamesThrow) {
+  EXPECT_EQ(ncar::machines::probe_kernels(),
+            (std::vector<std::string>{"radabs", "hint", "vfft"}));
+  const Probe hint = record_probe("hint");
+  EXPECT_EQ(hint.kernel, "hint");
+  EXPECT_GT(hint.ops.size(), 10u);
+  const Probe vfft = record_probe("vfft");
+  EXPECT_EQ(vfft.ops.size(), 8u);
+  EXPECT_EQ(vfft.total_charges(), 8.0 * 128.0);
+  EXPECT_THROW(record_probe("linpack"), ncar::config_error);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep determinism
+
+TEST(Sweep, SequentialAndThreadedJsonByteIdentical) {
+  SweepOptions seq;
+  seq.kernel = "radabs";
+  seq.policy = ExecutionPolicy::Sequential;
+  const SweepReport a = run_sweep(small_grid(), seq);
+
+  ThreadPool pool(8);
+  SweepOptions thr;
+  thr.kernel = "radabs";
+  thr.policy = ExecutionPolicy::Threaded;
+  thr.pool = &pool;
+  const SweepReport b = run_sweep(small_grid(), thr);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+TEST(Sweep, RepeatedRunsByteIdentical) {
+  SweepOptions opts;
+  opts.kernel = "vfft";
+  opts.policy = ExecutionPolicy::Sequential;
+  const std::string first = run_sweep(small_grid(), opts).to_json();
+  const std::string second = run_sweep(small_grid(), opts).to_json();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Sweep, LiveWorkspacesBoundedByHostThreads) {
+  SweepOptions seq;
+  seq.kernel = "vfft";
+  seq.policy = ExecutionPolicy::Sequential;
+  const SweepReport a = run_sweep(small_grid(), seq);
+  EXPECT_EQ(a.peak_live_workspaces, 1);
+
+  ThreadPool pool(4);
+  SweepOptions thr = seq;
+  thr.policy = ExecutionPolicy::Threaded;
+  thr.pool = &pool;
+  const SweepReport b = run_sweep(small_grid(), thr);
+  EXPECT_GE(b.peak_live_workspaces, 1);
+  EXPECT_LE(b.peak_live_workspaces, pool.thread_count());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep semantics
+
+TEST(Sweep, InvalidCombinationsKeepTheGridRectangular) {
+  SweepOptions opts;
+  opts.kernel = "vfft";
+  opts.policy = ExecutionPolicy::Sequential;
+  const SweepReport rep = run_sweep(small_grid(), opts);
+  ASSERT_EQ(rep.points.size(), 24u);
+  // pipes=3 divides neither VL 64 nor 256: a third of the grid is invalid,
+  // present, and carries the lowering error.
+  EXPECT_EQ(rep.valid_count(), 16u);
+  for (const auto& p : rep.points) {
+    if (p.valid) {
+      EXPECT_GT(p.seconds, 0.0);
+      EXPECT_TRUE(p.error.empty());
+    } else {
+      EXPECT_NE(p.error.find("vector register length"), std::string::npos)
+          << p.error;
+    }
+  }
+}
+
+TEST(Sweep, ClassificationIsAPureFunctionOfTheGains) {
+  SweepOptions opts;
+  opts.kernel = "radabs";
+  opts.policy = ExecutionPolicy::Sequential;
+  const SweepReport rep = run_sweep(small_grid(), opts);
+  for (const auto& p : rep.points) {
+    if (!p.valid) continue;
+    EXPECT_GT(p.memory_gain, 0.0);
+    EXPECT_GT(p.compute_gain, 0.0);
+    EXPECT_EQ(p.memory_bound, p.memory_gain >= p.compute_gain);
+  }
+  EXPECT_EQ(rep.valid_count(),
+            rep.memory_bound_count() +
+                (rep.valid_count() - rep.memory_bound_count()));
+}
+
+TEST(Sweep, FlipEdgesConnectDisagreeingNeighbors) {
+  const Grid grid = small_grid();
+  SweepOptions opts;
+  opts.kernel = "radabs";
+  opts.policy = ExecutionPolicy::Sequential;
+  const SweepReport rep = run_sweep(grid, opts);
+  // A 16-pipe SX-4 behind a weak 32-byte port is memory-bound while the
+  // 8-pipe one is compute-bound: the pipes and port axes must both flip
+  // somewhere on this grid.
+  EXPECT_FALSE(rep.flips.empty());
+  for (const auto& f : rep.flips) {
+    ASSERT_LT(f.from, rep.points.size());
+    ASSERT_LT(f.to, rep.points.size());
+    EXPECT_TRUE(rep.points[f.from].valid);
+    EXPECT_TRUE(rep.points[f.to].valid);
+    EXPECT_NE(rep.points[f.from].memory_bound, rep.points[f.to].memory_bound);
+    // The edge really is a neighbor relation along the named axis.
+    bool named_axis_found = false;
+    for (std::size_t a = 0; a < grid.axes().size(); ++a) {
+      if (grid.axes()[a].key == f.axis) {
+        named_axis_found = true;
+        EXPECT_EQ(grid.neighbor(f.from, a), f.to);
+      }
+    }
+    EXPECT_TRUE(named_axis_found) << f.axis;
+  }
+}
+
+TEST(Sweep, FastestPointAndJsonShape) {
+  SweepOptions opts;
+  opts.kernel = "radabs";
+  opts.policy = ExecutionPolicy::Sequential;
+  const SweepReport rep = run_sweep(small_grid(), opts);
+  const auto* best = rep.fastest();
+  ASSERT_NE(best, nullptr);
+  for (const auto& p : rep.points) {
+    if (p.valid) {
+      EXPECT_LE(best->seconds, p.seconds);
+    }
+  }
+  const std::string j = rep.to_json();
+  EXPECT_NE(j.find("\"kernel\": \"radabs\""), std::string::npos);
+  EXPECT_NE(j.find("\"grid_size\": 24"), std::string::npos);
+  EXPECT_NE(j.find("\"valid_points\": 16"), std::string::npos);
+  EXPECT_NE(j.find("\"memory_bound\""), std::string::npos);
+  EXPECT_NE(j.find("\"flips\""), std::string::npos);
+  // peak_live_workspaces is host-thread-dependent: never serialised.
+  EXPECT_EQ(j.find("peak_live_workspaces"), std::string::npos);
+}
+
+}  // namespace

@@ -243,11 +243,15 @@ std::vector<Finding> check_pragma_once(const fs::path& root) {
 }
 
 std::vector<Finding> check_typed_units(const fs::path& root) {
-  // In sxs:: public headers a parameter `double seconds` / `double bytes` /
-  // `double flops` (or a `_seconds` / `_bytes` / `_flops` suffix) defeats
-  // the dimension system — it must be ncar::Seconds / ncar::Bytes /
-  // ncar::Flops. Parameters are recognised by paren depth > 0; struct
-  // fields and method *names* sit at depth 0.
+  // In src/sxs and src/machines headers a *publicly visible* parameter
+  // `double seconds` / `double bytes` / `double flops` (or a `_seconds` /
+  // `_bytes` / `_flops` suffix) defeats the dimension system — it must be
+  // ncar::Seconds / ncar::Bytes / ncar::Flops. Parameters are recognised
+  // by paren depth > 0; struct fields and method *names* sit at depth 0.
+  // A brace stack tracks access sections so private helpers may keep raw
+  // doubles: `class` opens private, `struct` opens public, plain braces
+  // (namespaces, function bodies) inherit, and `public:` / `private:` /
+  // `protected:` labels flip the current scope.
   const auto is_banned_name = [](const std::string& name) {
     for (const char* suffix : {"seconds", "bytes", "flops"}) {
       const std::string s(suffix);
@@ -261,36 +265,59 @@ std::vector<Finding> check_typed_units(const fs::path& root) {
     return false;
   };
   std::vector<Finding> findings;
-  for (const auto& file : collect(root / "src" / "sxs", ".hpp")) {
-    const std::string text = strip_comments_and_strings(read_file(file));
-    int depth = 0;
-    std::string prev_token;
-    bool adjacent = false;  // only whitespace between prev token and current
-    for (std::size_t i = 0; i < text.size();) {
-      const char c = text[i];
-      if (ident_char(c)) {
-        std::size_t end = i;
-        while (end < text.size() && ident_char(text[end])) ++end;
-        const std::string token = text.substr(i, end - i);
-        if (depth > 0 && adjacent && prev_token == "double" &&
-            is_banned_name(token)) {
-          findings.push_back(
-              {"typed-units", file, line_of(text, i),
-               "parameter `double " + token +
-                   "` in a public sxs header; use the ncar::Quantity types "
-                   "from common/quantity.hpp"});
+  for (const char* dir : {"sxs", "machines"}) {
+    for (const auto& file : collect(root / "src" / dir, ".hpp")) {
+      const std::string text = strip_comments_and_strings(read_file(file));
+      int depth = 0;
+      std::string prev_token;
+      bool adjacent = false;  // only whitespace between prev token and current
+      std::vector<bool> is_public{true};  // file scope is public
+      int pending = -1;  // access for the next '{': 1 public, 0 private
+      for (std::size_t i = 0; i < text.size();) {
+        const char c = text[i];
+        if (ident_char(c)) {
+          std::size_t end = i;
+          while (end < text.size() && ident_char(text[end])) ++end;
+          const std::string token = text.substr(i, end - i);
+          // `enum class` opens an enumerator list, not an access scope.
+          if (token == "class" && prev_token != "enum") pending = 0;
+          if (token == "struct" && prev_token != "enum") pending = 1;
+          // Access labels: the token must be followed by a lone ':'
+          // (':' ':' is a qualified name like std::vector).
+          if (end < text.size() && text[end] == ':' &&
+              (end + 1 >= text.size() || text[end + 1] != ':')) {
+            if (token == "public") is_public.back() = true;
+            if (token == "private" || token == "protected") {
+              is_public.back() = false;
+            }
+          }
+          if (depth > 0 && adjacent && prev_token == "double" &&
+              is_banned_name(token) && is_public.back()) {
+            findings.push_back(
+                {"typed-units", file, line_of(text, i),
+                 "public parameter `double " + token +
+                     "` in a src/" + dir +
+                     " header; use the ncar::Quantity types "
+                     "from common/quantity.hpp"});
+          }
+          prev_token = token;
+          adjacent = true;
+          i = end;
+          continue;
         }
-        prev_token = token;
-        adjacent = true;
-        i = end;
-        continue;
+        if (c == '(') ++depth;
+        if (c == ')') depth = depth > 0 ? depth - 1 : 0;
+        if (c == '{') {
+          is_public.push_back(pending == -1 ? is_public.back() : pending == 1);
+          pending = -1;
+        }
+        if (c == '}' && is_public.size() > 1) is_public.pop_back();
+        if (c == ';') pending = -1;  // forward declaration: no scope opened
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          adjacent = false;  // punctuation breaks `double name` adjacency
+        }
+        ++i;
       }
-      if (c == '(') ++depth;
-      if (c == ')') depth = depth > 0 ? depth - 1 : 0;
-      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-        adjacent = false;  // punctuation breaks `double name` adjacency
-      }
-      ++i;
     }
   }
   return findings;

@@ -17,9 +17,13 @@
 //   no-stdout           model code must not print; presentation lives in
 //                       bench/ and examples/.
 //   pragma-once         every header uses #pragma once.
-//   typed-units         public sxs:: headers must not take naked
-//                       `double seconds` / `double bytes` parameters — use
-//                       ncar::Seconds / ncar::Bytes (common/quantity.hpp).
+//   typed-units         src/sxs and src/machines headers must not take naked
+//                       `double seconds` / `double bytes` parameters in
+//                       publicly visible declarations — use ncar::Seconds /
+//                       ncar::Bytes (common/quantity.hpp). A brace-stack
+//                       access tracker (class opens private, struct opens
+//                       public, labels flip) lets private helpers keep raw
+//                       doubles.
 //   trace-category      charge_cycles / charge_seconds calls in src/sxs and
 //                       src/iosim must pass a trace::Category — an
 //                       uncategorised charge lands in the Other bucket of

@@ -80,9 +80,20 @@ TEST(SxlintBad, IncludeGuardHeaderIsFlagged) {
 TEST(SxlintBad, NakedUnitParametersAreFlagged) {
   const auto findings = ncar::sxlint::check_typed_units(testdata("bad"));
   // `double bytes`, `double timeout_seconds` and `double flops` in
-  // naked_units.hpp.
-  EXPECT_EQ(count_rule(findings, "typed-units"), 3);
+  // sxs/naked_units.hpp plus the public `double max_seconds` in
+  // machines/public_naked_units.hpp — its private `double seconds` is
+  // deliberately NOT counted.
+  EXPECT_EQ(count_rule(findings, "typed-units"), 4);
   EXPECT_TRUE(mentions_file(findings, "naked_units.hpp"));
+  EXPECT_TRUE(mentions_file(findings, "public_naked_units.hpp"));
+}
+
+TEST(SxlintGood, PrivateSectionNakedUnitsAreAllowed) {
+  // machines/typed_catalog.hpp keeps raw doubles in its private section,
+  // has a depth-0 `double seconds()` method name, struct fields, and an
+  // `enum class` — none of which may trip the access tracker.
+  const auto findings = ncar::sxlint::check_typed_units(testdata("good"));
+  EXPECT_EQ(count_rule(findings, "typed-units"), 0);
 }
 
 TEST(SxlintBad, UncategorisedChargesAreFlagged) {

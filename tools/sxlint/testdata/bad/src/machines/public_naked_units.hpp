@@ -1,0 +1,15 @@
+#pragma once
+
+namespace bad::machines {
+
+class Sweeper {
+ public:
+  // Public naked-unit parameter: must be ncar::Seconds.
+  void budget(double max_seconds);
+
+ private:
+  // Private raw doubles are allowed; only the public one above is flagged.
+  double spent_seconds_limit(double seconds) const;
+};
+
+}  // namespace bad::machines

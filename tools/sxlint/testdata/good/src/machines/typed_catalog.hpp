@@ -1,0 +1,30 @@
+#pragma once
+
+namespace good::machines {
+
+struct Seconds {
+  double value = 0;
+};
+
+class Catalog {
+ public:
+  // Public surface uses quantity types and neutral parameter names.
+  void set_budget(Seconds budget);
+  double seconds() const;  // method *name* at depth 0: allowed
+  double lookup(double fallback) const;
+
+ private:
+  // Private implementation detail: raw doubles stay legal here.
+  double clamp_seconds(double seconds) const;
+  double scale(double bytes, double flops) const;
+};
+
+// Struct fields are not parameters; depth 0 stays unflagged.
+struct Replay {
+  double seconds = 0;
+  double hw_flops = 0;
+};
+
+enum class Kind { Vector, Scalar };  // `enum class` is not an access scope
+
+}  // namespace good::machines
