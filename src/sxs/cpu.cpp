@@ -35,7 +35,8 @@ double Cpu::scalar_miss_cost(const ScalarOp& op) {
 }
 
 void Cpu::record(trace::Category category, double start, double charged,
-                 double base, double miss, const char* tag) {
+                 double base, double miss, double gather_scatter,
+                 const char* tag) {
   // total mirrors the cycle counter addition-for-addition, so
   // trace().total_ticks() stays bit-identical to cycles().
   trace_.count_total(charged);
@@ -46,6 +47,11 @@ void Cpu::record(trace::Category category, double start, double charged,
     if (miss > main) miss = main;
     main -= miss;
     trace_.count(trace::Category::CacheMiss, miss);
+  }
+  if (gather_scatter > 0) {
+    if (gather_scatter > main) gather_scatter = main;
+    main -= gather_scatter;
+    trace_.count(trace::Category::GatherScatter, gather_scatter);
   }
   trace_.count(category, main);
   if (conflict > 0) trace_.count(trace::Category::BankConflict, conflict);
@@ -64,17 +70,30 @@ void Cpu::vec(const VectorOp& op, long repeats) {
 
   // Refined attribution (summary/full): reprice the loop with unit strides
   // to carve the stride-conflict premium out of the pipe category and into
-  // bank_conflict. Off mode keeps the hot path to the counter updates.
+  // bank_conflict, and with the list-vector traffic removed to carve the
+  // gather/scatter premium into gather_scatter. Off mode keeps the hot
+  // path to the counter updates.
   double base = cost * reps;
-  if (trace::mode() != trace::Mode::Off &&
-      (op.load_stride != 1 || op.store_stride != 1)) {
-    VectorOp unit = op;
-    unit.load_stride = 1;
-    unit.store_stride = 1;
-    const double unit_cost = vec_cost(unit);
-    if (unit_cost < cost) base = unit_cost * reps;
+  double gather_scatter = 0.0;
+  if (trace::mode() != trace::Mode::Off) {
+    if (op.load_stride != 1 || op.store_stride != 1) {
+      VectorOp unit = op;
+      unit.load_stride = 1;
+      unit.store_stride = 1;
+      const double unit_cost = vec_cost(unit);
+      if (unit_cost < cost) base = unit_cost * reps;
+    }
+    if (op.gather_words > 0 || op.scatter_words > 0) {
+      VectorOp contiguous = op;
+      contiguous.gather_words = 0;
+      contiguous.scatter_words = 0;
+      const double contiguous_cost = vec_cost(contiguous);
+      if (contiguous_cost < cost) {
+        gather_scatter = (cost - contiguous_cost) * reps;
+      }
+    }
   }
-  record(classify(op), start, c, base, 0.0, "vec");
+  record(classify(op), start, c, base, 0.0, gather_scatter, "vec");
 
   const double n = static_cast<double>(op.n) * reps;
   const double flops = n * (op.flops_per_elem + op.div_per_elem);
@@ -91,7 +110,7 @@ void Cpu::scalar(const ScalarOp& op) {
 
   const double miss =
       trace::mode() != trace::Mode::Off ? scalar_miss_cost(op) : 0.0;
-  record(trace::Category::Scalar, start, c, cost, miss, "scalar");
+  record(trace::Category::Scalar, start, c, cost, miss, 0.0, "scalar");
 
   const double flops =
       static_cast<double>(op.iters) * op.flops_per_iter;
@@ -122,7 +141,7 @@ void Cpu::intrinsic(Intrinsic f, long n, double extra_load_words,
   intrinsic_cycles_ += c;
 
   record(trace::Category::VectorMul, start, c,
-         op_cost * cycle_multiplier * reps, 0.0, "intrinsic");
+         op_cost * cycle_multiplier * reps, 0.0, 0.0, "intrinsic");
 
   const double total = static_cast<double>(n) * reps;
   hw_flops_ += total * (cost.hw_flops + cost.hw_div);
@@ -148,7 +167,7 @@ void Cpu::scalar_intrinsic(Intrinsic f, long n) {
 
   const double miss =
       trace::mode() != trace::Mode::Off ? scalar_miss_cost(op) : 0.0;
-  record(trace::Category::Scalar, start, c, op_cost, miss,
+  record(trace::Category::Scalar, start, c, op_cost, miss, 0.0,
          "scalar_intrinsic");
 
   hw_flops_ += static_cast<double>(n) * (cost.hw_flops + cost.hw_div);
@@ -163,7 +182,7 @@ void Cpu::charge_cycles(Cycles cycles, trace::Category category) {
   const double c = v * contention_;
   const double start = cycles_ + trace_time_offset_;
   cycles_ += c;
-  record(category, start, c, v, 0.0, "charge");
+  record(category, start, c, v, 0.0, 0.0, "charge");
 }
 
 void Cpu::charge_seconds(Seconds seconds, trace::Category category) {

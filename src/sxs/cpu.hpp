@@ -134,9 +134,11 @@ private:
 
   /// File `charged` (the full, contention-inflated amount) under `category`,
   /// carving the contention inflation (charged - base) into bank_conflict
-  /// and, when `miss` > 0, a cache_miss share out of the base.
+  /// and, when `miss` / `gather_scatter` > 0, a cache_miss or
+  /// gather_scatter share out of the base.
   void record(trace::Category category, double start, double charged,
-              double base, double miss, const char* tag);
+              double base, double miss, double gather_scatter,
+              const char* tag);
 
   const MachineConfig* cfg_;
   MemoryModel mem_;

@@ -28,7 +28,7 @@ double MemoryModel::analytic_conflict_factor(long stride) const {
   // stream slows by the ratio.
   const long banks = cfg_.memory_banks;
   const long visited = banks / std::gcd(stride, banks);
-  const double demand = port_words_per_clock() * cfg_.bank_cycle_clocks;
+  const double demand = port_words_per_clock().value() * cfg_.bank_cycle_clocks;
   const double capacity = static_cast<double>(visited);
   return std::max(cfg_.strided_port_divisor, demand / capacity);
 }
@@ -45,7 +45,7 @@ Cycles MemoryModel::stream_cycles(long n_words, long stride) const {
   NCAR_REQUIRE(n_words >= 0, "negative word count");
   if (n_words == 0) return Cycles(0.0);
   const double words_per_clock =
-      port_words_per_clock() / stride_conflict_factor(stride);
+      port_words_per_clock().value() / stride_conflict_factor(stride);
   return Cycles(static_cast<double>(n_words) / words_per_clock);
 }
 
@@ -53,7 +53,7 @@ Cycles MemoryModel::gather_cycles(long n_words) const {
   NCAR_REQUIRE(n_words >= 0, "negative word count");
   if (n_words == 0) return Cycles(0.0);
   const double words_per_clock =
-      port_words_per_clock() / cfg_.gather_port_divisor;
+      port_words_per_clock().value() / cfg_.gather_port_divisor;
   return Cycles(static_cast<double>(n_words) / words_per_clock);
 }
 
@@ -61,7 +61,7 @@ Cycles MemoryModel::scatter_cycles(long n_words) const {
   NCAR_REQUIRE(n_words >= 0, "negative word count");
   if (n_words == 0) return Cycles(0.0);
   const double words_per_clock =
-      port_words_per_clock() / cfg_.scatter_port_divisor;
+      port_words_per_clock().value() / cfg_.scatter_port_divisor;
   return Cycles(static_cast<double>(n_words) / words_per_clock);
 }
 

@@ -38,9 +38,11 @@ public:
   /// Conflict multiplier for a constant-stride stream (>= 1).
   double stride_conflict_factor(long stride) const;
 
-  /// Full contiguous port width in 8-byte words per clock.
-  double port_words_per_clock() const {
-    return to_words(cfg_.port_bytes_per_clock).value();
+  /// Full contiguous port width in 8-byte words per clock. Typed: the
+  /// dimension survives the public surface (sxsema sema-unit-leak);
+  /// internal pricing takes .value() at the point of arithmetic.
+  Words port_words_per_clock() const {
+    return to_words(cfg_.port_bytes_per_clock);
   }
 
 private:

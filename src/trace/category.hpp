@@ -18,6 +18,9 @@
 //   cache_miss      data-cache miss stall cycles of scalar loops
 //   bank_conflict   memory-bank conflict inflation: stride conflicts plus
 //                   the multi-CPU contention factor
+//   gather_scatter  indexed (gather/scatter) memory traffic priced above
+//                   the unit-stride rate — split out of the vector pipe
+//                   categories so irregular access shows up separately
 //   ixs_transfer    internode crossbar transfer waits
 //   io_xmu          XMU (semiconductor-disk) staging
 //   io_disk         conventional-disk transfers
@@ -42,6 +45,7 @@ enum class Category : std::uint8_t {
   Scalar,
   CacheMiss,
   BankConflict,
+  GatherScatter,
   IxsTransfer,
   Barrier,
   IoXmu,

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "sxs/machine_config.hpp"
+#include "trace/category.hpp"
 
 namespace {
 
@@ -12,6 +13,22 @@ using ncar::sxs::Intrinsic;
 using ncar::sxs::MachineConfig;
 using ncar::sxs::ScalarOp;
 using ncar::sxs::VectorOp;
+namespace trace = ncar::trace;
+
+// Restores the process-wide tracing mode on scope exit so carve tests do
+// not leak Summary mode into the rest of the suite.
+class ModeGuard {
+public:
+  explicit ModeGuard(trace::Mode m) : before_(trace::mode()) {
+    trace::set_mode(m);
+  }
+  ~ModeGuard() { trace::set_mode(before_); }
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+
+private:
+  trace::Mode before_;
+};
 
 class CpuTest : public ::testing::Test {
 protected:
@@ -162,6 +179,94 @@ TEST_F(CpuTest, ScalarOpGoesThroughCacheModel) {
   cpu.scalar(op);
   EXPECT_GT(cpu.cycles(), 0.0);
   EXPECT_DOUBLE_EQ(cpu.hw_flops().value(), 10000.0);
+}
+
+// --- gather/scatter attribution carve ---------------------------------------
+
+TEST_F(CpuTest, GatherTrafficFilesUnderGatherScatterInSummaryMode) {
+  ModeGuard g(trace::Mode::Summary);
+  VectorOp op;
+  op.n = 4096;
+  op.flops_per_elem = 1;
+  op.load_words = 1;
+  op.gather_words = 1;  // indexed load stream priced above unit stride
+  cpu.vec(op);
+
+  const double gs =
+      cpu.trace().category_ticks(trace::Category::GatherScatter);
+  EXPECT_GT(gs, 0.0);
+
+  // The carve equals the repricing delta against the contiguous twin.
+  VectorOp contiguous = op;
+  contiguous.gather_words = 0;
+  Cpu ref{cfg};
+  ref.vec(contiguous);
+  EXPECT_DOUBLE_EQ(gs, cpu.cycles() - ref.cycles());
+
+  // Charged categories still sum to the charged cycles (conservation).
+  double sum = 0.0;
+  for (int i = 0; i < trace::kCategoryCount; ++i) {
+    const auto c = static_cast<trace::Category>(i);
+    if (trace::is_charged_category(c)) sum += cpu.trace().category_ticks(c);
+  }
+  EXPECT_DOUBLE_EQ(sum, cpu.cycles());
+}
+
+TEST_F(CpuTest, GatherScatterCarveComesOutOfThePipeCategory) {
+  VectorOp op;
+  op.n = 4096;
+  op.flops_per_elem = 1;
+  op.load_words = 1;
+  op.scatter_words = 1;
+
+  Cpu refined{cfg};
+  {
+    ModeGuard g(trace::Mode::Summary);
+    refined.vec(op);
+  }
+  Cpu coarse{cfg};
+  {
+    ModeGuard g(trace::Mode::Off);
+    coarse.vec(op);
+  }
+
+  // Tracing mode never perturbs the charge itself.
+  EXPECT_EQ(refined.cycles(), coarse.cycles());
+
+  // Off mode books everything under the pipe category; Summary mode carves
+  // the gather/scatter premium out of it.
+  EXPECT_DOUBLE_EQ(
+      coarse.trace().category_ticks(trace::Category::GatherScatter), 0.0);
+  const double gs =
+      refined.trace().category_ticks(trace::Category::GatherScatter);
+  EXPECT_GT(gs, 0.0);
+  EXPECT_DOUBLE_EQ(
+      refined.trace().category_ticks(trace::Category::VectorMul) + gs,
+      coarse.trace().category_ticks(trace::Category::VectorMul));
+}
+
+TEST_F(CpuTest, StrideAndGatherCarvesCoexist) {
+  ModeGuard g(trace::Mode::Summary);
+  VectorOp op;
+  op.n = 4096;
+  op.flops_per_elem = 1;
+  op.load_words = 2;
+  op.load_stride = 8;      // bank-conflict premium
+  op.gather_words = 0.5;   // plus indexed traffic
+  cpu.vec(op, 3);
+
+  const double conflict =
+      cpu.trace().category_ticks(trace::Category::BankConflict);
+  const double gs =
+      cpu.trace().category_ticks(trace::Category::GatherScatter);
+  EXPECT_GT(conflict, 0.0);
+  EXPECT_GT(gs, 0.0);
+  double sum = 0.0;
+  for (int i = 0; i < trace::kCategoryCount; ++i) {
+    const auto c = static_cast<trace::Category>(i);
+    if (trace::is_charged_category(c)) sum += cpu.trace().category_ticks(c);
+  }
+  EXPECT_DOUBLE_EQ(sum, cpu.cycles());
 }
 
 // Property sweep: every intrinsic has positive cost and a vector rate below

@@ -22,7 +22,7 @@ protected:
 
 TEST_F(MemoryModelTest, UnitStrideRunsAtFullPortWidth) {
   // 16 words per clock at the 16 GB/s port (128 bytes / 8-byte words).
-  EXPECT_DOUBLE_EQ(mem.port_words_per_clock(), 16.0);
+  EXPECT_DOUBLE_EQ(mem.port_words_per_clock().value(), 16.0);
   EXPECT_DOUBLE_EQ(mem.stream_cycles(1600, 1).value(), 100.0);
 }
 
@@ -99,7 +99,7 @@ TEST_F(MemoryModelTest, StrideTableMatchesAnalyticFormulaEverywhere) {
     if (stride <= 2) return 1.0;
     const long visited = cfg.memory_banks / std::gcd(stride, cfg.memory_banks);
     const double demand =
-        mem.port_words_per_clock() * cfg.bank_cycle_clocks;
+        mem.port_words_per_clock().value() * cfg.bank_cycle_clocks;
     return std::max(cfg.strided_port_divisor,
                     demand / static_cast<double>(visited));
   };

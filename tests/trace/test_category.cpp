@@ -50,6 +50,7 @@ TEST(Category, RuntimeCategoriesAreNotCharged) {
   EXPECT_FALSE(trace::is_charged_category(Category::Idle));
   EXPECT_TRUE(trace::is_charged_category(Category::VectorAdd));
   EXPECT_TRUE(trace::is_charged_category(Category::BankConflict));
+  EXPECT_TRUE(trace::is_charged_category(Category::GatherScatter));
   EXPECT_TRUE(trace::is_charged_category(Category::Other));
 }
 

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 namespace ncar::sxlint {
 
@@ -265,7 +266,7 @@ std::vector<Finding> check_typed_units(const fs::path& root) {
     return false;
   };
   std::vector<Finding> findings;
-  for (const char* dir : {"sxs", "machines"}) {
+  for (const char* dir : {"sxs", "machines", "iosim"}) {
     for (const auto& file : collect(root / "src" / dir, ".hpp")) {
       const std::string text = strip_comments_and_strings(read_file(file));
       int depth = 0;
@@ -364,6 +365,21 @@ std::vector<Finding> check_trace_category(const fs::path& root) {
   return findings;
 }
 
+void sort_and_dedupe(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+}
+
 std::vector<Finding> lint_tree(const fs::path& root) {
   std::vector<Finding> all;
   for (auto* check : {check_bench_reporter, check_nondeterminism,
@@ -372,6 +388,7 @@ std::vector<Finding> lint_tree(const fs::path& root) {
     auto found = check(root);
     all.insert(all.end(), found.begin(), found.end());
   }
+  sort_and_dedupe(all);
   return all;
 }
 

@@ -17,13 +17,13 @@
 //   no-stdout           model code must not print; presentation lives in
 //                       bench/ and examples/.
 //   pragma-once         every header uses #pragma once.
-//   typed-units         src/sxs and src/machines headers must not take naked
-//                       `double seconds` / `double bytes` parameters in
-//                       publicly visible declarations — use ncar::Seconds /
-//                       ncar::Bytes (common/quantity.hpp). A brace-stack
-//                       access tracker (class opens private, struct opens
-//                       public, labels flip) lets private helpers keep raw
-//                       doubles.
+//   typed-units         src/sxs, src/machines and src/iosim headers must not
+//                       take naked `double seconds` / `double bytes`
+//                       parameters in publicly visible declarations — use
+//                       ncar::Seconds / ncar::Bytes (common/quantity.hpp).
+//                       A brace-stack access tracker (class opens private,
+//                       struct opens public, labels flip) lets private
+//                       helpers keep raw doubles.
 //   trace-category      charge_cycles / charge_seconds calls in src/sxs and
 //                       src/iosim must pass a trace::Category — an
 //                       uncategorised charge lands in the Other bucket of
@@ -32,6 +32,8 @@
 //
 // Each finding carries the rule name, file, line, and message. main() prints
 // them `file:line: [rule] message` and exits non-zero on any finding.
+// lint_tree output is strictly ordered by (file, line, rule) with repeat
+// findings on the same token deduplicated, so runs diff cleanly.
 
 #include <filesystem>
 #include <string>
@@ -50,9 +52,14 @@ struct Finding {
 /// newlines so line numbers survive. Exposed for tests.
 std::string strip_comments_and_strings(const std::string& source);
 
+/// Sort findings by (file, line, rule, message) and drop exact repeats on
+/// the same token. Exposed for tests; lint_tree applies it to its result.
+void sort_and_dedupe(std::vector<Finding>& findings);
+
 /// Run every rule over the repository rooted at `root` (the directory that
 /// contains src/, bench/, tests/). Paths that do not exist are skipped, so
-/// the linter also works on partial fixture trees.
+/// the linter also works on partial fixture trees. The result is ordered
+/// and deduplicated (see sort_and_dedupe).
 std::vector<Finding> lint_tree(const std::filesystem::path& root);
 
 /// Individual rules, each scanning the files it cares about under `root`.

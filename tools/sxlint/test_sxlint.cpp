@@ -82,10 +82,19 @@ TEST(SxlintBad, NakedUnitParametersAreFlagged) {
   // `double bytes`, `double timeout_seconds` and `double flops` in
   // sxs/naked_units.hpp plus the public `double max_seconds` in
   // machines/public_naked_units.hpp — its private `double seconds` is
-  // deliberately NOT counted.
-  EXPECT_EQ(count_rule(findings, "typed-units"), 4);
+  // deliberately NOT counted — plus, under the widened iosim scope,
+  // `double bytes` and `double stall_seconds` in iosim/io_naked_units.hpp.
+  EXPECT_EQ(count_rule(findings, "typed-units"), 6);
   EXPECT_TRUE(mentions_file(findings, "naked_units.hpp"));
   EXPECT_TRUE(mentions_file(findings, "public_naked_units.hpp"));
+  EXPECT_TRUE(mentions_file(findings, "io_naked_units.hpp"));
+}
+
+TEST(SxlintGood, TypedIosimHeaderPassesWidenedScope) {
+  // iosim/io_typed.hpp keeps raw doubles private or at depth 0; the
+  // widened typed-units sweep must leave it alone.
+  const auto findings = ncar::sxlint::check_typed_units(testdata("good"));
+  EXPECT_EQ(count_rule(findings, "typed-units"), 0);
 }
 
 TEST(SxlintGood, PrivateSectionNakedUnitsAreAllowed) {
@@ -116,6 +125,32 @@ TEST(SxlintBad, WholeTreeAggregatesEveryRule) {
   EXPECT_GE(count_rule(findings, "pragma-once"), 1);
   EXPECT_GE(count_rule(findings, "typed-units"), 1);
   EXPECT_GE(count_rule(findings, "trace-category"), 1);
+}
+
+TEST(SxlintOrdering, FindingsAreSortedByFileLineRule) {
+  const auto findings = ncar::sxlint::lint_tree(testdata("bad"));
+  ASSERT_GE(findings.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(
+      findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+        if (a.file != b.file) return a.file < b.file;
+        if (a.line != b.line) return a.line < b.line;
+        return a.rule < b.rule;
+      }));
+}
+
+TEST(SxlintOrdering, SortAndDedupeDropsRepeatsOnSameToken) {
+  Finding f;
+  f.rule = "typed-units";
+  f.file = "src/sxs/a.hpp";
+  f.line = 7;
+  f.message = "m";
+  Finding later = f;
+  later.line = 3;
+  std::vector<Finding> v = {f, f, later, f};
+  ncar::sxlint::sort_and_dedupe(v);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].line, 3);  // sorted: earlier line first
+  EXPECT_EQ(v[1].line, 7);  // three identical findings collapse to one
 }
 
 TEST(SxlintGood, CleanTreeHasNoFindings) {

@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: publicly visible naked unit parameters in an iosim header.
+// `double bytes` in the struct (public) and `double stall_seconds` after a
+// public: label must both be flagged; the private `double seconds` must not.
+
+struct XmuQueue {
+  void enqueue(double bytes);  // flagged: struct scope is public
+};
+
+class DiskSpindle {
+ public:
+  void stall(double stall_seconds);  // flagged: public section
+
+ private:
+  void tick(double seconds);  // allowed: private helper
+};

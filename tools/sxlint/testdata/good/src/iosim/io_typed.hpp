@@ -1,0 +1,23 @@
+#pragma once
+// Fixture: a clean iosim header under the widened typed-units scope.
+// Public surface uses Quantity types; raw doubles stay private or are
+// depth-0 field/method names, which the paren-depth heuristic must skip.
+
+namespace ncar {
+template <class Dim>
+class Quantity;
+namespace dim {
+struct Bytes;
+struct Seconds;
+}  // namespace dim
+
+class HippiChannel {
+ public:
+  void transfer(Quantity<dim::Bytes> payload);
+  double seconds() const;  // method *name* at depth 0: allowed
+
+ private:
+  void account(double seconds);  // private helper: allowed
+  double busy_seconds_ = 0.0;    // field at depth 0: allowed
+};
+}  // namespace ncar

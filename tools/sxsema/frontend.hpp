@@ -1,0 +1,36 @@
+#pragma once
+// sxsema parsing frontend interface.
+//
+// The only implementation lives in frontend_clang.cpp and needs libclang
+// (clang-c); CMake compiles it solely when SX4NCAR_ENABLE_SXSEMA is ON and
+// libclang was found, so everything else in the tier stays buildable on
+// hosts without clang dev packages.
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace ncar::sxsema {
+
+struct FrontendOptions {
+  /// Directory holding compile_commands.json; empty when `sources` is used.
+  std::string compdb_dir;
+  /// Explicit sources to parse (fixture mode) with `clang_args`.
+  std::vector<std::string> sources;
+  std::vector<std::string> clang_args;
+  /// Repository root: recorded paths are made relative to it, and
+  /// declarations outside it (system headers, vendored deps) are ignored.
+  std::string root;
+  /// Only parse compile commands whose source path contains this substring
+  /// (empty parses everything).
+  std::string tu_filter;
+};
+
+/// Parse every requested translation unit and append its records to `out`.
+/// Returns false with a diagnostic in `error` when nothing could be parsed;
+/// per-TU failures are reported in `error` but tolerated as long as at
+/// least one TU loads.
+bool build_model(const FrontendOptions& opts, Model& out, std::string& error);
+
+}  // namespace ncar::sxsema

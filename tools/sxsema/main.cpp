@@ -1,0 +1,147 @@
+// sxsema CLI driver.
+//
+// Usage:
+//   sxsema --compdb <dir> [--root <dir>] [--tu-filter <substr>]
+//          [--baseline <file>] [--sarif <out>] [--write-baseline <out>]
+//   sxsema --root <dir> --sources a.cpp b.cpp [...] -- <clang args...>
+//
+// Exit codes: 0 clean (or all findings baselined), 1 non-baselined
+// findings, 2 usage or I/O error.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend.hpp"
+#include "rules.hpp"
+#include "sarif.hpp"
+
+namespace {
+
+using ncar::sxsema::Finding;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --compdb <dir> [--root <dir>] [--tu-filter <substr>]\n"
+         "          [--baseline <file>] [--sarif <out>] [--write-baseline "
+         "<out>]\n"
+         "       "
+      << argv0 << " --root <dir> --sources a.cpp [b.cpp ...] -- <clang "
+                  "args...>\n";
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ncar::sxsema::FrontendOptions opts;
+  opts.root = ".";
+  std::string baseline_path;
+  std::string sarif_path;
+  std::string write_baseline_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (arg == "--compdb") {
+      if (!next(opts.compdb_dir)) return usage(argv[0]);
+    } else if (arg == "--root") {
+      if (!next(opts.root)) return usage(argv[0]);
+    } else if (arg == "--tu-filter") {
+      if (!next(opts.tu_filter)) return usage(argv[0]);
+    } else if (arg == "--baseline") {
+      if (!next(baseline_path)) return usage(argv[0]);
+    } else if (arg == "--sarif") {
+      if (!next(sarif_path)) return usage(argv[0]);
+    } else if (arg == "--write-baseline") {
+      if (!next(write_baseline_path)) return usage(argv[0]);
+    } else if (arg == "--sources") {
+      while (i + 1 < argc && std::strcmp(argv[i + 1], "--") != 0) {
+        opts.sources.push_back(argv[++i]);
+      }
+      if (opts.sources.empty()) return usage(argv[0]);
+    } else if (arg == "--") {
+      for (++i; i < argc; ++i) opts.clang_args.push_back(argv[i]);
+    } else {
+      std::cerr << "sxsema: unknown argument '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (opts.compdb_dir.empty() == opts.sources.empty()) {
+    return usage(argv[0]);  // exactly one input mode
+  }
+
+  ncar::sxsema::Model model;
+  std::string error;
+  if (!ncar::sxsema::build_model(opts, model, error)) {
+    std::cerr << (error.empty() ? "sxsema: frontend failed" : error) << "\n";
+    return 2;
+  }
+  if (!error.empty()) std::cerr << error;  // tolerated per-TU failures
+
+  std::vector<Finding> findings = ncar::sxsema::run_rules(model);
+
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, ncar::sxsema::write_sarif(findings))) {
+    std::cerr << "sxsema: cannot write SARIF to " << sarif_path << "\n";
+    return 2;
+  }
+  if (!write_baseline_path.empty()) {
+    if (!write_file(write_baseline_path,
+                    ncar::sxsema::write_sarif(findings))) {
+      std::cerr << "sxsema: cannot write baseline to " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "sxsema: wrote baseline with " << findings.size()
+              << " finding(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::vector<Finding> fresh = findings;
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "sxsema: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::vector<std::string> prints;
+    if (!ncar::sxsema::read_baseline_fingerprints(text, prints)) {
+      std::cerr << "sxsema: malformed baseline " << baseline_path << "\n";
+      return 2;
+    }
+    fresh = ncar::sxsema::suppress_baselined(findings, prints);
+    suppressed = findings.size() - fresh.size();
+  }
+
+  for (const Finding& f : fresh) std::cout << to_text(f) << "\n";
+  std::cout << "sxsema: " << fresh.size() << " finding(s)";
+  if (suppressed != 0) std::cout << " (" << suppressed << " baselined)";
+  std::cout << " across " << model.functions.size() << " function(s)\n";
+  return fresh.empty() ? 0 : 1;
+}

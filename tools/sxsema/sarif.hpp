@@ -1,0 +1,41 @@
+#pragma once
+// SARIF 2.1.0 emission and the baseline ratchet for sxsema.
+//
+// The analyzer emits findings two ways: the human `file:line:col: [rule]`
+// text report (rules.hpp to_text) and a SARIF 2.1.0 log for CI artifact
+// upload and code-scanning ingestion. A committed baseline
+// (tools/sxsema/baseline.sarif) suppresses pre-existing findings by
+// line-insensitive fingerprint, making the gate ratchet-only: new findings
+// fail, grandfathered ones do not, and deleting a grandfathered finding
+// never has to touch anything but the baseline file.
+//
+// Everything here is deterministic: results are emitted in the rule
+// engine's (file, line, rule, message) order, doubles never appear, and
+// the serialisation is byte-stable across hosts so CI logs diff cleanly.
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace ncar::sxsema {
+
+/// Serialise `findings` as a SARIF 2.1.0 run (pretty-printed, 2-space
+/// indent, trailing newline). Every result carries the line-insensitive
+/// fingerprint under partialFingerprints."sxsema/v1".
+std::string write_sarif(const std::vector<Finding>& findings);
+
+/// Extract the "sxsema/v1" fingerprints of every result in a SARIF
+/// document (typically the committed baseline). Returns false — leaving
+/// `out` empty — when `text` is not valid JSON or lacks the runs/results
+/// shape; an empty results array is valid and yields true with no
+/// fingerprints.
+bool read_baseline_fingerprints(const std::string& text,
+                                std::vector<std::string>& out);
+
+/// Drop findings whose fingerprint appears in `baseline` (the ratchet).
+std::vector<Finding> suppress_baselined(
+    const std::vector<Finding>& findings,
+    const std::vector<std::string>& baseline);
+
+}  // namespace ncar::sxsema

@@ -1,0 +1,39 @@
+/* Minimal stand-in for <clang-c/CXCompilationDatabase.h>; see Index.h in
+ * this directory for why it exists. Declarations only, never linked. */
+#ifndef SXSEMA_STUB_CLANG_C_CXCOMPILATIONDATABASE_H
+#define SXSEMA_STUB_CLANG_C_CXCOMPILATIONDATABASE_H
+
+#include "Index.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef void* CXCompilationDatabase;
+typedef void* CXCompileCommands;
+typedef void* CXCompileCommand;
+
+typedef enum {
+  CXCompilationDatabase_NoError = 0,
+  CXCompilationDatabase_CanNotLoadDatabase = 1
+} CXCompilationDatabase_Error;
+
+CXCompilationDatabase clang_CompilationDatabase_fromDirectory(
+    const char* BuildDir, CXCompilationDatabase_Error* ErrorCode);
+void clang_CompilationDatabase_dispose(CXCompilationDatabase database);
+CXCompileCommands clang_CompilationDatabase_getAllCompileCommands(
+    CXCompilationDatabase database);
+void clang_CompileCommands_dispose(CXCompileCommands commands);
+unsigned clang_CompileCommands_getSize(CXCompileCommands commands);
+CXCompileCommand clang_CompileCommands_getCommand(CXCompileCommands commands,
+                                                  unsigned i);
+CXString clang_CompileCommand_getDirectory(CXCompileCommand command);
+CXString clang_CompileCommand_getFilename(CXCompileCommand command);
+unsigned clang_CompileCommand_getNumArgs(CXCompileCommand command);
+CXString clang_CompileCommand_getArg(CXCompileCommand command, unsigned i);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* SXSEMA_STUB_CLANG_C_CXCOMPILATIONDATABASE_H */

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# End-to-end fixture battery for sxsema. Registered as lint_sema_fixtures
+# only when the real binary exists (libclang found at configure time):
+# parses the good tree expecting zero findings, the bad tree expecting
+# exactly the rule/file pairs in expected.txt, then round-trips the bad
+# findings through --write-baseline to prove the ratchet swallows them.
+set -u
+
+SXSEMA="$1"
+FIXDIR="$2" # .../tools/sxsema/testdata
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+good_out=$("$SXSEMA" --root "$FIXDIR/good" \
+  --sources "$FIXDIR"/good/src/*/*.cpp -- -std=c++20 2>&1)
+rc=$?
+[ "$rc" -eq 0 ] || fail "good fixtures: expected exit 0, got $rc:
+$good_out"
+
+bad_out=$("$SXSEMA" --root "$FIXDIR/bad" \
+  --sources "$FIXDIR"/bad/src/*/*.cpp -- -std=c++20 2>&1)
+rc=$?
+[ "$rc" -eq 1 ] || fail "bad fixtures: expected exit 1, got $rc:
+$bad_out"
+
+# Reduce findings to sorted unique "rule file" pairs; every bad fixture
+# must be caught by the family it provokes, and by nothing unexpected.
+actual=$(printf '%s\n' "$bad_out" |
+  sed -n 's/^\([^ :]*\):[0-9][0-9]*:[0-9][0-9]*: \[\([a-z-]*\)\] .*/\2 \1/p' |
+  sort -u)
+expected=$(sort -u "$FIXDIR/bad/expected.txt")
+if [ "$actual" != "$expected" ]; then
+  fail "bad fixtures: rule/file set mismatch
+--- expected ---
+$expected
+--- actual ---
+$actual
+--- raw output ---
+$bad_out"
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+"$SXSEMA" --root "$FIXDIR/bad" --sources "$FIXDIR"/bad/src/*/*.cpp \
+  --write-baseline "$tmp/base.sarif" -- -std=c++20 >/dev/null 2>&1 ||
+  fail "bad fixtures: --write-baseline failed"
+"$SXSEMA" --root "$FIXDIR/bad" --sources "$FIXDIR"/bad/src/*/*.cpp \
+  --baseline "$tmp/base.sarif" -- -std=c++20 >/dev/null 2>&1 ||
+  fail "bad fixtures: run against their own baseline should be clean"
+
+echo "sxsema fixture battery OK"

@@ -1,0 +1,14 @@
+// BAD fixture (sema-nondet): wall-clock and libc RNG calls inside model
+// code. Simulated time and randomness must come from the model, never the
+// host. The banned functions are declared locally so the fixture parses
+// without system headers.
+extern "C" {
+long time(long* tloc);
+int rand(void);
+}
+
+namespace des {
+inline double wall_seed() {
+  return static_cast<double>(time(nullptr)) + static_cast<double>(rand());
+}
+}  // namespace des

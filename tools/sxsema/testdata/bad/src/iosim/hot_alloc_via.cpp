@@ -1,0 +1,15 @@
+// BAD fixture (sema-hot-alloc): charge_step looks clean, but one level
+// down its same-TU helper grows a vector. The one-level inline walk must
+// attribute the allocation back to the hot root.
+#include <vector>
+
+namespace iosim {
+class DiskModel {
+ public:
+  void charge_step(double amount) { note_event(amount); }
+
+ private:
+  void note_event(double amount) { events_.push_back(amount); }
+  std::vector<double> events_;
+};
+}  // namespace iosim

@@ -1,0 +1,33 @@
+// BAD fixture (sema-untagged-charge): the charge entry point carries a
+// defaulted trace::Category, and transfer() silently relies on the
+// default. Only *written* arguments count, so the call is flagged while
+// transfer_tagged() stays clean.
+namespace trace {
+enum class Category { VectorAdd, Other };
+}
+
+namespace iosim {
+class Cpu {
+ public:
+  void charge_cycles(double n, trace::Category c = trace::Category::Other) {
+    total_ += n;
+    (void)c;
+  }
+
+ private:
+  double total_ = 0.0;
+};
+
+class Xmu {
+ public:
+  void transfer(double amount) {
+    cpu_.charge_cycles(amount);  // silently defaulted category
+  }
+  void transfer_tagged(double amount) {
+    cpu_.charge_cycles(amount, trace::Category::VectorAdd);  // explicit: fine
+  }
+
+ private:
+  Cpu cpu_;
+};
+}  // namespace iosim

@@ -1,0 +1,18 @@
+// BAD fixture (sema-hot-alloc): access_range is a hot root and both
+// allocates with a new-expression and grows a vector. Two findings.
+#include <vector>
+
+namespace sxs {
+class CacheSim {
+ public:
+  void access_range(unsigned long addr, unsigned long words) {
+    touched_.push_back(addr);             // container growth on the hot path
+    double* scratch = new double[words];  // allocation on the hot path
+    scratch[0] = 0.0;
+    delete[] scratch;
+  }
+
+ private:
+  std::vector<unsigned long> touched_;
+};
+}  // namespace sxs

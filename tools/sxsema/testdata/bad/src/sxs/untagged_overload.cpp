@@ -1,0 +1,20 @@
+// BAD fixture (sema-untagged-charge): a charge_cycles overload with no
+// trace::Category parameter. Token linting can't see that callers of this
+// overload can never pass a category; the semantic rule can.
+namespace trace {
+enum class Category { VectorAdd, Other };
+}
+
+namespace sxs {
+class Pipe {
+ public:
+  void charge_cycles(double n) { total_ += n; }  // overload dodge
+  void charge_cycles(double n, trace::Category c) {
+    total_ += n;
+    (void)c;
+  }
+
+ private:
+  double total_ = 0.0;
+};
+}  // namespace sxs

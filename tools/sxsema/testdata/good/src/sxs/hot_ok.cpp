@@ -1,0 +1,20 @@
+// GOOD fixture (sema-hot-alloc): the cold configure() path may allocate;
+// the hot access_range() path and the helper it reaches only touch
+// preallocated storage. Nothing here may be flagged.
+#include <vector>
+
+namespace sxs {
+class CacheSim {
+ public:
+  void configure(unsigned lines) {
+    tags_.resize(lines);  // cold setup path: allocation is fine here
+  }
+  void access_range(unsigned long addr, unsigned long words) {
+    for (unsigned long w = 0; w < words; ++w) bump(addr + w);
+  }
+
+ private:
+  void bump(unsigned long addr) { tags_[addr % tags_.size()] += 1; }
+  std::vector<unsigned> tags_;
+};
+}  // namespace sxs

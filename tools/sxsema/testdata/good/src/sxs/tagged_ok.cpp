@@ -1,0 +1,27 @@
+// GOOD fixture (sema-untagged-charge): the charge entry point requires a
+// trace::Category and every call writes one explicitly. Nothing here may
+// be flagged.
+namespace trace {
+enum class Category { VectorAdd, Other };
+}
+
+namespace sxs {
+class Cpu {
+ public:
+  void charge_cycles(double n, trace::Category c) {
+    total_ += n;
+    (void)c;
+  }
+
+ private:
+  double total_ = 0.0;
+};
+
+class Pipe {
+ public:
+  void issue(double n) { cpu_.charge_cycles(n, trace::Category::VectorAdd); }
+
+ private:
+  Cpu cpu_;
+};
+}  // namespace sxs
