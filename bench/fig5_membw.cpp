@@ -6,8 +6,10 @@
 // exceeds the performance on the XPOSE and IA benchmarks", with bandwidth
 // growing with N as vector startup amortises.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -98,5 +100,20 @@ int main(int argc, char** argv) {
               c_hi.mb_per_s);
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+
+  // Host-side timing telemetry: repeat the COPY sweep on a scratch node (so
+  // the deterministic metrics above are untouched) and report wall-clock
+  // percentiles. Rides in host_metrics, omitted under --deterministic.
+  {
+    sxs::Node tnode(cfg);
+    std::vector<double> samples;
+    for (int r = 0; r < 11; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      kernels::sweep(kernels::MemKernel::Copy, tnode.cpu(0), total, ktries);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    rep.host_timing("fig5.host.copy_sweep_s", samples);
+  }
   return rep.finish(std::cout);
 }

@@ -5,8 +5,10 @@
 // Paper-shape constraints: performance roughly an order of magnitude below
 // VFFT (Figure 7) at comparable lengths, growing modestly with N.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -53,5 +55,19 @@ int main(int argc, char** argv) {
               best);
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+
+  // Host wall-clock percentiles for a representative transform, run on a
+  // scratch node so the deterministic metrics above are untouched.
+  {
+    sxs::Node tnode(cfg);
+    std::vector<double> samples;
+    for (int r = 0; r < 11; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fft::run_rfft(tnode.cpu(0), 256, 512, 1);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    rep.host_timing("fig6.host.rfft_n256_s", samples);
+  }
   return rep.finish(std::cout);
 }

@@ -6,8 +6,10 @@
 // EXPERIMENTS.md records the measured anchors: 8.7x over RFFT at N = 256,
 // VFFT 1371 Mflops at M = 500.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -79,5 +81,19 @@ int main(int argc, char** argv) {
               order_of_magnitude ? "yes" : "NO");
   rep.cost_cache_counters(static_cast<double>(node.cost_cache_hits()),
                           static_cast<double>(node.cost_cache_misses()));
+
+  // Host wall-clock percentiles for a representative transform, run on a
+  // scratch node so the deterministic metrics above are untouched.
+  {
+    sxs::Node tnode(cfg);
+    std::vector<double> samples;
+    for (int r = 0; r < 11; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fft::run_vfft(tnode.cpu(0), 256, 500, 1);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    rep.host_timing("fig7.host.vfft_n256_s", samples);
+  }
   return rep.finish(std::cout);
 }

@@ -1,5 +1,7 @@
 #include "harness/reporter.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -105,6 +107,31 @@ double BenchReporter::host_metric(const std::string& name, double value,
   require_unique(name_, name, metrics_, host_metrics_);
   host_metrics_.push_back({name, value, unit});
   return value;
+}
+
+void BenchReporter::host_timing(const std::string& prefix,
+                                std::vector<double> samples) {
+  if (samples.empty()) return;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  // Nearest-rank percentile: the smallest sample with at least p% of the
+  // set at or below it.
+  auto pct = [&](double p) {
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    return samples[std::min(rank, n) - 1];
+  };
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(n);
+  host_metric(prefix + ".p50", pct(50.0), "s");
+  host_metric(prefix + ".p90", pct(90.0), "s");
+  host_metric(prefix + ".p99", pct(99.0), "s");
+  host_metric(prefix + ".stddev", std::sqrt(var), "s");
 }
 
 bool BenchReporter::expect(const std::string& metric_name, double actual,

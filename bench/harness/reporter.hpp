@@ -63,6 +63,13 @@ public:
   double host_metric(const std::string& name, double value,
                      const std::string& unit = "");
 
+  /// Register host-timing statistics over per-repetition wall-clock
+  /// samples (seconds): `<prefix>.p50/.p90/.p99` (nearest-rank percentiles
+  /// on a sorted copy) and `<prefix>.stddev` (population). Host metrics
+  /// like host_metric(): never folded into baselines, omitted entirely
+  /// under --deterministic. No-op on an empty sample set.
+  void host_timing(const std::string& prefix, std::vector<double> samples);
+
   /// Register a metric *and* check it against a paper band. Returns the
   /// verdict (also folded into the exit code at finish()).
   bool expect(const std::string& metric_name, double actual, Band band,

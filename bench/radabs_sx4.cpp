@@ -5,8 +5,10 @@
 // time in RADABS is spent in intrinsic function calls") by reporting the
 // fraction of simulated time spent in intrinsics.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -47,5 +49,21 @@ int main(int argc, char** argv) {
   rep.expect("radabs.intrinsic_time_fraction", sx4.intrinsic_time_fraction(),
              bench::Band::range(0.4, 1.0),
              "paper: much of the time is spent in intrinsic function calls");
+
+  // Host wall-clock percentiles of the kernel itself, on a scratch machine
+  // and a shared workspace (the zero-allocation repeat path).
+  {
+    machines::Comparator scratch(machines::Comparator::nec_sx4_single());
+    const auto field = radabs::make_test_atmosphere(128, 18);
+    radabs::RadabsWorkspace ws;
+    std::vector<double> samples;
+    for (int r = 0; r < 11; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      radabs::run_radabs(scratch, field, ws);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    rep.host_timing("radabs.host.kernel_s", samples);
+  }
   return rep.finish(std::cout);
 }

@@ -1,11 +1,13 @@
 #include "ccm2/model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "sxs/ops.hpp"
+#include "trace/category.hpp"
 
 namespace ncar::ccm2 {
 
@@ -16,6 +18,7 @@ Ccm2::Ccm2(const Ccm2Config& cfg, sxs::Node& node)
       node_(&node),
       sht_(cfg.res.truncation, cfg.res.nlat, cfg.res.nlon),
       slt_(sht_.nodes(), cfg.res.nlon, cfg.radius),
+      fft_plan_(cfg.res.nlon),
       zg_(static_cast<std::size_t>(cfg.res.nlon), static_cast<std::size_t>(cfg.res.nlat)),
       zlam_(zg_.ni(), zg_.nj()),
       zmu_(zg_.ni(), zg_.nj()),
@@ -74,6 +77,10 @@ void Ccm2::reset() {
       }
     }
   }
+
+  tendency_.assign(static_cast<std::size_t>(L),
+                   std::vector<cd>(static_cast<std::size_t>(sht_.spec_size())));
+  psi_.assign(static_cast<std::size_t>(sht_.spec_size()), cd(0, 0));
   steps_ = 0;
 }
 
@@ -99,8 +106,7 @@ void Ccm2::charge_transform_pass(sxs::Cpu& cpu, int passes, long repeats) const 
 
 void Ccm2::charge_fft_set(sxs::Cpu& cpu, int instances, long repeats) const {
   // Multi-instance (VFFT-style) FFT over the longitude axis.
-  fft::Plan plan(cfg_.res.nlon);
-  for (int f : plan.factors()) {
+  for (int f : fft_plan_.factors()) {
     sxs::VectorOp op;
     op.n = instances;
     op.flops_per_elem = (f == 2) ? 5.0 : (f == 3) ? 16.0 : 38.0;
@@ -122,20 +128,16 @@ StepTiming Ccm2::step(int ncpu) {
   const bool first = (steps_ == 0);
 
   // ---- numerics (host), per active level --------------------------------
-  std::vector<std::vector<cd>> tendency(
-      static_cast<std::size_t>(L),
-      std::vector<cd>(static_cast<std::size_t>(sht_.spec_size())));
-  std::vector<cd> psi(static_cast<std::size_t>(sht_.spec_size()));
-
   for (int l = 0; l < L; ++l) {
     auto& z = zeta_[static_cast<std::size_t>(l)];
-    // psi = del^-2 zeta (local in spectral space).
-    psi.assign(z.begin(), z.end());
-    sht_.inverse_laplacian(psi, a);
+    // psi = del^-2 zeta (local in spectral space). psi_ is pre-sized in
+    // reset(); copy keeps the step allocation-free (sema-hot-alloc).
+    std::copy(z.begin(), z.end(), psi_.begin());
+    sht_.inverse_laplacian(psi_, a);
     // Synthesis: zeta, grad zeta, grad psi.
     sht_.synthesis(z, zg_);
     sht_.synthesis_gradient(z, zlam_, zmu_);
-    sht_.synthesis_gradient(psi, plam_, pmu_);
+    sht_.synthesis_gradient(psi_, plam_, pmu_);
     // Grid-space winds and advective tendency.
     for (std::size_t j = 0; j < static_cast<std::size_t>(nlat); ++j) {
       const double mu = sht_.nodes().mu[j];
@@ -152,7 +154,7 @@ StepTiming Ccm2::step(int ncpu) {
       }
     }
     // Analysis of the tendency.
-    sht_.analysis(gg_, tendency[static_cast<std::size_t>(l)]);
+    sht_.analysis(gg_, tendency_[static_cast<std::size_t>(l)]);
 
     // Leapfrog + implicit del^4 + Robert-Asselin filter.
     const double step_dt = first ? dt : 2.0 * dt;
@@ -167,7 +169,7 @@ StepTiming Ccm2::step(int ncpu) {
         const double lam_n = static_cast<double>(n) * (n + 1.0) / (a * a);
         const cd base = first ? z[k] : zp[k];
         const cd raw =
-            (base + step_dt * tendency[static_cast<std::size_t>(l)][k]) /
+            (base + step_dt * tendency_[static_cast<std::size_t>(l)][k]) /
             (1.0 + step_dt * k4 * lam_n * lam_n);
         const cd filtered =
             z[k] + cfg_.asselin * (raw - 2.0 * z[k] + zp[k]);
@@ -286,7 +288,8 @@ StepTiming Ccm2::charge_step(int ncpu) const {
   });
 
   // Region 5 (lat-parallel): semi-Lagrangian transport — the "indirect
-  // addressing on the Gaussian polar grid".
+  // addressing on the Gaussian polar grid". Filed under SltInterp so the
+  // interpolation shows up apart from the generic dynamics categories.
   timing.slt = node_->parallel(ncpu, [&](int rank, sxs::Cpu& cpu) {
     sxs::VectorOp op;
     op.n = nlon;
@@ -295,7 +298,7 @@ StepTiming Ccm2::charge_step(int ncpu) const {
     op.load_words = 5.0;
     op.store_words = 1.0;
     op.pipe_groups = 2;
-    cpu.vec(op, rows_of(rank) * nlev);
+    cpu.vec(op, rows_of(rank) * nlev, trace::Category::SltInterp);
   });
 
   // Region 6 (lat-parallel): column physics. Radiation dominates, with the

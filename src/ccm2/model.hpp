@@ -31,6 +31,7 @@
 #include "ccm2/resolution.hpp"
 #include "ccm2/slt.hpp"
 #include "common/array.hpp"
+#include "fft/complex_fft.hpp"
 #include "iosim/disk.hpp"
 #include "iosim/history.hpp"
 #include "spectral/sht.hpp"
@@ -151,6 +152,10 @@ private:
   sxs::Node* node_;
   spectral::ShTransform sht_;
   SemiLagrangian slt_;
+  // Longitude FFT plan used by the per-step charge model (charge_fft_set
+  // only reads the factorisation; building a Plan per call would allocate
+  // on every charged step).
+  fft::Plan fft_plan_;
 
   // Spectral state per active level (leapfrog needs two time levels).
   std::vector<std::vector<spectral::cd>> zeta_, zeta_prev_;
@@ -160,6 +165,9 @@ private:
 
   // Scratch grids.
   Array2D<double> zg_, zlam_, zmu_, plam_, pmu_, ug_, vg_, gg_, qn_;
+  // Per-step spectral scratch, sized in reset() so step() never allocates.
+  std::vector<std::vector<spectral::cd>> tendency_;
+  std::vector<spectral::cd> psi_;
 };
 
 }  // namespace ncar::ccm2

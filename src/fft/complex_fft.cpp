@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 
 namespace ncar::fft {
 
@@ -23,65 +24,45 @@ std::vector<int> factorize(long n) {
 
 constexpr double kTau = 2.0 * std::numbers::pi;
 
-/// Combine f sub-transforms of size m in place: for each k the f values at
-/// out[k + j*m] are twiddled and passed through a small DFT of size f.
-void combine(cd* out, long m, int f, long n, bool inv) {
-  const double sign = inv ? 1.0 : -1.0;
-  for (long k = 0; k < m; ++k) {
-    cd t[5];
-    for (int j = 0; j < f; ++j) {
-      const double ang = sign * kTau * static_cast<double>(j * k) /
-                         static_cast<double>(n);
-      t[j] = out[static_cast<long>(j) * m + k] * cd(std::cos(ang), std::sin(ang));
-    }
-    switch (f) {
-      case 2: {
-        out[k] = t[0] + t[1];
-        out[m + k] = t[0] - t[1];
-        break;
-      }
-      case 3: {
-        // w = exp(sign * 2 pi i / 3) = -1/2 + sign * i sqrt(3)/2
-        constexpr double kHalfSqrt3 = 0.86602540378443864676;
-        const cd s = t[1] + t[2];
-        const cd d = t[1] - t[2];
-        const cd a = t[0] - 0.5 * s;
-        const cd b = cd(0.0, sign * kHalfSqrt3) * d;
-        out[k] = t[0] + s;
-        out[m + k] = a + b;
-        out[2 * m + k] = a - b;
-        break;
-      }
-      case 5: {
-        // Hard-coded 5-point DFT (Winograd-style symmetric form).
-        constexpr double c1 = 0.30901699437494742410;   // cos(2 pi/5)
-        constexpr double c2 = -0.80901699437494742410;  // cos(4 pi/5)
-        constexpr double s1 = 0.95105651629515357212;   // sin(2 pi/5)
-        constexpr double s2 = 0.58778525229247312917;   // sin(4 pi/5)
-        const cd p1 = t[1] + t[4], m1 = t[1] - t[4];
-        const cd p2 = t[2] + t[3], m2 = t[2] - t[3];
-        out[k] = t[0] + p1 + p2;
-        const cd a1 = t[0] + c1 * p1 + c2 * p2;
-        const cd a2 = t[0] + c2 * p1 + c1 * p2;
-        const cd b1 = cd(0.0, sign) * (s1 * m1 + s2 * m2);
-        const cd b2 = cd(0.0, sign) * (s2 * m1 - s1 * m2);
-        out[m + k] = a1 + b1;
-        out[2 * m + k] = a2 + b2;
-        out[3 * m + k] = a2 - b2;
-        out[4 * m + k] = a1 - b1;
-        break;
-      }
-      default:
-        throw ncar::precondition_error("unsupported radix");
-    }
-  }
-}
-
 }  // namespace
 
 Plan::Plan(long n) : n_(n) {
   NCAR_REQUIRE(n >= 1, "transform length must be positive");
   factors_ = factorize(n);
+  // The radix chosen at each level is a pure function of the sub-transform
+  // size, and every leg at a given depth has the same size — so the stage
+  // list (and its twiddle tables) is one chain from n down to 1, indexed by
+  // recursion depth.
+  std::size_t total = 0;
+  for (long sz = n_; sz > 1;) {
+    int f = 2;
+    if (sz % 2 != 0) f = (sz % 3 == 0) ? 3 : 5;
+    const long m = sz / f;
+    stages_.push_back(Stage{sz, f, m, total});
+    total += static_cast<std::size_t>(sz);
+    sz = m;
+  }
+  tw_fwd_.resize(total);
+  tw_inv_.resize(total);
+  for (const Stage& st : stages_) {
+    for (int j = 0; j < st.f; ++j) {
+      for (long k = 0; k < st.m; ++k) {
+        // Exactly the angle expression the combine loop used to evaluate
+        // inline, per sign, so the tables reproduce its twiddles bit for
+        // bit (including the signed zeros at j*k == 0).
+        const std::size_t at = st.tw_offset +
+                               static_cast<std::size_t>(j) *
+                                   static_cast<std::size_t>(st.m) +
+                               static_cast<std::size_t>(k);
+        const double fwd = -1.0 * kTau * static_cast<double>(j * k) /
+                           static_cast<double>(st.n);
+        const double inv = 1.0 * kTau * static_cast<double>(j * k) /
+                           static_cast<double>(st.n);
+        tw_fwd_[at] = cd(std::cos(fwd), std::sin(fwd));
+        tw_inv_[at] = cd(std::cos(inv), std::sin(inv));
+      }
+    }
+  }
 }
 
 bool Plan::supported(long n) {
@@ -92,33 +73,47 @@ bool Plan::supported(long n) {
   return n == 1;
 }
 
-void Plan::rec(const cd* in, long in_stride, cd* out, long n, bool inv) const {
+void Plan::rec(const cd* in, long in_stride, cd* out, long n, bool inv,
+               std::size_t depth) const {
   if (n == 1) {
     out[0] = in[0];
     return;
   }
-  int f = 2;
-  if (n % 2 != 0) f = (n % 3 == 0) ? 3 : 5;
-  const long m = n / f;
+  const Stage& st = stages_[depth];
+  const int f = st.f;
+  const long m = st.m;
   for (int j = 0; j < f; ++j) {
     rec(in + static_cast<long>(j) * in_stride, in_stride * f,
-        out + static_cast<long>(j) * m, m, inv);
+        out + static_cast<long>(j) * m, m, inv, depth + 1);
   }
-  combine(out, m, f, n, inv);
+  const cd* tw = (inv ? tw_inv_ : tw_fwd_).data() + st.tw_offset;
+  const double sign = inv ? 1.0 : -1.0;
+  const simd::KernelTable& kt = simd::table();
+  switch (f) {
+    case 2:
+      kt.fft_combine2(out, m, tw);
+      break;
+    case 3:
+      kt.fft_combine3(out, m, tw, sign);
+      break;
+    default:
+      kt.fft_combine5(out, m, tw, sign);
+      break;
+  }
 }
 
 void Plan::forward(std::span<const cd> in, std::span<cd> out) const {
   NCAR_REQUIRE(static_cast<long>(in.size()) == n_ &&
                    static_cast<long>(out.size()) == n_,
                "buffer sizes must equal the plan length");
-  rec(in.data(), 1, out.data(), n_, false);
+  rec(in.data(), 1, out.data(), n_, false, 0);
 }
 
 void Plan::inverse(std::span<const cd> in, std::span<cd> out) const {
   NCAR_REQUIRE(static_cast<long>(in.size()) == n_ &&
                    static_cast<long>(out.size()) == n_,
                "buffer sizes must equal the plan length");
-  rec(in.data(), 1, out.data(), n_, true);
+  rec(in.data(), 1, out.data(), n_, true, 0);
 }
 
 void naive_dft(std::span<const cd> in, std::span<cd> out, bool inverse) {

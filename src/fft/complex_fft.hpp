@@ -16,6 +16,11 @@ namespace ncar::fft {
 using cd = std::complex<double>;
 
 /// A transform plan for a fixed length n (factors 2, 3, 5 only).
+///
+/// The plan precomputes the twiddle factors of every combine stage at
+/// construction (forward and inverse signs), so the transforms themselves
+/// never call libm and never allocate — the combine passes run through the
+/// runtime-dispatched SIMD kernel table (src/simd/).
 class Plan {
 public:
   explicit Plan(long n);
@@ -34,10 +39,23 @@ public:
   static bool supported(long n);
 
 private:
-  void rec(const cd* in, long in_stride, cd* out, long n, bool inv) const;
+  /// One combine pass: n = f * m values merged from f sub-transforms of
+  /// size m, with twiddles at tw_offset (laid out tw[j*m + k]).
+  struct Stage {
+    long n;
+    int f;
+    long m;
+    std::size_t tw_offset;
+  };
+
+  void rec(const cd* in, long in_stride, cd* out, long n, bool inv,
+           std::size_t depth) const;
 
   long n_;
   std::vector<int> factors_;
+  std::vector<Stage> stages_;  // depth 0 = the full-length combine
+  std::vector<cd> tw_fwd_;
+  std::vector<cd> tw_inv_;
 };
 
 /// Reference O(n^2) DFT for verification.

@@ -6,14 +6,11 @@
 
 namespace ncar::fft {
 
-void real_forward(const Plan& plan, std::span<const double> in,
-                  std::span<cd> out) {
+namespace {
+
+void forward_impl(const Plan& plan, std::span<const double> in,
+                  std::span<cd> out, std::span<cd> buf, std::span<cd> full) {
   const long n = plan.size();
-  NCAR_REQUIRE(static_cast<long>(in.size()) == n, "input length");
-  NCAR_REQUIRE(static_cast<long>(out.size()) == spectrum_size(n),
-               "output length");
-  std::vector<cd> buf(static_cast<std::size_t>(n));
-  std::vector<cd> full(static_cast<std::size_t>(n));
   for (long j = 0; j < n; ++j) {
     buf[static_cast<std::size_t>(j)] = cd(in[static_cast<std::size_t>(j)], 0.0);
   }
@@ -23,14 +20,11 @@ void real_forward(const Plan& plan, std::span<const double> in,
   }
 }
 
-void real_inverse(const Plan& plan, std::span<const cd> in,
-                  std::span<double> out) {
+void inverse_impl(const Plan& plan, std::span<const cd> in,
+                  std::span<double> out, std::span<cd> full,
+                  std::span<cd> time_domain) {
   const long n = plan.size();
-  NCAR_REQUIRE(static_cast<long>(in.size()) == spectrum_size(n),
-               "input length");
-  NCAR_REQUIRE(static_cast<long>(out.size()) == n, "output length");
   // Rebuild the full Hermitian spectrum, inverse-transform, normalise.
-  std::vector<cd> full(static_cast<std::size_t>(n));
   for (long k = 0; k < spectrum_size(n); ++k) {
     full[static_cast<std::size_t>(k)] = in[static_cast<std::size_t>(k)];
   }
@@ -38,13 +32,60 @@ void real_inverse(const Plan& plan, std::span<const cd> in,
     full[static_cast<std::size_t>(k)] =
         std::conj(in[static_cast<std::size_t>(n - k)]);
   }
-  std::vector<cd> time_domain(static_cast<std::size_t>(n));
   plan.inverse(full, time_domain);
   const double scale = 1.0 / static_cast<double>(n);
   for (long j = 0; j < n; ++j) {
     out[static_cast<std::size_t>(j)] =
         time_domain[static_cast<std::size_t>(j)].real() * scale;
   }
+}
+
+}  // namespace
+
+void real_forward(const Plan& plan, std::span<const double> in,
+                  std::span<cd> out) {
+  const long n = plan.size();
+  NCAR_REQUIRE(static_cast<long>(in.size()) == n, "input length");
+  NCAR_REQUIRE(static_cast<long>(out.size()) == spectrum_size(n),
+               "output length");
+  std::vector<cd> buf(static_cast<std::size_t>(n));
+  std::vector<cd> full(static_cast<std::size_t>(n));
+  forward_impl(plan, in, out, buf, full);
+}
+
+void real_forward(const Plan& plan, std::span<const double> in,
+                  std::span<cd> out, Arena& arena) {
+  const long n = plan.size();
+  NCAR_REQUIRE(static_cast<long>(in.size()) == n, "input length");
+  NCAR_REQUIRE(static_cast<long>(out.size()) == spectrum_size(n),
+               "output length");
+  ArenaScope frame(arena);
+  auto buf = arena.take<cd>(static_cast<std::size_t>(n));
+  auto full = arena.take<cd>(static_cast<std::size_t>(n));
+  forward_impl(plan, in, out, buf, full);
+}
+
+void real_inverse(const Plan& plan, std::span<const cd> in,
+                  std::span<double> out) {
+  const long n = plan.size();
+  NCAR_REQUIRE(static_cast<long>(in.size()) == spectrum_size(n),
+               "input length");
+  NCAR_REQUIRE(static_cast<long>(out.size()) == n, "output length");
+  std::vector<cd> full(static_cast<std::size_t>(n));
+  std::vector<cd> time_domain(static_cast<std::size_t>(n));
+  inverse_impl(plan, in, out, full, time_domain);
+}
+
+void real_inverse(const Plan& plan, std::span<const cd> in,
+                  std::span<double> out, Arena& arena) {
+  const long n = plan.size();
+  NCAR_REQUIRE(static_cast<long>(in.size()) == spectrum_size(n),
+               "input length");
+  NCAR_REQUIRE(static_cast<long>(out.size()) == n, "output length");
+  ArenaScope frame(arena);
+  auto full = arena.take<cd>(static_cast<std::size_t>(n));
+  auto time_domain = arena.take<cd>(static_cast<std::size_t>(n));
+  inverse_impl(plan, in, out, full, time_domain);
 }
 
 }  // namespace ncar::fft

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "simd/simd.hpp"
 
 namespace ncar::kernels {
 
@@ -39,12 +40,9 @@ BandwidthPoint run_copy(sxs::Cpu& cpu, long n, long m, int ktries) {
   Array2D<double> b(static_cast<std::size_t>(n), static_cast<std::size_t>(mm));
   Rng rng(42);
   for (auto& v : a.flat()) v = rng.next_double();
-  for (long j = 0; j < mm; ++j) {
-    for (long i = 0; i < n; ++i) {
-      b(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
-          a(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
-    }
-  }
+  // The (j, i) nest walks the flat storage in order — stream it whole.
+  simd::table().copy_d(a.flat().data(), b.flat().data(),
+                       static_cast<long>(a.size()));
   const bool ok = max_abs_diff(a.flat(), b.flat()) == 0.0;
 
   // Timing: one vector op of length N per instance, M instances.
@@ -87,11 +85,8 @@ BandwidthPoint run_ia(sxs::Cpu& cpu, long n, long m, int ktries) {
   for (auto& v : a.flat()) v = rng.next_double();
   bool ok = true;
   for (long j = 0; j < mm; ++j) {
-    for (long i = 0; i < n; ++i) {
-      b(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
-          a(static_cast<std::size_t>(indx[static_cast<std::size_t>(i)]),
-            static_cast<std::size_t>(j));
-    }
+    simd::table().gather_d(&a(0, static_cast<std::size_t>(j)), indx.data(),
+                           &b(0, static_cast<std::size_t>(j)), n);
   }
   for (long i = 0; i < n && ok; ++i) {
     ok = b(static_cast<std::size_t>(i), 0) ==
@@ -136,12 +131,10 @@ BandwidthPoint run_xpose(sxs::Cpu& cpu, long n, long m, int ktries) {
   for (auto& v : a.flat()) v = rng.next_double();
   for (long k = 0; k < mm; ++k) {
     for (long j = 0; j < n; ++j) {
-      for (long i = 0; i < n; ++i) {
-        b(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-          static_cast<std::size_t>(k)) =
-            a(static_cast<std::size_t>(j), static_cast<std::size_t>(i),
-              static_cast<std::size_t>(k));
-      }
+      // b(., j, k) <- a(j, ., k): a stride-n read, a unit-stride write.
+      simd::table().strided_copy_d(
+          &a(static_cast<std::size_t>(j), 0, static_cast<std::size_t>(k)), n,
+          &b(0, static_cast<std::size_t>(j), static_cast<std::size_t>(k)), n);
     }
   }
   bool ok = true;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 #include "sxs/ops.hpp"
 
 namespace ncar::ocean {
@@ -29,9 +31,38 @@ Mom::Mom(const MomConfig& cfg, sxs::Node& node)
       forcing_(temp_.ni(), temp_.nj()),
       u_(temp_.ni(), temp_.nj()),
       v_(temp_.ni(), temp_.nj()),
-      scratch_(temp_.ni(), temp_.nj(), temp_.nk()) {
+      scratch_(temp_.ni(), temp_.nj(), temp_.nk()),
+      mask_c_(temp_.ni(), temp_.nj()),
+      mask_ip_(temp_.ni(), temp_.nj()),
+      mask_im_(temp_.ni(), temp_.nj()),
+      mask_jp_(temp_.ni(), temp_.nj()),
+      mask_jm_(temp_.ni(), temp_.nj()),
+      sip_(temp_.ni()),
+      sim_(temp_.ni()),
+      aip_(temp_.ni()),
+      aim_(temp_.ni()),
+      ajp_(temp_.ni()),
+      ajm_(temp_.ni()),
+      uu_(temp_.ni()),
+      vv_(temp_.ni()),
+      zeros_(temp_.ni(), 0.0) {
   NCAR_REQUIRE(cfg.nlev >= 2, "need at least two levels");
   NCAR_REQUIRE(cfg.sor_iters >= 1 && cfg.diag_every >= 1, "config");
+  // The land mask never changes, so the neighbour selects of the baroclinic
+  // stencil can be driven by precomputed 0/1 rows.
+  for (int j = 0; j < cfg.nlat; ++j) {
+    for (int i = 0; i < cfg.nlon; ++i) {
+      const int im = (i + cfg.nlon - 1) % cfg.nlon, ip = (i + 1) % cfg.nlon;
+      const std::size_t ii = static_cast<std::size_t>(i);
+      const std::size_t jj = static_cast<std::size_t>(j);
+      mask_c_(ii, jj) = mask_.ocean(i, j) ? 1.0 : 0.0;
+      mask_ip_(ii, jj) = mask_.ocean(ip, j) ? 1.0 : 0.0;
+      mask_im_(ii, jj) = mask_.ocean(im, j) ? 1.0 : 0.0;
+      mask_jp_(ii, jj) =
+          (j + 1 < cfg.nlat && mask_.ocean(i, j + 1)) ? 1.0 : 0.0;
+      mask_jm_(ii, jj) = (j > 0 && mask_.ocean(i, j - 1)) ? 1.0 : 0.0;
+    }
+  }
   reset();
 }
 
@@ -129,67 +160,59 @@ void Mom::baroclinic_step() {
   const int nlon = cfg_.nlon, nlat = cfg_.nlat, nlev = cfg_.nlev;
   const double kappa = 0.05;  // grid-units diffusivity * dt
   const double adv = 0.2;     // CFL-safe advection coefficient
+  const simd::KernelTable& kt = simd::table();
+  const std::size_t row_bytes = (static_cast<std::size_t>(nlon) - 1) *
+                                sizeof(double);
 
   for (auto* field : {&temp_, &salt_}) {
     auto& f = *field;
     for (int k = 0; k < nlev; ++k) {
       const double depth_damp = std::exp(-2.0 * k / nlev);
+      const std::size_t kk = static_cast<std::size_t>(k);
       for (int j = 1; j < nlat - 1; ++j) {
-        for (int i = 0; i < nlon; ++i) {
-          if (!mask_.ocean(i, j)) {
-            scratch_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                     static_cast<std::size_t>(k)) = 0;
-            continue;
-          }
-          const int im = (i + nlon - 1) % nlon, ip = (i + 1) % nlon;
-          const std::size_t ii = static_cast<std::size_t>(i);
-          const std::size_t jj = static_cast<std::size_t>(j);
-          const std::size_t kk = static_cast<std::size_t>(k);
-          auto at = [&](int a, int b) {
-            return mask_.ocean(a, b)
-                       ? f(static_cast<std::size_t>(a), static_cast<std::size_t>(b), kk)
-                       : f(ii, jj, kk);  // no-flux across coastlines
-          };
-          const double fx = at(ip, j) - at(im, j);
-          const double fy = at(i, j + 1) - at(i, j - 1);
-          const double lap = at(ip, j) + at(im, j) + at(i, j + 1) +
-                             at(i, j - 1) - 4.0 * f(ii, jj, kk);
-          const double uu = u_(ii, jj) * depth_damp;
-          const double vv = v_(ii, jj) * depth_damp;
-          scratch_(ii, jj, kk) =
-              f(ii, jj, kk) - adv * (uu * fx + vv * fy) * 0.5 + kappa * lap;
-        }
+        const std::size_t jj = static_cast<std::size_t>(j);
+        const double* fc = &f(0, jj, kk);
+        // Periodic i-shifts of the row, then coastline no-flux selects:
+        // a land neighbour contributes the centre value instead.
+        std::memcpy(sip_.data(), fc + 1, row_bytes);
+        sip_[static_cast<std::size_t>(nlon) - 1] = fc[0];
+        sim_[0] = fc[static_cast<std::size_t>(nlon) - 1];
+        std::memcpy(sim_.data() + 1, fc, row_bytes);
+        kt.select_d(&mask_ip_(0, jj), sip_.data(), fc, aip_.data(), nlon);
+        kt.select_d(&mask_im_(0, jj), sim_.data(), fc, aim_.data(), nlon);
+        kt.select_d(&mask_jp_(0, jj), &f(0, jj + 1, kk), fc, ajp_.data(),
+                    nlon);
+        kt.select_d(&mask_jm_(0, jj), &f(0, jj - 1, kk), fc, ajm_.data(),
+                    nlon);
+        kt.scale_d(&u_(0, jj), depth_damp, uu_.data(), nlon);
+        kt.scale_d(&v_(0, jj), depth_damp, vv_.data(), nlon);
+        double* srow = &scratch_(0, jj, kk);
+        kt.mom_stencil_d(fc, aip_.data(), aim_.data(), ajp_.data(),
+                         ajm_.data(), uu_.data(), vv_.data(), adv, kappa,
+                         srow, nlon);
+        kt.select_d(&mask_c_(0, jj), srow, zeros_.data(), srow, nlon);
       }
     }
     // Commit, then convective adjustment (the unvectorised column loop).
     for (int k = 0; k < nlev; ++k) {
+      const std::size_t kk = static_cast<std::size_t>(k);
       for (int j = 1; j < nlat - 1; ++j) {
-        for (int i = 0; i < nlon; ++i) {
-          if (!mask_.ocean(i, j)) continue;
-          f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-            static_cast<std::size_t>(k)) =
-              scratch_(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                       static_cast<std::size_t>(k));
-        }
+        const std::size_t jj = static_cast<std::size_t>(j);
+        kt.select_d(&mask_c_(0, jj), &scratch_(0, jj, kk), &f(0, jj, kk),
+                    &f(0, jj, kk), nlon);
       }
     }
   }
   // Convective adjustment on temperature columns: mix statically unstable
-  // neighbours (deeper water must not be warmer).
-  for (int j = 1; j < nlat - 1; ++j) {
-    for (int i = 0; i < nlon; ++i) {
-      if (!mask_.ocean(i, j)) continue;
-      for (int k = 0; k + 1 < nlev; ++k) {
-        const std::size_t ii = static_cast<std::size_t>(i);
-        const std::size_t jj = static_cast<std::size_t>(j);
-        double& upper = temp_(ii, jj, static_cast<std::size_t>(k));
-        double& lower = temp_(ii, jj, static_cast<std::size_t>(k + 1));
-        if (lower > upper) {
-          const double mixed = 0.5 * (upper + lower);
-          upper = mixed;
-          lower = mixed;
-        }
-      }
+  // neighbours (deeper water must not be warmer). Columns are independent
+  // and each column still sees its k-cascade in ascending order, so running
+  // the level pair across whole rows reorders nothing; land columns are
+  // identically zero, so the lower > upper test never fires there.
+  for (int k = 0; k + 1 < nlev; ++k) {
+    const std::size_t kk = static_cast<std::size_t>(k);
+    for (int j = 1; j < nlat - 1; ++j) {
+      const std::size_t jj = static_cast<std::size_t>(j);
+      kt.mix_unstable_d(&temp_(0, jj, kk), &temp_(0, jj, kk + 1), nlon);
     }
   }
 }

@@ -1,8 +1,10 @@
 #include "ocean/pop.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 #include "sxs/ops.hpp"
 
 namespace ncar::ocean {
@@ -34,7 +36,11 @@ Pop::Pop(const PopConfig& cfg, sxs::Node& node)
       node_(&node),
       eta_(static_cast<std::size_t>(cfg.nlon), static_cast<std::size_t>(cfg.nlat)),
       u_(eta_.ni(), eta_.nj()),
-      v_(eta_.ni(), eta_.nj()) {
+      v_(eta_.ni(), eta_.nj()),
+      sh1_(eta_.ni(), eta_.nj()),
+      sh2_(eta_.ni(), eta_.nj()),
+      sh3_(eta_.ni(), eta_.nj()),
+      sh4_(eta_.ni(), eta_.nj()) {
   NCAR_REQUIRE(cfg.nlon >= 8 && cfg.nlat >= 8 && cfg.nlev >= 1, "grid shape");
   NCAR_REQUIRE(cfg.barotropic_subcycles >= 1, "subcycles");
   tracer_.assign(static_cast<std::size_t>(cfg.nlev),
@@ -100,6 +106,29 @@ void Pop::charge_cshift(int count, long pts) {
   total_seconds_ += t;
 }
 
+void Pop::cshift_into(const Array2D<double>& a, int dim, int offset,
+                      Array2D<double>& out) const {
+  NCAR_REQUIRE(dim == 0 || dim == 1, "dim must be 0 or 1");
+  const long ni = static_cast<long>(a.ni());
+  const long nj = static_cast<long>(a.nj());
+  if (dim == 0) {
+    const long o = ((offset % ni) + ni) % ni;  // periodic longitude
+    for (long j = 0; j < nj; ++j) {
+      const double* src = &a(0, static_cast<std::size_t>(j));
+      double* dst = &out(0, static_cast<std::size_t>(j));
+      std::memcpy(dst, src + o, static_cast<std::size_t>(ni - o) * 8);
+      std::memcpy(dst + (ni - o), src, static_cast<std::size_t>(o) * 8);
+    }
+  } else {
+    for (long j = 0; j < nj; ++j) {
+      const long sj = std::min(std::max(j + offset, 0L), nj - 1);  // walls
+      std::memcpy(&out(0, static_cast<std::size_t>(j)),
+                  &a(0, static_cast<std::size_t>(sj)),
+                  static_cast<std::size_t>(ni) * 8);
+    }
+  }
+}
+
 double Pop::step() {
   const long pts = static_cast<long>(eta_.ni()) * static_cast<long>(eta_.nj());
   const double before = total_seconds_;
@@ -109,40 +138,28 @@ double Pop::step() {
   const double dtb =
       cfg_.dt_seconds / static_cast<double>(cfg_.barotropic_subcycles);
   const double hscale = cfg_.depth * 2e-7;  // grid-scaled wave speed factor
+  const ncar::simd::KernelTable& kt = ncar::simd::table();
   for (int sub = 0; sub < cfg_.barotropic_subcycles; ++sub) {
     // div = dx(u) + dy(v) using CSHIFT differences (4 shifts).
-    auto uxp = cshift(u_, 0, 1);
-    auto uxm = cshift(u_, 0, -1);
-    auto vyp = cshift(v_, 1, 1);
-    auto vym = cshift(v_, 1, -1);
+    cshift_into(u_, 0, 1, sh1_);
+    cshift_into(u_, 0, -1, sh2_);
+    cshift_into(v_, 1, 1, sh3_);
+    cshift_into(v_, 1, -1, sh4_);
     charge_cshift(4, pts);
-    // eta update + gradient of eta (2 shifts) + momentum updates.
-    for (std::size_t j = 0; j < eta_.nj(); ++j) {
-      for (std::size_t i = 0; i < eta_.ni(); ++i) {
-        const double div = 0.5 * ((uxp(i, j) - uxm(i, j)) + (vyp(i, j) - vym(i, j)));
-        eta_(i, j) -= dtb * hscale * div;
-      }
-    }
-    auto exp_ = cshift(eta_, 0, 1);
-    auto exm = cshift(eta_, 0, -1);
-    auto eyp = cshift(eta_, 1, 1);
-    auto eym = cshift(eta_, 1, -1);
+    // eta update + gradient of eta (2 shifts) + momentum updates. The flat
+    // views walk (i, j) in exactly the nested loop order they replace.
+    kt.pop_eta_d(sh1_.flat().data(), sh2_.flat().data(), sh3_.flat().data(),
+                 sh4_.flat().data(), dtb * hscale, eta_.flat().data(), pts);
+    cshift_into(eta_, 0, 1, sh1_);
+    cshift_into(eta_, 0, -1, sh2_);
+    cshift_into(eta_, 1, 1, sh3_);
+    cshift_into(eta_, 1, -1, sh4_);
     charge_cshift(4, pts);
     const double gscale = cfg_.gravity * 5e-7;  // grid-scaled gradient
-    for (std::size_t j = 0; j < eta_.nj(); ++j) {
-      for (std::size_t i = 0; i < eta_.ni(); ++i) {
-        const double ex = 0.5 * (exp_(i, j) - exm(i, j));
-        const double ey = 0.5 * (eyp(i, j) - eym(i, j));
-        const double un = u_(i, j) +
-                          dtb * (cfg_.coriolis * v_(i, j) - gscale * ex -
-                                 cfg_.drag * u_(i, j));
-        const double vn = v_(i, j) +
-                          dtb * (-cfg_.coriolis * u_(i, j) - gscale * ey -
-                                 cfg_.drag * v_(i, j));
-        u_(i, j) = un;
-        v_(i, j) = vn;
-      }
-    }
+    kt.pop_momentum_d(sh1_.flat().data(), sh2_.flat().data(),
+                      sh3_.flat().data(), sh4_.flat().data(), dtb, gscale,
+                      cfg_.coriolis, cfg_.drag, u_.flat().data(),
+                      v_.flat().data(), pts);
     // Walls: no meridional flow through the north/south boundaries.
     for (std::size_t i = 0; i < eta_.ni(); ++i) {
       v_(i, 0) = 0.0;
@@ -153,21 +170,15 @@ double Pop::step() {
 
   // --- per-level tracer advection-diffusion (array syntax + cshift) ------
   for (auto& t : tracer_) {
-    auto txp = cshift(t, 0, 1);
-    auto txm = cshift(t, 0, -1);
-    auto typ = cshift(t, 1, 1);
-    auto tym = cshift(t, 1, -1);
+    cshift_into(t, 0, 1, sh1_);
+    cshift_into(t, 0, -1, sh2_);
+    cshift_into(t, 1, 1, sh3_);
+    cshift_into(t, 1, -1, sh4_);
     charge_cshift(4, pts);
     const double adv = 0.2;
-    for (std::size_t j = 0; j < t.nj(); ++j) {
-      for (std::size_t i = 0; i < t.ni(); ++i) {
-        const double tx = 0.5 * (txp(i, j) - txm(i, j));
-        const double ty = 0.5 * (typ(i, j) - tym(i, j));
-        const double lap = txp(i, j) + txm(i, j) + typ(i, j) + tym(i, j) -
-                           4.0 * t(i, j);
-        t(i, j) += -adv * (u_(i, j) * tx + v_(i, j) * ty) + cfg_.kappa * lap;
-      }
-    }
+    kt.pop_tracer_d(sh1_.flat().data(), sh2_.flat().data(),
+                    sh3_.flat().data(), sh4_.flat().data(), u_.flat().data(),
+                    v_.flat().data(), -adv, cfg_.kappa, t.flat().data(), pts);
     charge_array_op(6, pts);
     // Vectorised physics per level (EOS, vertical mixing terms).
     const double phys = node_->serial([&](sxs::Cpu& cpu) {

@@ -74,11 +74,17 @@ public:
 private:
   void charge_array_op(int count, long pts);
   void charge_cshift(int count, long pts);
+  /// cshift() into a preallocated destination (no per-call allocation; the
+  /// copies are memcpy runs, bit-identical to the elementwise original).
+  void cshift_into(const Array2D<double>& a, int dim, int offset,
+                   Array2D<double>& out) const;
 
   PopConfig cfg_;
   sxs::Node* node_;
   Array2D<double> eta_, u_, v_;
   std::vector<Array2D<double>> tracer_;
+  // Reusable shift destinations for the four-stencil CSHIFT pattern.
+  Array2D<double> sh1_, sh2_, sh3_, sh4_;
   long steps_ = 0;
   double cshift_seconds_ = 0;
   double total_seconds_ = 0;

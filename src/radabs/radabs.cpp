@@ -1,9 +1,11 @@
 #include "radabs/radabs.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "simd/simd.hpp"
 
 namespace ncar::radabs {
 
@@ -47,7 +49,27 @@ ColumnField make_test_atmosphere(int ncol, int nlev, std::uint64_t seed) {
   return f;
 }
 
+void RadabsWorkspace::ensure(int ncol, int nlev) {
+  const std::size_t plane = static_cast<std::size_t>(ncol) * nlev;
+  if (qt.size() < plane) {
+    qt.resize(plane);
+    tt.resize(plane);
+    dwt.resize(plane);
+  }
+  if (w.size() < static_cast<std::size_t>(ncol)) {
+    w.resize(static_cast<std::size_t>(ncol));
+    a12.resize(static_cast<std::size_t>(ncol));
+    scratch.resize(static_cast<std::size_t>(ncol) * 4);
+  }
+}
+
 RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f) {
+  RadabsWorkspace ws;
+  return run_radabs(machine, f, ws);
+}
+
+RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f,
+                        RadabsWorkspace& ws) {
   NCAR_REQUIRE(f.ncol >= 1 && f.nlev >= 2, "field shape");
   using sxs::Intrinsic;
   const int ncol = f.ncol;
@@ -57,17 +79,27 @@ RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f) {
   double checksum = 0.0;
   long pairs = 0;
 
+  const simd::KernelTable& kt = simd::table();
+  ws.ensure(ncol, nlev);
+
+  // Transpose the column-major fields to level-major rows so every level
+  // pair streams unit-stride over the column (vector) axis.
+  for (int k = 0; k < nlev; ++k) {
+    kt.strided_copy_d(f.qh2o.data() + k, nlev,
+                      ws.qt.data() + static_cast<std::size_t>(k) * ncol, ncol);
+    kt.strided_copy_d(f.temp.data() + k, nlev,
+                      ws.tt.data() + static_cast<std::size_t>(k) * ncol, ncol);
+  }
+
   // Precompute per-column path increments dW(k) = q * dp / g (vector loop).
-  std::vector<double> dw(static_cast<std::size_t>(ncol) * nlev);
   for (int k = 0; k < nlev; ++k) {
     const double dp = (k == 0)
                           ? f.pressure[0]
                           : f.pressure[static_cast<std::size_t>(k)] -
                                 f.pressure[static_cast<std::size_t>(k - 1)];
-    for (int c = 0; c < ncol; ++c) {
-      const std::size_t idx = static_cast<std::size_t>(c) * nlev + k;
-      dw[idx] = f.qh2o[idx] * dp * kGravityInv;
-    }
+    kt.scale2_d(ws.qt.data() + static_cast<std::size_t>(k) * ncol, dp,
+                kGravityInv, ws.dwt.data() + static_cast<std::size_t>(k) * ncol,
+                ncol);
   }
   {
     sxs::VectorOp op;
@@ -81,28 +113,25 @@ RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f) {
   // Absorptivity between every pair of levels (k1 < k2): the O(nlev^2)
   // structure that makes RADABS the most expensive routine in CCM2.
   for (int k1 = 0; k1 < nlev; ++k1) {
+    // The path accumulates incrementally across k2: after the (k1, k2)
+    // pair, w[c] holds ((0 + dw[k1+1]) + ...) + dw[k2] — the same additions
+    // in the same order as the per-pair inner sum it replaces.
+    std::fill(ws.w.begin(), ws.w.begin() + ncol, 0.0);
+    const double* t1_row = ws.tt.data() + static_cast<std::size_t>(k1) * ncol;
     for (int k2 = k1 + 1; k2 < nlev; ++k2) {
       ++pairs;
       // -- numerics over the column (vector) axis ------------------------
+      kt.add_d(ws.w.data(),
+               ws.dwt.data() + static_cast<std::size_t>(k2) * ncol, ncol);
+      const double pbar = 0.5 * (f.pressure[static_cast<std::size_t>(k1)] +
+                                 f.pressure[static_cast<std::size_t>(k2)]);
+      // sqrt(pbar/1e5) is the same value for every column of the pair.
+      const double sp = std::sqrt(pbar / 1.0e5);
+      kt.radabs_pair_d(ws.w.data(), t1_row,
+                       ws.tt.data() + static_cast<std::size_t>(k2) * ncol, sp,
+                       ws.a12.data(), ws.scratch.data(), ncol);
       for (int c = 0; c < ncol; ++c) {
-        // Path of absorber between the two levels.
-        double w = 0.0;
-        for (int k = k1 + 1; k <= k2; ++k) {
-          w += dw[static_cast<std::size_t>(c) * nlev + k];
-        }
-        const double tbar =
-            0.5 * (f.temp[static_cast<std::size_t>(c) * nlev + k1] +
-                   f.temp[static_cast<std::size_t>(c) * nlev + k2]);
-        const double pbar =
-            0.5 * (f.pressure[static_cast<std::size_t>(k1)] +
-                   f.pressure[static_cast<std::size_t>(k2)]);
-        const double u = kDiffusivity * w * std::sqrt(pbar / 1.0e5);
-        // Band 1: strong-line square-root growth via exp.
-        const double a1 = 1.0 - std::exp(-kBandCoeff1 * std::sqrt(u));
-        // Band 2: weak-line logarithmic growth with temperature scaling.
-        const double tfac = std::pow(tbar / kRefTemp, 0.5);
-        const double a2 = kBandCoeff2 * std::log(1.0 + u * tfac);
-        checksum += a1 + a2;
+        checksum += ws.a12[static_cast<std::size_t>(c)];
       }
       // -- timing: what the vector compiler generates for the loop above --
       // Path accumulation: (k2-k1) chained adds over the column axis.

@@ -33,6 +33,22 @@ struct ColumnField {
 /// with a small per-column perturbation).
 ColumnField make_test_atmosphere(int ncol, int nlev, std::uint64_t seed = 3);
 
+/// Reusable workspace for run_radabs: level-major transposes of the column
+/// fields plus per-column accumulators, sized once so repeated runs (the
+/// benchmark sweep) never allocate.
+struct RadabsWorkspace {
+  /// Grow the buffers to fit a (ncol, nlev) field. Cheap when already big
+  /// enough.
+  void ensure(int ncol, int nlev);
+
+  std::vector<double> qt;       ///< [lev * ncol] transposed qh2o
+  std::vector<double> tt;       ///< [lev * ncol] transposed temp
+  std::vector<double> dwt;      ///< [lev * ncol] path increments, level-major
+  std::vector<double> w;        ///< [ncol] accumulated path
+  std::vector<double> a12;      ///< [ncol] per-column absorptivity
+  std::vector<double> scratch;  ///< [4 * ncol] kernel scratch
+};
+
 struct RadabsResult {
   double seconds = 0;        ///< simulated time
   double equiv_mflops = 0;   ///< Cray-Y-MP-equivalent Mflops
@@ -43,6 +59,11 @@ struct RadabsResult {
 
 /// Run the kernel once over the field on the given machine model.
 RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f);
+
+/// Same, with a caller-owned workspace (allocation-free after the first
+/// call at a given shape).
+RadabsResult run_radabs(machines::Comparator& machine, const ColumnField& f,
+                        RadabsWorkspace& ws);
 
 /// Convenience: run at the benchmark's standard shape (a CCM2 T42 latitude
 /// row: 128 columns x 18 levels).

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "fft/real_fft.hpp"
+#include "simd/simd.hpp"
 
 namespace ncar::spectral {
 
@@ -16,17 +17,24 @@ ShTransform::ShTransform(int truncation, int nlat, int nlon)
   NCAR_REQUIRE(nlon >= 2 * (truncation + 1),
                "longitude count cannot represent the truncation");
   NCAR_REQUIRE(fft::Plan::supported(nlon), "nlon must factor into 2,3,5");
+  // Worst-case transform workspace: two fm planes (synthesis_gradient) plus
+  // one Fourier row and the real-FFT scratch nested inside it.
+  const std::size_t fm_doubles = 2 * static_cast<std::size_t>(truncation + 1) *
+                                 static_cast<std::size_t>(nlat) * 2;
+  const std::size_t row_doubles =
+      2 * static_cast<std::size_t>(fft::spectrum_size(nlon));
+  arena_.reserve(fm_doubles + row_doubles + fft::real_fft_arena_doubles(nlon));
 }
 
 void ShTransform::fourier_analysis(const Array2D<double>& grid,
-                                   std::vector<cd>& fm) const {
+                                   std::span<cd> fm) const {
   const int t = truncation();
-  fm.assign(static_cast<std::size_t>(t + 1) * static_cast<std::size_t>(nlat_),
-            cd(0, 0));
-  std::vector<cd> spec_row(static_cast<std::size_t>(fft::spectrum_size(nlon_)));
+  ArenaScope frame(arena_);
+  auto spec_row =
+      arena_.take<cd>(static_cast<std::size_t>(fft::spectrum_size(nlon_)));
   for (int j = 0; j < nlat_; ++j) {
     fft::real_forward(plan_, grid.column(static_cast<std::size_t>(j)),
-                      spec_row);
+                      spec_row, arena_);
     for (int m = 0; m <= t; ++m) {
       // F[m] = nlon * G_m; store G_m.
       fm[static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
@@ -36,11 +44,12 @@ void ShTransform::fourier_analysis(const Array2D<double>& grid,
   }
 }
 
-void ShTransform::fourier_synthesis(const std::vector<cd>& fm,
+void ShTransform::fourier_synthesis(std::span<const cd> fm,
                                     Array2D<double>& grid) const {
   const int t = truncation();
-  std::vector<cd> spec_row(static_cast<std::size_t>(fft::spectrum_size(nlon_)),
-                           cd(0, 0));
+  ArenaScope frame(arena_);
+  auto spec_row =
+      arena_.take<cd>(static_cast<std::size_t>(fft::spectrum_size(nlon_)));
   for (int j = 0; j < nlat_; ++j) {
     for (int m = 0; m <= t; ++m) {
       spec_row[static_cast<std::size_t>(m)] =
@@ -52,7 +61,7 @@ void ShTransform::fourier_synthesis(const std::vector<cd>& fm,
       spec_row[static_cast<std::size_t>(m)] = cd(0, 0);
     }
     auto col = grid.column(static_cast<std::size_t>(j));
-    fft::real_inverse(plan_, spec_row, col);
+    fft::real_inverse(plan_, spec_row, col, arena_);
   }
 }
 
@@ -63,9 +72,12 @@ void ShTransform::analysis(const Array2D<double>& grid,
                "grid shape");
   NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
   const int t = truncation();
-  std::vector<cd> fm;
+  ArenaScope frame(arena_);
+  auto fm = arena_.take<cd>(static_cast<std::size_t>(t + 1) *
+                            static_cast<std::size_t>(nlat_));
   fourier_analysis(grid, fm);
 
+  const simd::KernelTable& kt = simd::table();
   for (auto& s : spec) s = cd(0, 0);
   for (int j = 0; j < nlat_; ++j) {
     const double w = 0.5 * nodes_.weight[static_cast<std::size_t>(j)];
@@ -76,9 +88,7 @@ void ShTransform::analysis(const Array2D<double>& grid,
       const double* pcol = table_.p_column(j, m);
       cd* scol = spec.data() + index().column_start(m);
       const int len = index().column_length(m);
-      for (int k = 0; k < len; ++k) {
-        scol[k] += g * pcol[k];
-      }
+      kt.axpy_cd_r(scol, g, pcol, len);
     }
   }
   // The m = 0 column of a real field is real; clamp rounding residue.
@@ -97,18 +107,17 @@ void ShTransform::synthesis(std::span<const cd> spec,
                "grid shape");
   NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
   const int t = truncation();
-  std::vector<cd> fm(static_cast<std::size_t>(t + 1) *
-                         static_cast<std::size_t>(nlat_),
-                     cd(0, 0));
+  ArenaScope frame(arena_);
+  auto fm = arena_.take<cd>(static_cast<std::size_t>(t + 1) *
+                            static_cast<std::size_t>(nlat_));
+  const simd::KernelTable& kt = simd::table();
   for (int j = 0; j < nlat_; ++j) {
     for (int m = 0; m <= t; ++m) {
       const double* pcol = table_.p_column(j, m);
       const cd* scol = spec.data() + index().column_start(m);
       const int len = index().column_length(m);
-      cd acc(0, 0);
-      for (int k = 0; k < len; ++k) acc += scol[k] * pcol[k];
       fm[static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
-         static_cast<std::size_t>(j)] = acc;
+         static_cast<std::size_t>(j)] = kt.dot_cd_r(scol, pcol, len);
     }
   }
   fourier_synthesis(fm, grid);
@@ -119,10 +128,12 @@ void ShTransform::synthesis_gradient(std::span<const cd> spec,
                                      Array2D<double>& dmu) const {
   NCAR_REQUIRE(static_cast<int>(spec.size()) == spec_size(), "spec size");
   const int t = truncation();
-  std::vector<cd> fm_lam(static_cast<std::size_t>(t + 1) *
-                             static_cast<std::size_t>(nlat_),
-                         cd(0, 0));
-  std::vector<cd> fm_mu = fm_lam;
+  ArenaScope frame(arena_);
+  const std::size_t plane =
+      static_cast<std::size_t>(t + 1) * static_cast<std::size_t>(nlat_);
+  auto fm_lam = arena_.take<cd>(plane);
+  auto fm_mu = arena_.take<cd>(plane);
+  const simd::KernelTable& kt = simd::table();
   for (int j = 0; j < nlat_; ++j) {
     for (int m = 0; m <= t; ++m) {
       const double* pcol = table_.p_column(j, m);
@@ -130,10 +141,7 @@ void ShTransform::synthesis_gradient(std::span<const cd> spec,
       const cd* scol = spec.data() + index().column_start(m);
       const int len = index().column_length(m);
       cd acc_p(0, 0), acc_d(0, 0);
-      for (int k = 0; k < len; ++k) {
-        acc_p += scol[k] * pcol[k];
-        acc_d += scol[k] * dcol[k];
-      }
+      kt.dot2_cd_r(scol, pcol, dcol, len, &acc_p, &acc_d);
       const std::size_t dst =
           static_cast<std::size_t>(m) * static_cast<std::size_t>(nlat_) +
           static_cast<std::size_t>(j);

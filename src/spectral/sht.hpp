@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/array.hpp"
 #include "fft/complex_fft.hpp"
 #include "spectral/legendre.hpp"
@@ -60,16 +61,20 @@ public:
 
 private:
   /// Half-spectrum Fourier coefficients per latitude: fm(m, j), m <= T.
-  void fourier_analysis(const Array2D<double>& grid,
-                        std::vector<cd>& fm) const;
-  void fourier_synthesis(const std::vector<cd>& fm,
-                         Array2D<double>& grid) const;
+  /// Every entry of `fm` is written (callers pass uninitialised arena
+  /// spans).
+  void fourier_analysis(const Array2D<double>& grid, std::span<cd> fm) const;
+  void fourier_synthesis(std::span<const cd> fm, Array2D<double>& grid) const;
 
   GaussNodes nodes_;
   LegendreTable table_;
   int nlat_;
   int nlon_;
   fft::Plan plan_;
+  // Workspace pool sized at construction so the transforms never allocate
+  // (mutable: taking scratch from the pool does not change observable
+  // state — every frame is released before the method returns).
+  mutable Arena arena_;
 };
 
 }  // namespace ncar::spectral

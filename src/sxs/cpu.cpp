@@ -59,6 +59,15 @@ void Cpu::record(trace::Category category, double start, double charged,
 }
 
 void Cpu::vec(const VectorOp& op, long repeats) {
+  vec_impl(op, repeats, classify(op));
+}
+
+void Cpu::vec(const VectorOp& op, long repeats, trace::Category category) {
+  vec_impl(op, repeats, category);
+}
+
+void Cpu::vec_impl(const VectorOp& op, long repeats,
+                   trace::Category category) {
   NCAR_REQUIRE(repeats >= 0, "negative repeat count");
   if (repeats == 0) return;
   const double reps = static_cast<double>(repeats);
@@ -93,7 +102,7 @@ void Cpu::vec(const VectorOp& op, long repeats) {
       }
     }
   }
-  record(classify(op), start, c, base, 0.0, gather_scatter, "vec");
+  record(category, start, c, base, 0.0, gather_scatter, "vec");
 
   const double n = static_cast<double>(op.n) * reps;
   const double flops = n * (op.flops_per_elem + op.div_per_elem);

@@ -46,6 +46,13 @@ public:
   /// results count as one flop each).
   void vec(const VectorOp& op, long repeats = 1);
 
+  /// Same charge, but filed under an explicit attribution category instead
+  /// of the descriptor-derived one (e.g. Category::SltInterp for the
+  /// semi-Lagrangian interpolation loops, which would otherwise disappear
+  /// into the generic vector-pipe buckets). Cycle and flop accounting are
+  /// identical to the two-argument overload.
+  void vec(const VectorOp& op, long repeats, trace::Category category);
+
   /// Charge a scalar-mode loop (runs through the cache model).
   void scalar(const ScalarOp& op);
 
@@ -127,6 +134,10 @@ public:
   const ScalarUnit& scalar_unit() const { return su_; }
 
 private:
+  /// Shared body of the vec() overloads: `category` is where the charge is
+  /// filed (classify(op) for the default overload).
+  void vec_impl(const VectorOp& op, long repeats, trace::Category category);
+
   /// Cycles for `op`, via the cache (pure in op given the fixed config).
   double vec_cost(const VectorOp& op);
   double scalar_cost(const ScalarOp& op);

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "simd/simd.hpp"
 
 namespace ncar::sxs {
 
@@ -51,12 +52,14 @@ const char* to_string(ExecutionPolicy p) {
 }
 
 std::string host_execution_summary() {
+  const std::string simd =
+      std::string(", simd ") + simd::to_string(simd::active());
   if (default_execution_policy() == ExecutionPolicy::Sequential) {
-    return "sequential (1 host thread)";
+    return "sequential (1 host thread)" + simd;
   }
   const int threads = ThreadPool::configured_host_threads();
   return "threaded (" + std::to_string(threads) + " host thread" +
-         (threads == 1 ? "" : "s") + ")";
+         (threads == 1 ? "" : "s") + ")" + simd;
 }
 
 }  // namespace ncar::sxs

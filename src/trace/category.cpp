@@ -16,6 +16,7 @@ const char* to_string(Category c) {
     case Category::CacheMiss: return "cache_miss";
     case Category::BankConflict: return "bank_conflict";
     case Category::GatherScatter: return "gather_scatter";
+    case Category::SltInterp: return "slt_interp";
     case Category::IxsTransfer: return "ixs_transfer";
     case Category::Barrier: return "barrier";
     case Category::IoXmu: return "io_xmu";

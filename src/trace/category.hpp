@@ -21,6 +21,10 @@
 //   gather_scatter  indexed (gather/scatter) memory traffic priced above
 //                   the unit-stride rate — split out of the vector pipe
 //                   categories so irregular access shows up separately
+//   slt_interp      semi-Lagrangian transport interpolation: the
+//                   gather-heavy SLT loops of CCM2, filed apart from the
+//                   rest of the dynamics so the paper's "SLT is the
+//                   irregular part" argument is visible in the tables
 //   ixs_transfer    internode crossbar transfer waits
 //   io_xmu          XMU (semiconductor-disk) staging
 //   io_disk         conventional-disk transfers
@@ -46,6 +50,7 @@ enum class Category : std::uint8_t {
   CacheMiss,
   BankConflict,
   GatherScatter,
+  SltInterp,
   IxsTransfer,
   Barrier,
   IoXmu,

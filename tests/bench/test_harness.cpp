@@ -2,14 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "harness/baseline.hpp"
 #include "harness/expectation.hpp"
 #include "harness/json.hpp"
+#include "harness/reporter.hpp"
 
 namespace ncar::bench {
 namespace {
@@ -203,6 +206,52 @@ TEST(CompareMetrics, ZeroBaselineUsesAbsoluteTolerance) {
   b.metrics = {{"zero.residual", 0.0, ""}};
   EXPECT_TRUE(compare_metrics(b, {{"zero.residual", 0.01, ""}}, 0.02).ok());
   EXPECT_FALSE(compare_metrics(b, {{"zero.residual", 0.03, ""}}, 0.02).ok());
+}
+
+// --- host-timing percentiles ----------------------------------------------
+
+BenchReporter make_reporter(const std::string& name) {
+  static char prog[] = "test";
+  char* argv[] = {prog};
+  return BenchReporter(name, 1, argv);
+}
+
+double host_value(const BenchReporter& rep, const std::string& name) {
+  for (const Metric& m : rep.host_metrics()) {
+    if (m.name == name) return m.value;
+  }
+  ADD_FAILURE() << "missing host metric " << name;
+  return -1.0;
+}
+
+TEST(HostTiming, NearestRankPercentilesAndStddev) {
+  BenchReporter rep = make_reporter("ht_values");
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  rep.host_timing("t.sweep_s", samples);
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.sweep_s.p50"), 50.0);
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.sweep_s.p90"), 90.0);
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.sweep_s.p99"), 99.0);
+  // Population stddev of 1..100: sqrt((100^2 - 1) / 12).
+  EXPECT_NEAR(host_value(rep, "t.sweep_s.stddev"),
+              std::sqrt((100.0 * 100.0 - 1.0) / 12.0), 1e-12);
+  // Timing statistics are host telemetry, never deterministic metrics.
+  EXPECT_TRUE(rep.metrics().empty());
+}
+
+TEST(HostTiming, SingleSampleIsEveryPercentile) {
+  BenchReporter rep = make_reporter("ht_single");
+  rep.host_timing("t.one_s", {0.25});
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.one_s.p50"), 0.25);
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.one_s.p90"), 0.25);
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.one_s.p99"), 0.25);
+  EXPECT_DOUBLE_EQ(host_value(rep, "t.one_s.stddev"), 0.0);
+}
+
+TEST(HostTiming, EmptySampleSetRegistersNothing) {
+  BenchReporter rep = make_reporter("ht_empty");
+  rep.host_timing("t.none_s", {});
+  EXPECT_TRUE(rep.host_metrics().empty());
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "sxs/machine_config.hpp"
+#include "trace/category.hpp"
+#include "trace/collector.hpp"
 
 namespace {
 
@@ -210,6 +212,36 @@ TEST_F(Ccm2Test, ChargeGflopsMatchFullVariantExactly) {
             replay.charge_sustained_equiv_gflops(8, 2));
   EXPECT_EQ(full.measure_step_seconds(8, 2),
             replay.measure_charge_seconds(8, 2));
+}
+
+// The SLT interpolation region is filed under its own attribution category,
+// and the category choice must never perturb the simulated timing: Off and
+// Summary tracing modes produce bit-identical StepTimings.
+TEST_F(Ccm2Test, SltChargesFileUnderSltInterpWithoutPerturbingTiming) {
+  const trace::Mode before = trace::mode();
+  sxs::Node node_off(sxs::MachineConfig::sx4_benchmarked());
+  sxs::Node node_sum(sxs::MachineConfig::sx4_benchmarked());
+  ccm2::Ccm2 off_model(small_config(), node_off);
+  ccm2::Ccm2 sum_model(small_config(), node_sum);
+
+  trace::set_mode(trace::Mode::Off);
+  const auto a = off_model.charge_step(4);
+  trace::set_mode(trace::Mode::Summary);
+  const auto b = sum_model.charge_step(4);
+  trace::set_mode(before);
+
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.slt, b.slt);
+  EXPECT_EQ(node_off.elapsed_seconds(), node_sum.elapsed_seconds());
+
+  // Every rank that ran region 5 booked its SLT cycles under slt_interp —
+  // in both modes (counters are always on; Summary only refines carves).
+  double slt_ticks = 0.0;
+  for (int r = 0; r < node_sum.cpu_count(); ++r) {
+    slt_ticks +=
+        node_sum.cpu(r).trace().category_ticks(trace::Category::SltInterp);
+  }
+  EXPECT_GT(slt_ticks, 0.0);
 }
 
 // The op-cost cache's reason to exist: a CCM2 charge replay re-prices the

@@ -1,0 +1,75 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace {
+
+using ncar::Arena;
+using ncar::ArenaScope;
+
+TEST(Arena, TakeBumpsWithoutTouchingTheHeapPool) {
+  Arena arena(64);
+  const auto a = arena.take<double>(10);
+  const auto b = arena.take<double>(10);
+  EXPECT_EQ(arena.used(), 20u);
+  EXPECT_EQ(arena.capacity(), 64u);
+  // Spans are adjacent frames of the same pool.
+  EXPECT_EQ(a.data() + 10, b.data());
+}
+
+TEST(Arena, ComplexTakesCountInDoubles) {
+  Arena arena(8);
+  const auto s = arena.take<std::complex<double>>(3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(arena.used(), 6u);
+}
+
+TEST(Arena, OverflowIsAPreconditionErrorNotAGrow) {
+  Arena arena(4);
+  arena.take<double>(3);
+  EXPECT_THROW(arena.take<double>(2), ncar::precondition_error);
+  EXPECT_EQ(arena.capacity(), 4u);
+}
+
+TEST(Arena, ScopeReleasesItsFrame) {
+  Arena arena(32);
+  arena.take<double>(5);
+  {
+    ArenaScope frame(arena);
+    arena.take<double>(20);
+    EXPECT_EQ(arena.used(), 25u);
+  }
+  EXPECT_EQ(arena.used(), 5u);
+}
+
+TEST(Arena, NestedScopesStackLikeFrames) {
+  Arena arena(32);
+  ArenaScope outer(arena);
+  arena.take<double>(8);
+  {
+    ArenaScope inner(arena);
+    arena.take<double>(8);
+    EXPECT_EQ(arena.used(), 16u);
+  }
+  EXPECT_EQ(arena.used(), 8u);
+}
+
+TEST(Arena, ReserveWithLiveSpansThrows) {
+  Arena arena(16);
+  arena.take<double>(1);
+  EXPECT_THROW(arena.reserve(64), ncar::precondition_error);
+}
+
+TEST(Arena, ReserveNeverShrinks) {
+  Arena arena(16);
+  arena.reserve(8);
+  EXPECT_EQ(arena.capacity(), 16u);
+  arena.reserve(24);
+  EXPECT_EQ(arena.capacity(), 24u);
+}
+
+}  // namespace

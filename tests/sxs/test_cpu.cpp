@@ -245,6 +245,66 @@ TEST_F(CpuTest, GatherScatterCarveComesOutOfThePipeCategory) {
       coarse.trace().category_ticks(trace::Category::VectorMul));
 }
 
+TEST_F(CpuTest, ExplicitCategoryOverloadFilesUnderIt) {
+  ModeGuard g(trace::Mode::Summary);
+  VectorOp op;
+  op.n = 4096;
+  op.flops_per_elem = 2;   // memory-bound so the gather premium is visible
+  op.gather_words = 4;     // the SLT bilinear corners
+  op.load_words = 5;
+  op.store_words = 1;
+  op.pipe_groups = 2;
+  cpu.vec(op, 64, trace::Category::SltInterp);
+
+  // The pipe share lands under the explicit category instead of
+  // vector_mul; the gather carve still comes out of it as usual.
+  EXPECT_GT(cpu.trace().category_ticks(trace::Category::SltInterp), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.trace().category_ticks(trace::Category::VectorMul),
+                   0.0);
+  EXPECT_GT(cpu.trace().category_ticks(trace::Category::GatherScatter), 0.0);
+
+  // Charged categories still sum to the charged cycles (conservation).
+  double sum = 0.0;
+  for (int i = 0; i < trace::kCategoryCount; ++i) {
+    const auto c = static_cast<trace::Category>(i);
+    if (trace::is_charged_category(c)) sum += cpu.trace().category_ticks(c);
+  }
+  EXPECT_DOUBLE_EQ(sum, cpu.cycles());
+}
+
+TEST_F(CpuTest, ExplicitCategoryChargeIsInvariantAcrossModesAndOverloads) {
+  VectorOp op;
+  op.n = 128;
+  op.flops_per_elem = 28;
+  op.gather_words = 4;
+  op.load_words = 5;
+  op.store_words = 1;
+  op.pipe_groups = 2;
+
+  Cpu off{cfg};
+  {
+    ModeGuard g(trace::Mode::Off);
+    off.vec(op, 64, trace::Category::SltInterp);
+  }
+  Cpu summary{cfg};
+  {
+    ModeGuard g(trace::Mode::Summary);
+    summary.vec(op, 64, trace::Category::SltInterp);
+  }
+  Cpu implicit{cfg};
+  {
+    ModeGuard g(trace::Mode::Off);
+    implicit.vec(op, 64);
+  }
+
+  // The attribution category never perturbs the cycle or flop accounting,
+  // and neither does the tracing mode.
+  EXPECT_EQ(off.cycles(), summary.cycles());
+  EXPECT_EQ(off.cycles(), implicit.cycles());
+  EXPECT_EQ(off.hw_flops().value(), implicit.hw_flops().value());
+  EXPECT_EQ(off.equiv_flops().value(), implicit.equiv_flops().value());
+}
+
 TEST_F(CpuTest, StrideAndGatherCarvesCoexist) {
   ModeGuard g(trace::Mode::Summary);
   VectorOp op;

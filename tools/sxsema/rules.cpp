@@ -77,9 +77,13 @@ bool is_alloc_op(const FuncOp& op) {
          op.kind == OpKind::StringMake;
 }
 
-constexpr std::array<const char*, 5> kHotRoots = {
-    "charge_step", "charge_cycles", "charge_seconds", "access_range",
-    "access_stream"};
+constexpr std::array<const char*, 10> kHotRoots = {
+    "charge_step", "charge_cycles",      "charge_seconds",
+    "access_range", "access_stream",
+    // Numeric time-step roots: the per-step driver loops of the model
+    // kernels. These run thousands of times per sweep and since the
+    // workspace/arena work must stay allocation-free end to end.
+    "step", "baroclinic_step", "solve_barotropic", "advect", "combine"};
 
 bool is_hot_root(const Function& f) {
   return std::find(kHotRoots.begin(), kHotRoots.end(), f.name) !=

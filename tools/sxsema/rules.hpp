@@ -17,10 +17,13 @@
 //                        nondeterministic and poisons charged or
 //                        serialized state).
 //   sema-hot-alloc       charge_step / charge_cycles / charge_seconds /
-//                        access_range / access_stream and everything they
-//                        call one level deep (definitions visible in the
-//                        same TU) must not allocate: no new-expressions,
-//                        no container growth, no std::string construction.
+//                        access_range / access_stream plus the numeric
+//                        time-step roots (step / baroclinic_step /
+//                        solve_barotropic / advect / combine) and
+//                        everything they call one level deep (definitions
+//                        visible in the same TU) must not allocate: no
+//                        new-expressions, no container growth, no
+//                        std::string construction.
 //   sema-untagged-charge charge_cycles / charge_seconds call sites in
 //                        src/sxs and src/iosim must pass an explicit
 //                        trace::Category argument (the semantic re-take of

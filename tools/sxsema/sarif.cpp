@@ -41,7 +41,8 @@ struct RuleDoc {
 
 constexpr RuleDoc kRuleDocs[] = {
     {"sema-hot-alloc",
-     "charge_step/charge_cycles/access_range call graphs must not allocate"},
+     "charge_step/charge_cycles/access_range and numeric time-step roots "
+     "(step/advect/combine) call graphs must not allocate"},
     {"sema-nondet",
      "no wall clocks, raw std random engines, or unordered iteration in "
      "model code"},

@@ -286,6 +286,67 @@ TEST(HotAllocRule, IgnoresColdFunctions) {
   EXPECT_TRUE(ncar::sxsema::check_hot_alloc(m).empty());
 }
 
+TEST(HotAllocRule, FlagsNumericStepRoots) {
+  // Mirrors testdata/bad/src/ocean/hot_alloc_step.cpp: `step` is a hot
+  // root since the zero-allocation hot-path work, so a per-step scratch
+  // vector is a finding.
+  Model m;
+  Function f = make_fn("src/ocean/hot_alloc_step.cpp", 10, "step",
+                       "ocean::BasinModel::step");
+  f.ops.push_back(op(OpKind::NewExpr, f.loc.file, 11));
+  m.functions.push_back(f);
+
+  const auto found = ncar::sxsema::check_hot_alloc(m);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].rule, "sema-hot-alloc");
+  EXPECT_EQ(found[0].message,
+            "hot path 'ocean::BasinModel::step' performs a "
+            "new-expression; charge paths must be allocation-free");
+}
+
+TEST(HotAllocRule, FlagsAllocationReachedFromAdvect) {
+  // `advect` reaching std::string construction one level down in the
+  // same TU is folded into the root, like charge_step call graphs.
+  Model m;
+  Function root = make_fn("src/ccm2/hot_alloc_advect.cpp", 14, "advect",
+                          "ccm2::Slt::advect");
+  CallSite call;
+  call.callee = "label_point";
+  call.callee_qualified = "ccm2::Slt::label_point";
+  call.loc = {root.loc.file, 15, 7};
+  root.calls.push_back(call);
+
+  Function callee = make_fn("src/ccm2/hot_alloc_advect.cpp", 20,
+                            "label_point", "ccm2::Slt::label_point");
+  callee.is_public = false;
+  callee.ops.push_back(op(OpKind::StringMake, callee.loc.file, 21));
+  m.functions.push_back(root);
+  m.functions.push_back(callee);
+
+  const auto found = ncar::sxsema::check_hot_alloc(m);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].message,
+            "hot path 'ccm2::Slt::advect' reaches std::string construction "
+            "via 'ccm2::Slt::label_point'; charge paths must be "
+            "allocation-free");
+}
+
+TEST(HotAllocRule, WorkspaceReusingStepIsClean) {
+  // Mirrors testdata/good/src/ocean/step_ok.cpp: a step() that only
+  // writes through preallocated workspace storage is not flagged even
+  // though the cold reset() path allocates.
+  Model m;
+  Function cold = make_fn("src/ocean/step_ok.cpp", 9, "reset",
+                          "ocean::BasinModel::reset");
+  cold.ops.push_back(
+      op(OpKind::ContainerGrowth, cold.loc.file, 10, "assign", "std::vector"));
+  Function hot = make_fn("src/ocean/step_ok.cpp", 13, "step",
+                         "ocean::BasinModel::step");
+  m.functions.push_back(cold);
+  m.functions.push_back(hot);
+  EXPECT_TRUE(ncar::sxsema::check_hot_alloc(m).empty());
+}
+
 // --- sema-untagged-charge --------------------------------------------------
 
 TEST(UntaggedChargeRule, FlagsOverloadWithoutCategory) {

@@ -1,0 +1,19 @@
+// BAD fixture (sema-hot-alloc): advect looks clean, but its same-TU
+// helper builds a std::string per departure point. The one-level inline
+// walk must attribute the allocation back to the hot root. One finding.
+#include <string>
+
+namespace ccm2 {
+class Slt {
+ public:
+  void advect(int points) {
+    for (int p = 0; p < points; ++p) label_point(p);
+  }
+
+ private:
+  void label_point(int p) {
+    last_label_ = std::string("pt-") + std::to_string(p);
+  }
+  std::string last_label_;
+};
+}  // namespace ccm2

@@ -1,0 +1,14 @@
+// BAD fixture (sema-hot-alloc): `step` is a numeric time-step root. A
+// per-step scratch allocation belongs in reset()/workspace setup, not on
+// the hot path. One finding.
+
+namespace ocean {
+class BasinModel {
+ public:
+  void step(unsigned cells) {
+    double* scratch = new double[cells];  // per-step allocation
+    scratch[0] = 0.0;
+    delete[] scratch;
+  }
+};
+}  // namespace ocean

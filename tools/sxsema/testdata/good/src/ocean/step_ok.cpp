@@ -1,0 +1,20 @@
+// GOOD fixture (sema-hot-alloc): the cold reset() path sizes the
+// workspace; the hot step() path and the helper it reaches only write
+// through preallocated storage. Nothing here may be flagged.
+#include <vector>
+
+namespace ocean {
+class BasinModel {
+ public:
+  void reset(unsigned cells) {
+    eta_.assign(cells, 0.0);  // cold setup path: allocation is fine here
+  }
+  void step(unsigned cells) {
+    for (unsigned c = 0; c < cells; ++c) relax(c);
+  }
+
+ private:
+  void relax(unsigned c) { eta_[c % eta_.size()] *= 0.99; }
+  std::vector<double> eta_;
+};
+}  // namespace ocean
