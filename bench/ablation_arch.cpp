@@ -141,6 +141,8 @@ int main(int argc, char** argv) {
   if (trace::mode() != trace::Mode::Off) {
     const auto cfg = sxs::MachineConfig::sx4_benchmarked();
     sxs::Node node(cfg);
+    // Streaming trace sink (SX4NCAR_TRACE=stream); inactive in other modes.
+    bench::StreamTrace stream(rep.aux_path("trace.sxt"), node);
     ccm2::Ccm2Config c;
     c.res = ccm2::t106l18();
     c.active_levels = 1;
@@ -149,6 +151,7 @@ int main(int argc, char** argv) {
     bench::print_attribution(std::cout, node);
     bench::report_attribution(rep, "ablation", node);
     bench::write_chrome_trace_file(rep.trace_path(), node);
+    stream.finish(rep);
   }
 
   return rep.finish(std::cout);

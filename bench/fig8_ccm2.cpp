@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
 
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
+  // Streaming trace sink (SX4NCAR_TRACE=stream); inactive in other modes.
+  bench::StreamTrace stream(rep.aux_path("trace.sxt"), node);
   const bool full = rep.full_mode();
 
   print_banner(std::cout,
@@ -91,6 +93,9 @@ int main(int argc, char** argv) {
   bench::report_attribution(rep, "fig8", node);
   if (bench::write_chrome_trace_file(rep.trace_path(), node)) {
     std::printf("chrome trace: %s\n", rep.trace_path().c_str());
+  }
+  if (stream.finish(rep)) {
+    std::printf("stream trace: %s\n", rep.aux_path("trace.sxt").c_str());
   }
   return rep.finish(std::cout);
 }

@@ -1,5 +1,6 @@
 #include "harness/trace_report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -46,6 +47,24 @@ void report_cpu_and_runtime(BenchReporter& rep, const std::string& prefix,
   report_rows(rep, prefix + ".attribution.node",
               trace::build_attribution(runtime), "seconds",
               /*fractions=*/false);
+  // Span buffers can saturate (SX4NCAR_TRACE_MAX_SPANS) or a stream sink
+  // can drop; surface the counts instead of letting a truncated trace
+  // read as a short run. Only span-recording modes can truncate, so
+  // summary-mode output stays unchanged.
+  if (trace::spans_enabled(trace::mode())) {
+    double dropped = 0.0;
+    double max_spans = 0.0;
+    for (const trace::Collector* c : cpus) {
+      dropped += static_cast<double>(c->dropped_spans());
+      max_spans = std::max(max_spans, static_cast<double>(c->max_spans()));
+    }
+    for (const trace::Collector* c : runtime) {
+      dropped += static_cast<double>(c->dropped_spans());
+      max_spans = std::max(max_spans, static_cast<double>(c->max_spans()));
+    }
+    rep.metric(prefix + ".trace.dropped_spans", dropped);
+    rep.metric(prefix + ".trace.max_spans", max_spans);
+  }
 }
 
 void print_rows(std::ostream& os, const trace::Attribution& attr,
@@ -152,6 +171,87 @@ bool write_chrome_trace_file(const std::string& path, const sxs::Node& node,
 void print_attribution(std::ostream& os, const sxs::Node& node) {
   if (trace::mode() == trace::Mode::Off) return;
   print_rows(os, trace::build_attribution(cpu_tracks(node)), "cycles");
+}
+
+StreamTrace::StreamTrace(const std::string& path, sxs::Node& node) {
+  if (trace::mode() != trace::Mode::Stream) return;
+  writer_ = trace::stream::Writer::open(path);
+  if (writer_ == nullptr) return;
+  attach_node(node, 0, "node0");
+}
+
+StreamTrace::StreamTrace(const std::string& path, sxs::Machine& machine) {
+  if (trace::mode() != trace::Mode::Stream) return;
+  writer_ = trace::stream::Writer::open(path);
+  if (writer_ == nullptr) return;
+  for (int n = 0; n < machine.node_count(); ++n) {
+    attach_node(machine.node(n), n, "node" + std::to_string(n));
+  }
+}
+
+StreamTrace::StreamTrace(const std::string& path, sxs::Node& node,
+                         trace::Collector& extra_track,
+                         const std::string& extra_name) {
+  if (trace::mode() != trace::Mode::Stream) return;
+  writer_ = trace::stream::Writer::open(path);
+  if (writer_ == nullptr) return;
+  attach_node(node, 0, "node0");
+  trace::stream::Writer::TrackSpec spec;
+  spec.pid = 1;
+  spec.tid = 0;
+  spec.process_name = extra_name;
+  spec.thread_name = extra_name;
+  attach(extra_track, spec);
+}
+
+StreamTrace::~StreamTrace() {
+  for (trace::Collector* c : attached_) c->set_stream_sink(nullptr);
+  // writer_ destructor finalises if finish() never ran.
+}
+
+void StreamTrace::attach_node(sxs::Node& node, int pid,
+                              const std::string& process_name) {
+  // Track order and identity mirror append_node_tracks exactly: runtime
+  // first on tid 0, then cpu i on tid i+1 with the Full-mode exporter's
+  // skip-empty-CPU-track rule carried as a footer flag.
+  trace::stream::Writer::TrackSpec spec;
+  spec.pid = pid;
+  spec.tid = 0;
+  spec.process_name = process_name;
+  spec.thread_name = "runtime";
+  attach(node.runtime_trace(), spec);
+  for (int i = 0; i < node.cpu_count(); ++i) {
+    spec.tid = i + 1;
+    spec.thread_name = "cpu" + std::to_string(i);
+    spec.skip_if_empty = true;
+    attach(node.cpu(i).trace(), spec);
+  }
+}
+
+void StreamTrace::attach(trace::Collector& collector,
+                         const trace::stream::Writer::TrackSpec& spec) {
+  trace::stream::Writer::TrackSpec full = spec;
+  full.seconds_per_tick = collector.seconds_per_tick();
+  full.max_spans = collector.max_spans();
+  collector.set_stream_sink(&writer_->add_track(full));
+  attached_.push_back(&collector);
+}
+
+bool StreamTrace::finish(BenchReporter& rep) {
+  if (!active()) return false;
+  for (trace::Collector* c : attached_) c->set_stream_sink(nullptr);
+  attached_.clear();
+  const bool ok = writer_->finalize();
+  const trace::stream::Writer::Stats& st = writer_->stats();
+  const std::string prefix = rep.name() + ".trace_stream";
+  const double events = static_cast<double>(st.events);
+  const double bytes = static_cast<double>(st.file_bytes);
+  rep.metric(prefix + ".events", events);
+  rep.metric(prefix + ".bytes", bytes, "bytes");
+  rep.metric(prefix + ".bytes_per_event", events > 0 ? bytes / events : 0.0);
+  rep.metric(prefix + ".dropped", static_cast<double>(st.dropped));
+  writer_.reset();
+  return ok;
 }
 
 void print_attribution(std::ostream& os, const sxs::Machine& machine) {

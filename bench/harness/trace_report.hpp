@@ -16,9 +16,12 @@
 // reproduces total.cycles bit-exactly (Other is the residual; see
 // trace/attribution.hpp). tests/trace/ asserts this on real benchmarks.
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/collector.hpp"
+#include "trace/stream/writer.hpp"
 
 namespace ncar::sxs {
 class Machine;
@@ -63,5 +66,42 @@ bool write_chrome_trace_file(const std::string& path, const sxs::Node& node,
 /// tracing is off.
 void print_attribution(std::ostream& os, const sxs::Node& node);
 void print_attribution(std::ostream& os, const sxs::Machine& machine);
+
+/// RAII session for SX4NCAR_TRACE=stream: opens a .sxt writer at `path`
+/// and wires every collector of the node/machine (plus an optional
+/// standalone track, mirroring the write_chrome_trace_file overloads) to
+/// a per-track streaming sink. Inactive — every method a no-op, nothing
+/// touched on disk — in any other mode, so benches construct one
+/// unconditionally.
+///
+/// Call finish(rep) after the run: it detaches the sinks, finalises the
+/// file, and lands `<bench>.trace_stream.{events,bytes,bytes_per_event,
+/// dropped}` on the reporter. The destructor detaches and finalises too
+/// (without metrics) if finish was never reached.
+class StreamTrace {
+public:
+  StreamTrace(const std::string& path, sxs::Node& node);
+  StreamTrace(const std::string& path, sxs::Machine& machine);
+  StreamTrace(const std::string& path, sxs::Node& node,
+              trace::Collector& extra_track, const std::string& extra_name);
+  ~StreamTrace();
+  StreamTrace(const StreamTrace&) = delete;
+  StreamTrace& operator=(const StreamTrace&) = delete;
+
+  /// True when a writer is open (mode was Stream and the file created).
+  bool active() const { return writer_ != nullptr; }
+
+  /// Finalise the .sxt and report the trace_stream metrics. Returns true
+  /// when a file was written successfully.
+  bool finish(BenchReporter& rep);
+
+private:
+  void attach_node(sxs::Node& node, int pid, const std::string& process_name);
+  void attach(trace::Collector& collector,
+              const trace::stream::Writer::TrackSpec& spec);
+
+  std::vector<trace::Collector*> attached_;
+  std::unique_ptr<trace::stream::Writer> writer_;
+};
 
 }  // namespace ncar::bench

@@ -50,6 +50,14 @@ int main(int argc, char** argv) {
   const auto cfg = sxs::MachineConfig::sx4_benchmarked();
   sxs::Node node(cfg);
 
+  // Scheduler track collector — declared ahead of the component
+  // measurements so the streaming sink can cover every span of the run.
+  trace::Collector sched_trace;
+  // Streaming trace sink (SX4NCAR_TRACE=stream); inactive in other modes.
+  // The scheduler rides along as its own pid, like the Chrome export.
+  bench::StreamTrace stream(rep.aux_path("trace.sxt"), node, sched_trace,
+                            "scheduler");
+
   // Component service times. CPU widths: T42 on 2 CPUs, T106 on 8, T170 on
   // 16 — the static Resource-Block style allocation of the benchmark run.
   const Seconds t42_20d = ccm2_days(node, ccm2::t42l18(), 2, 20.0);
@@ -84,7 +92,6 @@ int main(int argc, char** argv) {
   // Scheduler track: one span per completed job (start .. completion in
   // simulated seconds). The four tests each restart at t=0, so the Gantt
   // rows of a test overlay the previous test's — read them per-test.
-  trace::Collector sched_trace;
   sched.set_trace(&sched_trace);
 
   const Seconds test1 = sched.run({make_seq("seq1")}).makespan;
@@ -140,5 +147,6 @@ int main(int argc, char** argv) {
   bench::report_attribution(rep, "prodload.scheduler", sched_trace, "seconds");
   bench::write_chrome_trace_file(rep.trace_path(), node, sched_trace,
                                  "scheduler");
+  stream.finish(rep);
   return rep.finish(std::cout);
 }

@@ -7,27 +7,25 @@ namespace ncar::iosim {
 
 DiskSystem::DiskSystem(DiskConfig cfg) : cfg_(cfg) {
   NCAR_REQUIRE(cfg_.spindles >= 1, "need at least one spindle");
-  NCAR_REQUIRE(cfg_.media_bytes_per_s > 0 && cfg_.controller_bytes_per_s > 0,
+  NCAR_REQUIRE(cfg_.media_rate.value() > 0 && cfg_.controller_rate.value() > 0,
                "transfer rates must be positive");
-  NCAR_REQUIRE(cfg_.stripe_bytes > 0, "stripe unit must be positive");
+  NCAR_REQUIRE(cfg_.stripe.value() > 0, "stripe unit must be positive");
 }
 
 BytesPerSec DiskSystem::streaming_bytes_per_s() const {
-  return BytesPerSec(std::min(cfg_.controller_bytes_per_s,
-                              cfg_.media_bytes_per_s * cfg_.spindles));
+  return std::min(cfg_.controller_rate, cfg_.media_rate * cfg_.spindles);
 }
 
 Seconds DiskSystem::sequential_seconds(Bytes bytes) const {
   NCAR_REQUIRE(bytes.value() >= 0, "negative transfer size");
   if (bytes.value() == 0) return Seconds(0.0);
   // Striping engages one spindle per stripe unit, up to all spindles.
-  const double stripes =
-      std::ceil(bytes.value() / static_cast<double>(cfg_.stripe_bytes));
+  const double stripes = std::ceil(bytes / cfg_.stripe);
   const int active = static_cast<int>(
       std::min<double>(cfg_.spindles, std::max(1.0, stripes)));
-  const double rate =
-      std::min(cfg_.controller_bytes_per_s, cfg_.media_bytes_per_s * active);
-  return Seconds(cfg_.seek_s + cfg_.rotational_s + bytes.value() / rate);
+  const BytesPerSec rate =
+      std::min(cfg_.controller_rate, cfg_.media_rate * active);
+  return cfg_.seek + cfg_.rotational + bytes / rate;
 }
 
 Seconds DiskSystem::direct_access_seconds(long records, Bytes record_bytes,
@@ -39,32 +37,31 @@ Seconds DiskSystem::direct_access_seconds(long records, Bytes record_bytes,
   // overlaps across spindles and across concurrent writers, but no more
   // than `spindles` positioning streams exist.
   const int streams = std::min(cfg_.spindles, writers);
-  const double position_total =
-      static_cast<double>(records) * (cfg_.seek_s + cfg_.rotational_s) /
-      static_cast<double>(streams);
-  const double media_total = static_cast<double>(records) *
-                             record_bytes.value() /
-                             streaming_bytes_per_s().value();
+  const Seconds position_total = static_cast<double>(records) *
+                                 (cfg_.seek + cfg_.rotational) /
+                                 static_cast<double>(streams);
+  const Seconds media_total = static_cast<double>(records) * record_bytes /
+                              streaming_bytes_per_s();
   // Positioning and media overlap imperfectly: the slower one dominates,
   // the other contributes its non-overlapped tail.
-  return Seconds(std::max(position_total, media_total) +
-                 0.1 * std::min(position_total, media_total));
+  return std::max(position_total, media_total) +
+         0.1 * std::min(position_total, media_total);
 }
 
 void DiskSystem::record_transfer(Bytes bytes, Seconds seconds) {
   NCAR_REQUIRE(bytes.value() >= 0 && seconds.value() >= 0,
                "accounting values");
-  total_bytes_ += bytes.value();
+  total_bytes_ += bytes;
   if (trace_ != nullptr && seconds.value() > 0) {
-    trace_->add(trace::Category::IoDisk, busy_seconds_, seconds.value(),
-                "transfer");
+    trace_->add(trace::Category::IoDisk, busy_seconds_.value(),
+                seconds.value(), "transfer");
   }
-  busy_seconds_ += seconds.value();
+  busy_seconds_ += seconds;
 }
 
 void DiskSystem::reset_accounting() {
-  total_bytes_ = 0;
-  busy_seconds_ = 0;
+  total_bytes_ = Bytes();
+  busy_seconds_ = Seconds();
 }
 
 }  // namespace ncar::iosim

@@ -21,12 +21,12 @@
 namespace ncar::iosim {
 
 struct DiskConfig {
-  int spindles = 16;                ///< striped drive count
-  double seek_s = 8e-3;             ///< average seek
-  double rotational_s = 4e-3;       ///< average rotational latency (7200rpm/2)
-  double media_bytes_per_s = 9e6;   ///< per-spindle sustained media rate
-  double controller_bytes_per_s = 80e6;  ///< shared controller ceiling
-  long stripe_bytes = 256 * 1024;   ///< striping unit
+  int spindles = 16;                     ///< striped drive count
+  Seconds seek{8e-3};                    ///< average seek
+  Seconds rotational{4e-3};              ///< average rotational latency (7200rpm/2)
+  BytesPerSec media_rate{9e6};           ///< per-spindle sustained media rate
+  BytesPerSec controller_rate{80e6};     ///< shared controller ceiling
+  Bytes stripe{256.0 * 1024};            ///< striping unit
 };
 
 class DiskSystem {
@@ -50,8 +50,8 @@ public:
 
   // --- accounting ---------------------------------------------------------
   void record_transfer(Bytes bytes, Seconds seconds);
-  Bytes total_bytes() const { return Bytes(total_bytes_); }
-  Seconds busy_seconds() const { return Seconds(busy_seconds_); }
+  Bytes total_bytes() const { return total_bytes_; }
+  Seconds busy_seconds() const { return busy_seconds_; }
   void reset_accounting();
 
   /// Record transfers as io_disk activity on `t` (device-busy timeline:
@@ -61,8 +61,8 @@ public:
 
 private:
   DiskConfig cfg_;
-  double total_bytes_ = 0;
-  double busy_seconds_ = 0;
+  Bytes total_bytes_;
+  Seconds busy_seconds_;
   trace::Collector* trace_ = nullptr;
 };
 

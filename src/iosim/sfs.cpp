@@ -8,32 +8,35 @@ namespace ncar::iosim {
 
 Sfs::Sfs(const sxs::MachineConfig& machine, DiskSystem& disk, SfsConfig cfg)
     : cfg_(cfg), machine_(machine), disk_(&disk) {
-  NCAR_REQUIRE(cfg_.cache_bytes > 0, "cache size must be positive");
-  NCAR_REQUIRE(cfg_.staging_unit_bytes > 0, "staging unit must be positive");
-  NCAR_REQUIRE(Bytes(cfg_.cache_bytes) <= machine_.xmu_capacity_bytes,
+  NCAR_REQUIRE(cfg_.cache.value() > 0, "cache size must be positive");
+  NCAR_REQUIRE(cfg_.staging_unit.value() > 0,
+               "staging unit must be positive");
+  NCAR_REQUIRE(cfg_.cache <= machine_.xmu_capacity_bytes,
                "SFS cache cannot exceed the XMU capacity");
-  NCAR_REQUIRE(cfg_.staging_unit_bytes <= cfg_.cache_bytes,
+  NCAR_REQUIRE(cfg_.staging_unit <= cfg_.cache,
                "staging unit cannot exceed the cache");
 }
 
-double Sfs::xmu_seconds(double bytes) const {
-  return bytes / machine_.xmu_bandwidth().value();
+Seconds Sfs::xmu_seconds(Bytes bytes) const {
+  return bytes / machine_.xmu_bandwidth();
 }
 
-void Sfs::note(trace::Category c, double start, double seconds,
+void Sfs::note(trace::Category c, Seconds start, Seconds seconds,
                const char* tag) {
-  if (trace_ != nullptr && seconds > 0) trace_->add(c, start, seconds, tag);
+  if (trace_ != nullptr && seconds.value() > 0) {
+    trace_->add(c, start.value(), seconds.value(), tag);
+  }
 }
 
 void Sfs::arm_drain() {
-  if (dirty_ <= 0) {
+  if (dirty_.value() <= 0) {
     if (drain_done_.valid()) {
       calendar_.cancel(drain_done_);
       drain_done_ = {};
     }
     return;
   }
-  const Seconds done(now_ + dirty_ / disk_->streaming_bytes_per_s().value());
+  const Seconds done = now_ + dirty_ / disk_->streaming_bytes_per_s();
   if (drain_done_.valid() && calendar_.pending(drain_done_)) {
     calendar_.reschedule(drain_done_, done);
     return;
@@ -44,21 +47,21 @@ void Sfs::arm_drain() {
   });
 }
 
-void Sfs::drain_until(double t) {
+void Sfs::drain_until(Seconds t) {
   if (t <= now_) return;
   // Fire every calendar event inside the window, in order — the armed
   // drain-complete marker lands here when the cache runs dry mid-window.
-  while (!calendar_.empty() && calendar_.next_time() <= Seconds(t)) {
+  while (!calendar_.empty() && calendar_.next_time() <= t) {
     calendar_.pop().fn();
   }
-  const double window = t - now_;
-  const double stream_rate = disk_->streaming_bytes_per_s().value();
-  const double drained = std::min(dirty_, stream_rate * window);
-  if (drained > 0) {
-    disk_->record_transfer(Bytes(drained), Seconds(drained / stream_rate));
+  const Seconds window = t - now_;
+  const BytesPerSec stream_rate = disk_->streaming_bytes_per_s();
+  const Bytes drained = std::min(dirty_, stream_rate * window);
+  if (drained.value() > 0) {
+    disk_->record_transfer(drained, drained / stream_rate);
     note(trace::Category::IoDisk, now_, drained / stream_rate, "drain");
     dirty_ -= drained;
-    resident_ = std::min(cfg_.cache_bytes, resident_ + drained);
+    resident_ = std::min(cfg_.cache, resident_ + drained);
   }
   now_ = t;
   arm_drain();
@@ -66,41 +69,40 @@ void Sfs::drain_until(double t) {
 
 void Sfs::advance(Seconds seconds) {
   NCAR_REQUIRE(seconds.value() >= 0, "negative advance");
-  drain_until(now_ + seconds.value());
+  drain_until(now_ + seconds);
 }
 
-Seconds Sfs::write(Bytes bytes_q) {
-  const double bytes = bytes_q.value();
-  NCAR_REQUIRE(bytes >= 0, "negative write size");
-  if (bytes == 0) return Seconds(0.0);
+Seconds Sfs::write(Bytes bytes) {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative write size");
+  if (bytes.value() == 0) return Seconds(0.0);
   written_ += bytes;
-  double wait = 0;
 
   if (cfg_.method == WriteBackMethod::WriteThrough) {
-    const double xmu_t = xmu_seconds(bytes);
-    const double disk_t = disk_->sequential_seconds(bytes_q).value();
-    const double t = xmu_t + disk_t;
-    disk_->record_transfer(bytes_q, disk_->sequential_seconds(bytes_q));
+    const Seconds xmu_t = xmu_seconds(bytes);
+    const Seconds disk_t = disk_->sequential_seconds(bytes);
+    const Seconds t = xmu_t + disk_t;
+    disk_->record_transfer(bytes, disk_->sequential_seconds(bytes));
     note(trace::Category::IoXmu, now_, xmu_t, "write_through");
     note(trace::Category::IoDisk, now_ + xmu_t, disk_t, "write_through");
     drain_until(now_ + t);
-    return Seconds(t);
+    return t;
   }
 
   // Write-back in staging units: each unit lands at XMU speed once there
   // is cache room; when the cache is full the caller stalls on the drain.
-  double remaining = bytes;
-  while (remaining > 0) {
-    const double unit = std::min(remaining, cfg_.staging_unit_bytes);
-    const double free_space = cfg_.cache_bytes - dirty_;
+  Seconds wait;
+  Bytes remaining = bytes;
+  while (remaining.value() > 0) {
+    const Bytes unit = std::min(remaining, cfg_.staging_unit);
+    const Bytes free_space = cfg_.cache - dirty_;
     if (unit > free_space) {
       // Wait for the drain to make room for this staging unit.
-      const double need = unit - free_space;
-      const double stall = need / disk_->streaming_bytes_per_s().value();
+      const Bytes need = unit - free_space;
+      const Seconds stall = need / disk_->streaming_bytes_per_s();
       drain_until(now_ + stall);
       wait += stall;
     }
-    const double t = xmu_seconds(unit);
+    const Seconds t = xmu_seconds(unit);
     note(trace::Category::IoXmu, now_, t, "write_back");
     drain_until(now_ + t);
     wait += t;
@@ -108,35 +110,33 @@ Seconds Sfs::write(Bytes bytes_q) {
     remaining -= unit;
     arm_drain();
   }
-  return Seconds(wait);
+  return wait;
 }
 
-Seconds Sfs::read(Bytes bytes_q) {
-  const double bytes = bytes_q.value();
-  NCAR_REQUIRE(bytes >= 0, "negative read size");
-  if (bytes == 0) return Seconds(0.0);
-  const double cached = std::min(bytes, resident_ + dirty_);
-  const double from_disk = bytes - cached;
-  double t = xmu_seconds(cached);
+Seconds Sfs::read(Bytes bytes) {
+  NCAR_REQUIRE(bytes.value() >= 0, "negative read size");
+  if (bytes.value() == 0) return Seconds(0.0);
+  const Bytes cached = std::min(bytes, resident_ + dirty_);
+  const Bytes from_disk = bytes - cached;
+  Seconds t = xmu_seconds(cached);
   note(trace::Category::IoXmu, now_, t, "read");
-  if (from_disk > 0) {
-    const double disk_t = disk_->sequential_seconds(Bytes(from_disk)).value();
+  if (from_disk.value() > 0) {
+    const Seconds disk_t = disk_->sequential_seconds(from_disk);
     note(trace::Category::IoDisk, now_ + t, disk_t, "read");
     t += disk_t;
-    disk_->record_transfer(Bytes(from_disk),
-                           disk_->sequential_seconds(Bytes(from_disk)));
+    disk_->record_transfer(from_disk, disk_->sequential_seconds(from_disk));
   }
   drain_until(now_ + t);
-  return Seconds(t);
+  return t;
 }
 
 Seconds Sfs::drain_seconds() const {
-  return Seconds(dirty_ / disk_->streaming_bytes_per_s().value());
+  return dirty_ / disk_->streaming_bytes_per_s();
 }
 
 Seconds Sfs::flush() {
   const Seconds wait = drain_seconds();
-  drain_until(now_ + wait.value());
+  drain_until(now_ + wait);
   return wait;
 }
 

@@ -35,9 +35,9 @@ enum class WriteBackMethod {
 };
 
 struct SfsConfig {
-  double cache_bytes = 4.0 * 1024 * 1024 * 1024;  ///< XMU space given to SFS
+  Bytes cache{4.0 * 1024 * 1024 * 1024};  ///< XMU space given to SFS
   WriteBackMethod method = WriteBackMethod::WriteBack;
-  double staging_unit_bytes = 4.0 * 1024 * 1024;  ///< drain granularity
+  Bytes staging_unit{4.0 * 1024 * 1024};  ///< drain granularity
 };
 
 class Sfs {
@@ -48,7 +48,7 @@ public:
   const SfsConfig& config() const { return cfg_; }
 
   /// Current simulated time of the file system clock.
-  Seconds now() const { return Seconds(now_); }
+  Seconds now() const { return now_; }
   /// Advance the clock (compute happening elsewhere); the drain proceeds.
   void advance(Seconds seconds);
 
@@ -61,7 +61,7 @@ public:
   Seconds read(Bytes bytes);
 
   /// Bytes currently dirty in the XMU cache awaiting drain.
-  Bytes dirty_bytes() const { return Bytes(dirty_); }
+  Bytes dirty_bytes() const { return dirty_; }
   /// Seconds until the cache is fully drained at disk speed.
   Seconds drain_seconds() const;
   /// Wait for the drain to finish (e.g. before a checkpoint); returns the
@@ -69,7 +69,7 @@ public:
   Seconds flush();
 
   /// Total bytes accepted.
-  Bytes bytes_written() const { return Bytes(written_); }
+  Bytes bytes_written() const { return written_; }
 
   /// The file system's event calendar (exposed for tests: holds exactly
   /// one pending "drain complete" event while dirty bytes remain).
@@ -83,11 +83,11 @@ public:
   void set_trace(trace::Collector* t) { trace_ = t; }
 
 private:
-  double xmu_seconds(double bytes) const;
-  void drain_until(double t);
+  Seconds xmu_seconds(Bytes bytes) const;
+  void drain_until(Seconds t);
   /// Keep the single drain-complete event consistent with dirty_.
   void arm_drain();
-  void note(trace::Category c, double start, double seconds,
+  void note(trace::Category c, Seconds start, Seconds seconds,
             const char* tag);
 
   SfsConfig cfg_;
@@ -96,10 +96,10 @@ private:
   des::Calendar calendar_;
   des::EventId drain_done_{};
   std::uint64_t drain_completions_ = 0;
-  double now_ = 0;
-  double dirty_ = 0;
-  double resident_ = 0;  ///< clean cached bytes (for reads)
-  double written_ = 0;
+  Seconds now_;
+  Bytes dirty_;
+  Bytes resident_;  ///< clean cached bytes (for reads)
+  Bytes written_;
   trace::Collector* trace_ = nullptr;
 };
 

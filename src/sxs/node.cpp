@@ -112,7 +112,7 @@ double Node::parallel(int ncpu, const std::function<void(int, Cpu&)>& body) {
   runtime_trace_.count(trace::Category::Idle,
                        idle_cycles / ncpu * cfg_.seconds_per_clock());
   runtime_trace_.count(trace::Category::Barrier, barrier);
-  if (trace::mode() == trace::Mode::Full) {
+  if (trace::spans_enabled(trace::mode())) {
     runtime_trace_.span(trace::Category::Barrier,
                         elapsed_ + max_delta * cfg_.seconds_per_clock(),
                         barrier, "barrier");

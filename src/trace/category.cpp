@@ -44,6 +44,7 @@ Mode mode_from_env(const char* value) {
   if (value == nullptr || *value == '\0') return Mode::Off;
   if (std::strcmp(value, "summary") == 0) return Mode::Summary;
   if (std::strcmp(value, "full") == 0) return Mode::Full;
+  if (std::strcmp(value, "stream") == 0) return Mode::Stream;
   return Mode::Off;
 }
 
@@ -70,6 +71,7 @@ const char* to_string(Mode m) {
     case Mode::Off: return "off";
     case Mode::Summary: return "summary";
     case Mode::Full: return "full";
+    case Mode::Stream: return "stream";
   }
   return "off";
 }

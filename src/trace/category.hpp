@@ -80,11 +80,19 @@ constexpr bool is_charged_category(Category c) {
 enum class Mode : std::uint8_t {
   Off,      ///< aggregate counters only, nothing exported
   Summary,  ///< + refined splits and attribution tables in bench JSON
-  Full,     ///< + per-span ring buffers and Chrome trace export
+  Full,     ///< + per-span buffers and Chrome trace export
+  Stream,   ///< + spans streamed to a binary .sxt sink (trace/stream/)
 };
 
-/// Pure parse of the SX4NCAR_TRACE value ("off" | "summary" | "full";
-/// unset/empty/unknown -> Off). Exposed for tests.
+/// True when the current mode records spans at all — Full keeps them in the
+/// Collector's in-memory buffer, Stream forwards them to the attached
+/// binary sink. Summary/Off record counters only.
+constexpr bool spans_enabled(Mode m) {
+  return m == Mode::Full || m == Mode::Stream;
+}
+
+/// Pure parse of the SX4NCAR_TRACE value ("off" | "summary" | "full" |
+/// "stream"; unset/empty/unknown -> Off). Exposed for tests.
 Mode mode_from_env(const char* value);
 
 /// Process-wide tracing mode: initialised from SX4NCAR_TRACE on first use.

@@ -58,7 +58,9 @@ void write_chrome_trace(std::ostream& os,
   bool first = true;
 
   // Metadata: one process_name per distinct pid (first track wins), one
-  // thread_name per track.
+  // thread_name per track, plus a truncation marker on any track whose
+  // collector had to drop spans — a trace that silently lost its tail
+  // would otherwise read as a short run.
   int last_named_pid = -1;
   for (const TraceTrack& t : tracks) {
     if (t.pid != last_named_pid) {
@@ -66,6 +68,14 @@ void write_chrome_trace(std::ostream& os,
       last_named_pid = t.pid;
     }
     write_metadata(os, "thread_name", t.pid, t.tid, t.thread_name, first);
+    if (t.collector->dropped_spans() > 0) {
+      if (!first) os << ",\n";
+      first = false;
+      os << R"({"name":"trace_dropped_spans","ph":"M","pid":)" << t.pid
+         << R"(,"tid":)" << t.tid << R"(,"args":{"dropped":)"
+         << t.collector->dropped_spans() << R"(,"max_spans":)"
+         << t.collector->max_spans() << "}}";
+    }
   }
 
   for (const TraceTrack& t : tracks) {

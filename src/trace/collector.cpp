@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "trace/stream/sink.hpp"
+
 namespace ncar::trace {
 
 namespace {
@@ -28,8 +30,19 @@ Collector::Collector(double seconds_per_tick, std::size_t max_spans)
 
 void Collector::span(Category c, double start, double ticks,
                      const char* tag) {
-  if (mode() != Mode::Full) return;
+  const Mode m = mode();
+  if (!spans_enabled(m)) return;
   if (ticks <= 0) return;  // zero-width boxes only clutter the timeline
+  if (m == Mode::Stream) {
+    // Streamed spans never touch the in-memory buffer: bounded memory is
+    // the sink ring's job, and its drop counter stands in for ours.
+    if (stream_ != nullptr) {
+      stream_->record(c, start, ticks, tag);
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -60,6 +73,7 @@ void Collector::reset() {
   for (double& c : category_) c = 0;
   spans_.clear();
   dropped_ = 0;
+  if (stream_ != nullptr) stream_->on_reset();
 }
 
 }  // namespace ncar::trace

@@ -33,6 +33,10 @@
 
 namespace ncar::trace {
 
+namespace stream {
+class TrackSink;
+}  // namespace stream
+
 struct Span {
   double start = 0;     ///< track-local time, in the owner's ticks
   double duration = 0;  ///< ticks
@@ -58,9 +62,16 @@ public:
     category_[static_cast<std::size_t>(c)] += ticks;
   }
 
-  // --- spans (Mode::Full only) -------------------------------------------
-  /// Append a span if full-span mode is on and the buffer has room.
+  // --- spans (Mode::Full and Mode::Stream) -------------------------------
+  /// Record a span: appended to the in-memory buffer in Mode::Full (while
+  /// it has room), forwarded to the attached streaming sink in
+  /// Mode::Stream (dropped and counted when none is attached).
   void span(Category c, double start, double ticks, const char* tag);
+
+  /// Attach/detach the Mode::Stream destination. The sink must outlive
+  /// every span() call that can see it; pass nullptr to detach.
+  void set_stream_sink(stream::TrackSink* sink) { stream_ = sink; }
+  stream::TrackSink* stream_sink() const { return stream_; }
 
   /// Convenience for simple tracks: total + category counter + span.
   void add(Category c, double start, double ticks, const char* tag);
@@ -80,8 +91,19 @@ public:
   const char* intern(std::string_view name);
 
   /// Zero counters and drop recorded spans (capacity and interned tags are
-  /// kept — they are evaluator details, like the op-cost caches).
+  /// kept — they are evaluator details, like the op-cost caches). An
+  /// attached streaming sink starts a new epoch.
   void reset();
+
+  // --- offline reconstruction (sxtrace converter) ------------------------
+  /// Append a span unconditionally, bypassing mode and capacity checks.
+  /// Only the .sxt converter uses this, to rebuild a Collector whose span
+  /// buffer is bit-identical to the live run's.
+  void restore_span(Category c, double start, double ticks, const char* tag) {
+    spans_.push_back(Span{start, ticks, c, tag});
+  }
+  /// Companion to restore_span: reinstate the recorded drop count.
+  void restore_dropped_spans(std::uint64_t dropped) { dropped_ = dropped; }
 
 private:
   double seconds_per_tick_;
@@ -90,6 +112,7 @@ private:
   double category_[kCategoryCount] = {};
   std::vector<Span> spans_;
   std::uint64_t dropped_ = 0;
+  stream::TrackSink* stream_ = nullptr;
   std::deque<std::string> interned_;
 };
 

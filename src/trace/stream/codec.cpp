@@ -1,0 +1,87 @@
+#include "trace/stream/codec.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "trace/stream/varint.hpp"
+
+namespace ncar::trace::stream {
+
+namespace {
+
+inline std::uint64_t bits_of(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+inline double double_of(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+// Tag ids above this bound predict 0.0 instead of growing the table —
+// a bound on decoder memory for hostile inputs, unreachable for real
+// traces (tag cardinality is the op-table size).
+constexpr std::size_t kMaxPredictedTags = 4096;
+
+}  // namespace
+
+// Duration prediction is per tag: an op's cost repeats bit-identically
+// across timesteps (the per-CPU cost caches guarantee it), so the last
+// duration seen for the same tag id is a far better predictor than the
+// chronological neighbour, which alternates between unrelated ops. The
+// table resets at every chunk boundary — chunks decode independently —
+// and grows on first sighting of a tag id (predicting 0.0).
+std::size_t encode_records(const RawRecord* records, std::size_t n,
+                           std::uint8_t* out) {
+  std::size_t pos = 0;
+  double pred_start = 0.0;
+  std::vector<double> last_duration;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RawRecord& r = records[i];
+    const std::uint64_t header =
+        (static_cast<std::uint64_t>(r.tag) << 4) |
+        static_cast<std::uint64_t>(r.category & 0x0F);
+    double fallback = 0.0;
+    if (r.tag < kMaxPredictedTags && r.tag >= last_duration.size()) {
+      last_duration.resize(static_cast<std::size_t>(r.tag) + 1, 0.0);
+    }
+    double& pred_duration =
+        r.tag < kMaxPredictedTags ? last_duration[r.tag] : fallback;
+    pos += put_varint(out + pos, header);
+    pos += put_varint(out + pos, bits_of(r.start) ^ bits_of(pred_start));
+    pos += put_varint(out + pos,
+                      bits_of(r.duration) ^ bits_of(pred_duration));
+    pred_start = r.start + r.duration;
+    pred_duration = r.duration;
+  }
+  return pos;
+}
+
+bool decode_records(const std::uint8_t* in, std::size_t len, std::size_t n,
+                    RawRecord* out) {
+  std::size_t pos = 0;
+  double pred_start = 0.0;
+  std::vector<double> last_duration;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t header = 0, start_xor = 0, duration_xor = 0;
+    if (!get_varint(in, len, pos, header) ||
+        !get_varint(in, len, pos, start_xor) ||
+        !get_varint(in, len, pos, duration_xor)) {
+      return false;
+    }
+    if ((header >> 4) > 0xFFFFFFFFull) return false;  // tag id overflow
+    RawRecord& r = out[i];
+    r.category = static_cast<std::uint8_t>(header & 0x0F);
+    r.tag = static_cast<std::uint32_t>(header >> 4);
+    double fallback = 0.0;
+    if (r.tag < kMaxPredictedTags && r.tag >= last_duration.size()) {
+      last_duration.resize(static_cast<std::size_t>(r.tag) + 1, 0.0);
+    }
+    double& pred_duration =
+        r.tag < kMaxPredictedTags ? last_duration[r.tag] : fallback;
+    r.start = double_of(bits_of(pred_start) ^ start_xor);
+    r.duration = double_of(bits_of(pred_duration) ^ duration_xor);
+    pred_start = r.start + r.duration;
+    pred_duration = r.duration;
+  }
+  return pos == len;
+}
+
+}  // namespace ncar::trace::stream

@@ -1,0 +1,37 @@
+#include "trace/stream/convert.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "trace/chrome_trace.hpp"
+#include "trace/collector.hpp"
+
+namespace ncar::trace::stream {
+
+void write_chrome_json(const SxtFile& file, std::ostream& os) {
+  // deque: TraceTrack keeps Collector pointers, so addresses must hold
+  // while tracks accumulate.
+  std::deque<Collector> collectors;
+  std::vector<TraceTrack> tracks;
+  for (const TrackData& track : file.tracks) {
+    if (track.skip_if_empty && track.spans.empty()) continue;
+    Collector& c = collectors.emplace_back(
+        track.seconds_per_tick,
+        static_cast<std::size_t>(track.max_spans));
+    std::vector<const char*> interned;
+    interned.reserve(track.tags.size());
+    for (const std::string& tag : track.tags) {
+      interned.push_back(c.intern(tag));
+    }
+    for (const RawRecord& r : track.spans) {
+      c.restore_span(static_cast<Category>(r.category), r.start, r.duration,
+                     interned[r.tag]);
+    }
+    c.restore_dropped_spans(track.dropped);
+    tracks.push_back(TraceTrack{&c, track.pid, track.tid, track.process_name,
+                                track.thread_name});
+  }
+  write_chrome_trace(os, tracks);
+}
+
+}  // namespace ncar::trace::stream

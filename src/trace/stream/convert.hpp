@@ -1,0 +1,23 @@
+#pragma once
+// Offline .sxt → Chrome trace_event conversion.
+//
+// The converter does not reimplement the JSON exporter: it rebuilds one
+// Collector per recorded track (restore_span on the bit-exact decoded
+// doubles, tags re-interned, drop counts reinstated) and hands them to
+// the very same trace::write_chrome_trace the live Mode::Full path uses.
+// For a run with no sink drops, the JSON that comes out is byte-identical
+// to what SX4NCAR_TRACE=full would have written — that is the subsystem's
+// core correctness claim and what the round-trip tests pin.
+
+#include <iosfwd>
+
+#include "trace/stream/reader.hpp"
+
+namespace ncar::trace::stream {
+
+/// Emit Chrome trace_event JSON for `file` to `os`. Tracks flagged
+/// skip-if-empty that carry no spans are omitted, matching the bench
+/// harness's empty-CPU-track rule.
+void write_chrome_json(const SxtFile& file, std::ostream& os);
+
+}  // namespace ncar::trace::stream

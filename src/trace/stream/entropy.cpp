@@ -1,0 +1,313 @@
+#include "trace/stream/entropy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "trace/stream/varint.hpp"
+
+namespace ncar::trace::stream {
+
+namespace {
+
+constexpr int kTableLog = 10;
+constexpr std::uint32_t kTableSize = 1u << kTableLog;
+constexpr std::uint32_t kTableMask = kTableSize - 1;
+constexpr std::uint32_t kSpreadStep =
+    (kTableSize >> 1) + (kTableSize >> 3) + 3;  // coprime with kTableSize
+
+constexpr std::uint8_t kModeRle = 0;   // one distinct byte value
+constexpr std::uint8_t kModeTans = 1;  // histogram + state + bitstream
+
+/// Scale the raw histogram to counts summing to exactly kTableSize, every
+/// present symbol keeping at least one slot. Deterministic: floor-scale,
+/// then push the remainder onto the most frequent symbol (ties to the
+/// lowest byte value), stealing slots back from the largest normalised
+/// counts when the floors overshoot.
+void normalise(const std::array<std::uint64_t, 256>& count,
+               std::uint64_t total, std::array<std::uint32_t, 256>& norm) {
+  norm.fill(0);
+  std::uint64_t sum = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (count[static_cast<std::size_t>(s)] == 0) continue;
+    const std::uint64_t scaled =
+        count[static_cast<std::size_t>(s)] * kTableSize / total;
+    norm[static_cast<std::size_t>(s)] =
+        static_cast<std::uint32_t>(std::max<std::uint64_t>(1, scaled));
+    sum += norm[static_cast<std::size_t>(s)];
+  }
+  while (sum > kTableSize) {
+    int big = -1;
+    for (int s = 0; s < 256; ++s) {
+      if (norm[static_cast<std::size_t>(s)] > 1 &&
+          (big < 0 || norm[static_cast<std::size_t>(s)] >
+                          norm[static_cast<std::size_t>(big)])) {
+        big = s;
+      }
+    }
+    --norm[static_cast<std::size_t>(big)];
+    --sum;
+  }
+  if (sum < kTableSize) {
+    int top = 0;
+    for (int s = 1; s < 256; ++s) {
+      if (count[static_cast<std::size_t>(s)] >
+          count[static_cast<std::size_t>(top)]) {
+        top = s;
+      }
+    }
+    norm[static_cast<std::size_t>(top)] +=
+        static_cast<std::uint32_t>(kTableSize - sum);
+  }
+}
+
+struct DecodeCell {
+  std::uint16_t base = 0;  ///< (sub_state << nb) - kTableSize
+  std::uint8_t symbol = 0;
+  std::uint8_t nb = 0;  ///< bits to pull from the stream
+};
+
+/// Per-symbol encode constants (the FSE formulation): the bit count for a
+/// state is (state + delta_nb_bits) >> 16 — the 16.16 fixed-point delta
+/// folds the "one fewer bit below min_state" boundary into an add and a
+/// shift, replacing a per-byte search loop.
+struct SymbolTransform {
+  std::uint32_t delta_nb_bits = 0;
+  std::int32_t delta_find_state = 0;  ///< cum[s] - norm[s]
+};
+
+/// Stack-resident coding tables (~9 KB): the encoder transition table is
+/// flat — per-symbol slices located by the cumulative normalised counts —
+/// so building and using it never allocates.
+struct Tables {
+  std::array<DecodeCell, kTableSize> decode;
+  std::array<std::uint16_t, kTableSize> encode;
+  std::array<SymbolTransform, 256> tt;
+};
+
+void build_tables(const std::array<std::uint32_t, 256>& norm, Tables& t) {
+  std::array<std::uint8_t, kTableSize> spread{};
+  std::uint32_t pos = 0;
+  for (int s = 0; s < 256; ++s) {
+    for (std::uint32_t k = 0; k < norm[static_cast<std::size_t>(s)]; ++k) {
+      spread[pos] = static_cast<std::uint8_t>(s);
+      pos = (pos + kSpreadStep) & kTableMask;
+    }
+  }
+  std::uint32_t running = 0;
+  std::array<std::uint32_t, 256> cum{};
+  std::array<std::uint32_t, 256> next{};
+  for (int s = 0; s < 256; ++s) {
+    const auto u = static_cast<std::size_t>(s);
+    cum[u] = running;
+    running += norm[u];
+    next[u] = norm[u];
+    if (norm[u] > 0) {
+      // Most bits a state can shed for this symbol; states below
+      // norm << max_bits shed one fewer, which the 16.16 delta encodes
+      // as the borrow out of the low half.
+      const auto max_bits =
+          static_cast<std::uint32_t>(kTableLog + 1 - std::bit_width(norm[u] - 1));
+      t.tt[u].delta_nb_bits = (max_bits << 16) - (norm[u] << max_bits);
+      t.tt[u].delta_find_state =
+          static_cast<std::int32_t>(cum[u]) - static_cast<std::int32_t>(norm[u]);
+    }
+  }
+  for (std::uint32_t i = 0; i < kTableSize; ++i) {
+    const std::uint8_t s = spread[i];
+    const std::uint32_t sub = next[s]++;  // in [norm[s], 2*norm[s])
+    const int nb = kTableLog + 1 - std::bit_width(sub);
+    t.decode[i].symbol = s;
+    t.decode[i].nb = static_cast<std::uint8_t>(nb);
+    t.decode[i].base = static_cast<std::uint16_t>(
+        (sub << static_cast<std::uint32_t>(nb)) - kTableSize);
+    // Slice index for symbol s: sub runs [norm[s], 2*norm[s]), so
+    // cum[s] + (sub - norm[s]) lands in [cum[s], cum[s] + norm[s]).
+    t.encode[cum[s] + sub - norm[s]] =
+        static_cast<std::uint16_t>(kTableSize + i);
+  }
+}
+
+/// LSB-first bit packer over a caller-guaranteed buffer (worst case is
+/// kTableLog+1 bits per symbol plus eight bytes of store slack; callers
+/// size for it up front). Each put() stores the accumulator as one
+/// little-endian 64-bit word and advances by the completed bytes — no
+/// per-byte loop; a spill loop covers big-endian hosts.
+class BitWriter {
+public:
+  explicit BitWriter(std::uint8_t* out) : out_(out) {}
+  void put(std::uint32_t value, std::uint32_t nbits) {
+    acc_ |= static_cast<std::uint64_t>(value) << filled_;
+    filled_ += nbits;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out_, &acc_, 8);
+      out_ += filled_ >> 3;
+      acc_ >>= filled_ & ~7u;
+      filled_ &= 7u;
+    } else {
+      while (filled_ >= 8) {
+        *out_++ = static_cast<std::uint8_t>(acc_ & 0xFF);
+        acc_ >>= 8;
+        filled_ -= 8;
+      }
+    }
+    total_bits_ += nbits;
+  }
+  std::size_t flush() {
+    if (filled_ > 0) {
+      *out_ = static_cast<std::uint8_t>(acc_ & 0xFF);
+      acc_ = 0;
+      filled_ = 0;
+    }
+    return static_cast<std::size_t>((total_bits_ + 7) / 8);
+  }
+  std::uint64_t total_bits() const { return total_bits_; }
+
+private:
+  std::uint8_t* out_;
+  std::uint64_t acc_ = 0;
+  std::uint32_t filled_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// Pops bits in the reverse of the order BitWriter pushed them — the
+/// encoder walks the input backwards, so the decoder, walking forwards,
+/// consumes the stream from its tail.
+class ReverseBitReader {
+public:
+  ReverseBitReader(const std::uint8_t* bytes, std::uint64_t total_bits)
+      : bytes_(bytes), pos_(total_bits) {}
+
+  bool pop(int nbits, std::uint32_t& out) {
+    if (pos_ < static_cast<std::uint64_t>(nbits)) return false;
+    pos_ -= static_cast<std::uint64_t>(nbits);
+    std::uint32_t v = 0;
+    for (int b = 0; b < nbits; ++b) {
+      const std::uint64_t bit = pos_ + static_cast<std::uint64_t>(b);
+      const std::uint8_t byte = bytes_[bit >> 3];
+      v |= static_cast<std::uint32_t>((byte >> (bit & 7)) & 1u) << b;
+    }
+    out = v;
+    return true;
+  }
+
+private:
+  const std::uint8_t* bytes_;
+  std::uint64_t pos_;
+};
+
+}  // namespace
+
+bool entropy_pack(const std::uint8_t* data, std::size_t n,
+                  std::vector<std::uint8_t>& out, EntropyWorkspace& ws) {
+  if (n < 2) return false;
+
+  // Four interleaved sub-histograms: stage-1 bytes are dominated by one
+  // value (0x00), and a single counter array would serialise every
+  // increment on the same slot.
+  std::array<std::uint32_t, 256> c0{}, c1{}, c2{}, c3{};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ++c0[data[i]];
+    ++c1[data[i + 1]];
+    ++c2[data[i + 2]];
+    ++c3[data[i + 3]];
+  }
+  for (; i < n; ++i) ++c0[data[i]];
+  std::array<std::uint64_t, 256> count{};
+  for (int s = 0; s < 256; ++s) {
+    const auto u = static_cast<std::size_t>(s);
+    count[u] = static_cast<std::uint64_t>(c0[u]) + c1[u] + c2[u] + c3[u];
+  }
+  int distinct = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (count[static_cast<std::size_t>(s)] != 0) ++distinct;
+  }
+  if (distinct == 1) {
+    out.assign({kModeRle, data[0]});
+    return out.size() < n;
+  }
+
+  std::array<std::uint32_t, 256> norm{};
+  normalise(count, static_cast<std::uint64_t>(n), norm);
+  Tables tables;
+  build_tables(norm, tables);
+
+  // Worst case kTableLog+1 bits per input byte, plus accumulator slack.
+  ws.bitstream.resize(n * (kTableLog + 1) / 8 + 16);
+  BitWriter bits(ws.bitstream.data());
+  std::uint32_t state = kTableSize;  // any state in [size, 2*size) works
+  for (std::size_t j = n; j-- > 0;) {
+    const SymbolTransform& tt = tables.tt[data[j]];
+    const std::uint32_t nb = (state + tt.delta_nb_bits) >> 16;
+    bits.put(state & ((1u << nb) - 1u), nb);
+    state = tables.encode[static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(state >> nb) + tt.delta_find_state)];
+  }
+  const std::size_t stream_bytes = bits.flush();
+
+  out.clear();
+  out.reserve(300 + stream_bytes);
+  out.push_back(kModeTans);
+  std::uint8_t scratch[kMaxVarintBytes];
+  for (int s = 0; s < 256; ++s) {
+    const std::size_t len =
+        put_varint(scratch, norm[static_cast<std::size_t>(s)]);
+    out.insert(out.end(), scratch, scratch + len);
+  }
+  std::size_t len = put_varint(scratch, state - kTableSize);
+  out.insert(out.end(), scratch, scratch + len);
+  len = put_varint(scratch, bits.total_bits());
+  out.insert(out.end(), scratch, scratch + len);
+  out.insert(out.end(), ws.bitstream.data(),
+             ws.bitstream.data() + stream_bytes);
+  return out.size() < n;
+}
+
+bool entropy_unpack(const std::uint8_t* data, std::size_t n,
+                    std::size_t raw_size, std::vector<std::uint8_t>& out) {
+  if (n == 0) return false;
+  const std::uint8_t packed_mode = data[0];
+  if (packed_mode == kModeRle) {
+    if (n != 2) return false;
+    out.assign(raw_size, data[1]);
+    return true;
+  }
+  if (packed_mode != kModeTans) return false;
+
+  std::size_t pos = 1;
+  std::array<std::uint32_t, 256> norm{};
+  std::uint64_t sum = 0;
+  for (int s = 0; s < 256; ++s) {
+    std::uint64_t v = 0;
+    if (!get_varint(data, n, pos, v) || v > kTableSize) return false;
+    norm[static_cast<std::size_t>(s)] = static_cast<std::uint32_t>(v);
+    sum += v;
+  }
+  if (sum != kTableSize) return false;
+  std::uint64_t state64 = 0, total_bits = 0;
+  if (!get_varint(data, n, pos, state64) || state64 >= kTableSize) {
+    return false;
+  }
+  if (!get_varint(data, n, pos, total_bits)) return false;
+  const std::size_t stream_bytes = n - pos;
+  if (total_bits > static_cast<std::uint64_t>(stream_bytes) * 8) return false;
+
+  Tables tables;
+  build_tables(norm, tables);
+
+  out.assign(raw_size, 0);
+  ReverseBitReader bits(data + pos, total_bits);
+  std::uint32_t state = static_cast<std::uint32_t>(state64);
+  for (std::size_t i = 0; i < raw_size; ++i) {
+    const DecodeCell& cell = tables.decode[state];
+    out[i] = cell.symbol;
+    std::uint32_t rest = 0;
+    if (!bits.pop(cell.nb, rest)) return false;
+    state = static_cast<std::uint32_t>(cell.base) + rest;
+  }
+  return true;
+}
+
+}  // namespace ncar::trace::stream

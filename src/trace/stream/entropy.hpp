@@ -1,0 +1,56 @@
+#pragma once
+// Order-0 tANS byte entropy coder — the optional second compression stage
+// of .sxt chunks.
+//
+// The first stage (codec.hpp) turns a span stream into bytes whose
+// distribution is extremely skewed: perfectly predicted timestamps and
+// repeated durations XOR to 0x00, and the tag/category headers of a hot
+// loop repeat a handful of values. A table-based asymmetric numeral system
+// (the FSE construction: 1024 states, symbols spread with the classic
+// (size/2 + size/8 + 3) step) squeezes that skew at a fixed
+// bits-per-symbol cost with no multiplies on the decode path.
+//
+// pack() is honest about its wins: it returns false whenever the packed
+// form (normalised histogram + final state + bitstream) would not be
+// strictly smaller than the input, so the chunk writer falls back to the
+// raw stage-1 bytes and the format never regresses. A chunk of one
+// distinct byte value short-circuits to a run-length form.
+//
+// Determinism: normalisation, spread, and encoding are pure functions of
+// the input bytes, so packed chunks are byte-identical across runs and
+// host-thread policies — the same contract the rest of the trace
+// subsystem keeps.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ncar::trace::stream {
+
+/// Reusable encode-side scratch: hoists the bitstream buffer out of the
+/// per-chunk call so a sink flushing thousands of chunks allocates once.
+struct EntropyWorkspace {
+  std::vector<std::uint8_t> bitstream;
+};
+
+/// Entropy-pack `n` bytes of `data` into `out` (replacing its contents).
+/// Returns false — leaving `out` unspecified — when packing would not
+/// strictly shrink the input; callers then store the raw bytes.
+bool entropy_pack(const std::uint8_t* data, std::size_t n,
+                  std::vector<std::uint8_t>& out, EntropyWorkspace& ws);
+
+/// Convenience wrapper with a throwaway workspace (tests, one-shot use).
+inline bool entropy_pack(const std::uint8_t* data, std::size_t n,
+                         std::vector<std::uint8_t>& out) {
+  EntropyWorkspace ws;
+  return entropy_pack(data, n, out, ws);
+}
+
+/// Inverse of entropy_pack: decode `n` packed bytes into exactly
+/// `raw_size` original bytes (replacing `out`). Returns false when the
+/// payload is corrupt (bad mode byte, histogram that does not normalise,
+/// or a bitstream too short for raw_size symbols).
+bool entropy_unpack(const std::uint8_t* data, std::size_t n,
+                    std::size_t raw_size, std::vector<std::uint8_t>& out);
+
+}  // namespace ncar::trace::stream

@@ -1,0 +1,51 @@
+#pragma once
+// LEB128 varints — the integer substrate of the .sxt trace format.
+//
+// Unsigned little-endian base-128: seven payload bits per byte, high bit
+// set on every byte but the last. Values below 128 cost one byte, which is
+// what makes the delta/XOR record codec in codec.hpp pay off: a perfectly
+// predicted timestamp XORs to zero and serialises as a single 0x00.
+//
+// Header-only on purpose: both the charge-path encoder (sink.cpp) and the
+// offline reader want these inlined, and the property tests in
+// tests/trace/test_stream_codec.cpp drive them over adversarial values.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncar::trace::stream {
+
+/// Longest encoding of a 64-bit value: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Append `value` to `out` (which must have kMaxVarintBytes of room);
+/// returns the number of bytes written (1..10).
+inline std::size_t put_varint(std::uint8_t* out, std::uint64_t value) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(value | 0x80);
+    value >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(value);
+  return n;
+}
+
+/// Decode a varint from `in[pos..len)`. Returns true and advances `pos`
+/// past the encoding; returns false (leaving `pos` unspecified) when the
+/// buffer ends mid-varint or the encoding runs past 10 bytes.
+inline bool get_varint(const std::uint8_t* in, std::size_t len,
+                       std::size_t& pos, std::uint64_t& value) {
+  std::uint64_t v = 0;
+  for (std::size_t shift = 0; shift < 64; shift += 7) {
+    if (pos >= len) return false;
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      value = v;
+      return true;
+    }
+  }
+  return false;  // 11th continuation byte: not a canonical u64 varint
+}
+
+}  // namespace ncar::trace::stream

@@ -250,15 +250,15 @@ struct LegacySfs {
     if (drained > 0) {
       disk->record_transfer(Bytes(drained), Seconds(drained / rate));
       dirty -= drained;
-      resident = std::min(cfg.cache_bytes, resident + drained);
+      resident = std::min(cfg.cache.value(), resident + drained);
     }
     now = t;
   }
   double write(double bytes) {
     double wait = 0, remaining = bytes;
     while (remaining > 0) {
-      const double unit = std::min(remaining, cfg.staging_unit_bytes);
-      const double free_space = cfg.cache_bytes - dirty;
+      const double unit = std::min(remaining, cfg.staging_unit.value());
+      const double free_space = cfg.cache.value() - dirty;
       if (unit > free_space) {
         const double stall =
             (unit - free_space) / disk->streaming_bytes_per_s().value();
@@ -296,8 +296,8 @@ TEST(GoldenSfs, MixedOpSequenceMatchesLegacyClockBitExactly) {
   using namespace ncar;
   const auto machine = sxs::MachineConfig::sx4_benchmarked();
   iosim::SfsConfig cfg;
-  cfg.cache_bytes = 64.0 * 1024 * 1024;
-  cfg.staging_unit_bytes = 4.0 * 1024 * 1024;
+  cfg.cache = Bytes(64.0 * 1024 * 1024);
+  cfg.staging_unit = Bytes(4.0 * 1024 * 1024);
 
   iosim::DiskSystem disk_new, disk_ref;
   iosim::Sfs sfs(machine, disk_new, cfg);

@@ -11,16 +11,16 @@ using namespace ncar::iosim;
 TEST(DiskSystem, StreamingRateBoundedByControllerAndSpindles) {
   DiskSystem d;
   const auto& c = d.config();
-  EXPECT_LE(d.streaming_bytes_per_s().value(), c.controller_bytes_per_s);
+  EXPECT_LE(d.streaming_bytes_per_s().value(), c.controller_rate.value());
   EXPECT_LE(d.streaming_bytes_per_s().value(),
-            c.media_bytes_per_s * c.spindles);
+            c.media_rate.value() * c.spindles);
 }
 
 TEST(DiskSystem, SmallTransferDominatedByPositioning) {
   DiskSystem d;
   const double t = d.sequential_seconds(ncar::Bytes(512)).value();
-  EXPECT_GT(t, d.config().seek_s);
-  EXPECT_LT(t, d.config().seek_s + d.config().rotational_s + 1e-3);
+  EXPECT_GT(t, d.config().seek.value());
+  EXPECT_LT(t, d.config().seek.value() + d.config().rotational.value() + 1e-3);
 }
 
 TEST(DiskSystem, LargeTransferApproachesStreamingRate) {
@@ -36,9 +36,10 @@ TEST(DiskSystem, StripingEngagesWithSize) {
   // A one-stripe transfer runs at single-spindle speed.
   const double small = 256.0 * 1024;
   const double t_small = d.sequential_seconds(ncar::Bytes(small)).value() -
-                         d.config().seek_s - d.config().rotational_s;
-  EXPECT_NEAR(small / t_small, d.config().media_bytes_per_s,
-              0.01 * d.config().media_bytes_per_s);
+                         d.config().seek.value() -
+                         d.config().rotational.value();
+  EXPECT_NEAR(small / t_small, d.config().media_rate.value(),
+              0.01 * d.config().media_rate.value());
 }
 
 TEST(DiskSystem, ConcurrentWritersOverlapPositioning) {

@@ -58,7 +58,7 @@ TEST_F(SfsTest, FlushEmptiesTheCache) {
 
 TEST_F(SfsTest, FullCacheStallsTheWriter) {
   SfsConfig cfg;
-  cfg.cache_bytes = 64e6;  // small cache
+  cfg.cache = Bytes(64e6);  // small cache
   Sfs fast(machine, disk, cfg);
   // First fill the cache, then write more: the second write must wait on
   // the drain, so its per-byte cost approaches disk speed.
@@ -91,10 +91,10 @@ TEST_F(SfsTest, DrainedBytesLandOnDiskAccounting) {
 
 TEST_F(SfsTest, InvalidConfigThrows) {
   SfsConfig bad;
-  bad.cache_bytes = machine.xmu_capacity_bytes.value() * 2;
+  bad.cache = machine.xmu_capacity_bytes * 2.0;
   EXPECT_THROW(Sfs(machine, disk, bad), ncar::precondition_error);
   SfsConfig bad2;
-  bad2.staging_unit_bytes = bad2.cache_bytes * 2;
+  bad2.staging_unit = bad2.cache * 2.0;
   EXPECT_THROW(Sfs(machine, disk, bad2), ncar::precondition_error);
   Sfs fs(machine, disk);
   EXPECT_THROW(fs.write(Bytes(-1)), ncar::precondition_error);

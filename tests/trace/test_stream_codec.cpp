@@ -1,0 +1,279 @@
+// Property tests for the .sxt stage-1 record codec, the LEB128 varints it
+// is built on, and the optional tANS entropy stage: encode/decode must
+// round-trip every well-formed input bit-exactly, and the decoders must
+// reject truncated or corrupt payloads instead of reading past them.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "trace/stream/codec.hpp"
+#include "trace/stream/entropy.hpp"
+#include "trace/stream/format.hpp"
+#include "trace/stream/varint.hpp"
+
+namespace {
+
+using namespace ncar::trace::stream;
+using RawRecords = std::vector<RawRecord>;
+
+std::uint64_t varint_roundtrip(std::uint64_t v, std::size_t* bytes = nullptr) {
+  std::uint8_t buf[kMaxVarintBytes];
+  const std::size_t len = put_varint(buf, v);
+  if (bytes != nullptr) *bytes = len;
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_TRUE(get_varint(buf, len, pos, out));
+  EXPECT_EQ(pos, len);
+  return out;
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::size_t len = 0;
+    EXPECT_EQ(varint_roundtrip(v, &len), v);
+    EXPECT_LE(len, kMaxVarintBytes);
+  }
+  std::size_t len = 0;
+  varint_roundtrip(std::numeric_limits<std::uint64_t>::max(), &len);
+  EXPECT_EQ(len, kMaxVarintBytes);
+}
+
+TEST(Varint, RoundTripsRandomValues) {
+  std::mt19937_64 rng(0xC0DEC);
+  for (int i = 0; i < 4000; ++i) {
+    // Mix magnitudes: raw 64-bit draws rarely exercise short encodings.
+    const int shift = static_cast<int>(rng() % 64);
+    const std::uint64_t v = rng() >> shift;
+    EXPECT_EQ(varint_roundtrip(v), v);
+  }
+}
+
+TEST(Varint, RejectsTruncation) {
+  std::uint8_t buf[kMaxVarintBytes];
+  const std::size_t len = put_varint(buf, 1ull << 60);
+  for (std::size_t cut = 0; cut < len; ++cut) {
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    EXPECT_FALSE(get_varint(buf, cut, pos, out)) << "cut " << cut;
+  }
+}
+
+RawRecords decode_all(const std::vector<std::uint8_t>& bytes, std::size_t n) {
+  RawRecords out(n);
+  EXPECT_TRUE(decode_records(bytes.data(), bytes.size(), n, out.data()));
+  return out;
+}
+
+void expect_roundtrip(const RawRecords& records) {
+  std::vector<std::uint8_t> buf(records.size() * kMaxRecordBytes);
+  const std::size_t len =
+      encode_records(records.data(), records.size(), buf.data());
+  ASSERT_LE(len, buf.size());
+  buf.resize(len);
+  const RawRecords back = decode_all(buf, records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i].start),
+              std::bit_cast<std::uint64_t>(records[i].start))
+        << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i].duration),
+              std::bit_cast<std::uint64_t>(records[i].duration))
+        << i;
+    EXPECT_EQ(back[i].tag, records[i].tag) << i;
+    EXPECT_EQ(back[i].category, records[i].category) << i;
+  }
+}
+
+TEST(RecordCodec, PerfectlyPredictedStreamIsOneByteHeaderPerRecord) {
+  // Contiguous spans of a repeated duration: start always equals the
+  // previous end and the duration matches the per-tag predictor, so both
+  // XOR residues are zero and each record costs 3 varint bytes (header +
+  // two zero residues).
+  RawRecords r;
+  double t = 1000.0;
+  for (int i = 0; i < 64; ++i) {
+    r.push_back({t, 2.5, 3, 1});
+    t += 2.5;
+  }
+  std::vector<std::uint8_t> buf(r.size() * kMaxRecordBytes);
+  const std::size_t len = encode_records(r.data(), r.size(), buf.data());
+  // First record pays full residues; the rest are 3 bytes each.
+  EXPECT_LE(len, 3 * (r.size() - 1) + kMaxRecordBytes);
+  expect_roundtrip(r);
+}
+
+TEST(RecordCodec, RoundTripsAdversarialValues) {
+  const double specials[] = {0.0,
+                             -0.0,
+                             1.0,
+                             -1.0,
+                             1e308,
+                             -1e308,
+                             5e-324,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::epsilon()};
+  RawRecords r;
+  std::uint32_t tag = 0;
+  std::uint8_t cat = 0;
+  for (const double start : specials) {
+    for (const double dur : specials) {
+      r.push_back({start, dur, tag++ % 7, static_cast<std::uint8_t>(cat++ % 16)});
+    }
+  }
+  expect_roundtrip(r);
+}
+
+TEST(RecordCodec, RoundTripsRandomNonMonotoneRecords) {
+  std::mt19937_64 rng(0x5EED);
+  std::uniform_real_distribution<double> u(-1e12, 1e12);
+  RawRecords r;
+  for (int i = 0; i < 4096; ++i) {
+    r.push_back({u(rng), u(rng), static_cast<std::uint32_t>(rng() % 40),
+                 static_cast<std::uint8_t>(rng() % 16)});
+  }
+  expect_roundtrip(r);
+}
+
+TEST(RecordCodec, RoundTripsTagsBeyondPredictionTable) {
+  // Tag ids past the decoder's per-tag prediction bound fall back to a
+  // zero predictor on both sides; the stream must still round-trip.
+  RawRecords r;
+  for (int i = 0; i < 100; ++i) {
+    r.push_back({static_cast<double>(i), 1.5 + i,
+                 4096 + static_cast<std::uint32_t>(i % 3) * 100000, 2});
+  }
+  expect_roundtrip(r);
+}
+
+TEST(RecordCodec, RejectsTruncatedPayload) {
+  RawRecords r;
+  for (int i = 0; i < 16; ++i) r.push_back({1.0 * i, 2.0, 1, 1});
+  std::vector<std::uint8_t> buf(r.size() * kMaxRecordBytes);
+  const std::size_t len = encode_records(r.data(), r.size(), buf.data());
+  RawRecords out(r.size());
+  EXPECT_FALSE(decode_records(buf.data(), len - 1, r.size(), out.data()));
+  EXPECT_FALSE(decode_records(buf.data(), 0, r.size(), out.data()));
+}
+
+TEST(RecordCodec, RejectsTrailingGarbage) {
+  RawRecords r{{1.0, 2.0, 1, 1}};
+  std::vector<std::uint8_t> buf(kMaxRecordBytes + 1);
+  const std::size_t len = encode_records(r.data(), 1, buf.data());
+  buf[len] = 0x00;  // one stray byte after the last record
+  RawRecord out;
+  EXPECT_FALSE(decode_records(buf.data(), len + 1, 1, &out));
+}
+
+TEST(RecordCodec, RejectsTagOverflowingThirtyTwoBits) {
+  // Header varint of (tag << 4) | category with tag > uint32 max.
+  std::vector<std::uint8_t> buf(3 * kMaxVarintBytes);
+  std::size_t pos = put_varint(buf.data(), (0x1'0000'0000ull << 4) | 1u);
+  pos += put_varint(buf.data() + pos, 0);  // start residue
+  pos += put_varint(buf.data() + pos, 0);  // duration residue
+  RawRecord out;
+  EXPECT_FALSE(decode_records(buf.data(), pos, 1, &out));
+}
+
+std::vector<std::uint8_t> unpack_or_die(const std::vector<std::uint8_t>& packed,
+                                        std::size_t raw_size) {
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(entropy_unpack(packed.data(), packed.size(), raw_size, out));
+  EXPECT_EQ(out.size(), raw_size);
+  return out;
+}
+
+TEST(Entropy, SingleValueRunShortCircuitsToRle) {
+  const std::vector<std::uint8_t> raw(1000, 0x7F);
+  std::vector<std::uint8_t> packed;
+  ASSERT_TRUE(entropy_pack(raw.data(), raw.size(), packed));
+  EXPECT_EQ(packed.size(), 2u);
+  EXPECT_EQ(unpack_or_die(packed, raw.size()), raw);
+}
+
+TEST(Entropy, SkewedBytesRoundTripAndShrink) {
+  std::mt19937_64 rng(0xE27);
+  std::vector<std::uint8_t> raw;
+  for (int i = 0; i < 20000; ++i) {
+    // Stage-1-like distribution: mostly 0x00, a few hot header values.
+    const std::uint64_t roll = rng() % 100;
+    raw.push_back(roll < 70 ? 0x00
+                  : roll < 90
+                      ? static_cast<std::uint8_t>(0x10 + roll % 4)
+                      : static_cast<std::uint8_t>(rng() & 0xFF));
+  }
+  std::vector<std::uint8_t> packed;
+  ASSERT_TRUE(entropy_pack(raw.data(), raw.size(), packed));
+  EXPECT_LT(packed.size(), raw.size());
+  EXPECT_EQ(unpack_or_die(packed, raw.size()), raw);
+}
+
+TEST(Entropy, RefusesWhenNotStrictlySmaller) {
+  std::mt19937_64 rng(0xFADE);
+  std::vector<std::uint8_t> raw;
+  for (int i = 0; i < 4096; ++i) {
+    raw.push_back(static_cast<std::uint8_t>(rng() & 0xFF));
+  }
+  std::vector<std::uint8_t> packed;
+  EXPECT_FALSE(entropy_pack(raw.data(), raw.size(), packed));
+  const std::vector<std::uint8_t> tiny{1};
+  EXPECT_FALSE(entropy_pack(tiny.data(), tiny.size(), packed));
+}
+
+TEST(Entropy, AllByteValuesRoundTrip) {
+  std::vector<std::uint8_t> raw;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (int b = 0; b < 256; ++b) {
+      raw.push_back(static_cast<std::uint8_t>(b));
+    }
+  }
+  // Uniform input will not shrink; drive the coder through the workspace
+  // API anyway and round-trip whatever it produced via a skewed prefix.
+  raw.insert(raw.end(), 8192, 0x00);
+  std::vector<std::uint8_t> packed;
+  EntropyWorkspace ws;
+  ASSERT_TRUE(entropy_pack(raw.data(), raw.size(), packed, ws));
+  EXPECT_EQ(unpack_or_die(packed, raw.size()), raw);
+}
+
+TEST(Entropy, RejectsCorruptPayloads) {
+  const std::vector<std::uint8_t> raw(1000, 0x42);
+  std::vector<std::uint8_t> out;
+
+  // Empty payload, unknown mode byte, RLE of the wrong length.
+  EXPECT_FALSE(entropy_unpack(raw.data(), 0, 10, out));
+  const std::vector<std::uint8_t> bad_mode{9, 1, 2, 3};
+  EXPECT_FALSE(entropy_unpack(bad_mode.data(), bad_mode.size(), 10, out));
+  const std::vector<std::uint8_t> long_rle{0, 0x42, 0x42};
+  EXPECT_FALSE(entropy_unpack(long_rle.data(), long_rle.size(), 10, out));
+
+  // A real tANS payload with a histogram that no longer sums to the table
+  // size, and one with a truncated bitstream.
+  std::vector<std::uint8_t> skewed(5000, 0x00);
+  for (std::size_t i = 0; i < skewed.size(); i += 7) skewed[i] = 0x33;
+  std::vector<std::uint8_t> packed;
+  ASSERT_TRUE(entropy_pack(skewed.data(), skewed.size(), packed));
+  std::vector<std::uint8_t> bad_hist = packed;
+  bad_hist[1] = static_cast<std::uint8_t>(bad_hist[1] ^ 0x01);
+  EXPECT_FALSE(
+      entropy_unpack(bad_hist.data(), bad_hist.size(), skewed.size(), out));
+  EXPECT_FALSE(entropy_unpack(packed.data(), packed.size() - 20,
+                              skewed.size(), out));
+}
+
+}  // namespace

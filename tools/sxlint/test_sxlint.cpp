@@ -60,9 +60,18 @@ TEST(SxlintBad, BenchWithoutReporterIsFlagged) {
 
 TEST(SxlintBad, NondeterministicCallsAreFlagged) {
   const auto findings = ncar::sxlint::check_nondeterminism(testdata("bad"));
-  // srand, time(), rand() in model_nondet.cpp.
-  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 3);
+  // srand, time(), rand() in model_nondet.cpp, plus clock_gettime and
+  // time() in the streaming-sink fixture trace/stream/sink_wallclock.cpp.
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 5);
   EXPECT_TRUE(mentions_file(findings, "model_nondet.cpp"));
+  EXPECT_TRUE(mentions_file(findings, "sink_wallclock.cpp"));
+}
+
+TEST(SxlintGood, StreamSinkOnModelTimePasses) {
+  // trace/stream/sink_clean.cpp keeps every timestamp in model time;
+  // "time"/"rand" appear only in comments, strings, and longer tokens.
+  const auto findings = ncar::sxlint::check_nondeterminism(testdata("good"));
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 0);
 }
 
 TEST(SxlintBad, PrintingModelCodeIsFlagged) {

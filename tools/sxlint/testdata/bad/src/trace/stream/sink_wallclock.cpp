@@ -1,0 +1,15 @@
+// A streaming trace sink must never stamp records with host wall time:
+// the .sxt byte-identity contract (chunks identical across runs and host
+// thread policies) dies the moment a wall clock leaks into the stream.
+#include <ctime>
+
+namespace bad::stream {
+
+double chunk_timestamp() {
+  timespec ts{};
+  clock_gettime(0, &ts);  // banned ident
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(std::time(nullptr));  // banned call
+}
+
+}  // namespace bad::stream

@@ -1,0 +1,28 @@
+// The determinism-conformant shape of a streaming sink: every timestamp
+// is model time handed in by the caller, epochs are plain counters, and
+// the words "time" / "rand" appear only inside comments, strings, and
+// longer identifiers — none of which the token-based scan may flag.
+#include <cstdint>
+#include <string>
+
+namespace good::stream {
+
+struct Sink {
+  // Model time only: "start" is simulated ticks, never wall time, and
+  // resets just bump a deterministic epoch (no srand-style reseeding).
+  void record(double start, double duration) {
+    last_end_time_bits_ = start + duration;  // token is not "time"
+    ++records_;
+  }
+  void on_reset() { ++epoch_; }
+  double runtime() const { return last_end_time_bits_; }
+  std::string describe() const {
+    return "sink: time() and rand() are banned here";  // string, not code
+  }
+
+  double last_end_time_bits_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace good::stream
